@@ -1,0 +1,75 @@
+// E8 — ablations: how many corpus procedures each analysis feature proves.
+// Disables one ingredient at a time (exceptional variants, Theorem 5.4
+// windows, Theorem 5.5 local conditions, counted-CAS analogues) and counts
+// atomic verdicts across the corpus.
+#include <cstdio>
+
+#include "synat/atomicity/infer.h"
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+
+using namespace synat;
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool variants, windows, conds, counted;
+};
+
+int atomic_count(const Config& cfg, int* total_out) {
+  int atomic = 0, total = 0;
+  for (const corpus::Entry& e : corpus::all()) {
+    // Skip the model-checking drivers (their Init procs are not atomic by
+    // design and would add noise).
+    std::string_view name = e.name;
+    if (name.ends_with("_mc")) continue;
+    DiagEngine diags;
+    synl::Program prog = synl::parse_and_check(e.source, diags);
+    if (diags.has_errors()) continue;
+    atomicity::InferOptions opts;
+    opts.variant_opts.disable = !cfg.variants;
+    opts.use_window_rule = cfg.windows;
+    opts.use_local_conditions = cfg.conds;
+    if (cfg.counted)
+      for (auto c : e.counted_cas) opts.counted_cas.emplace_back(c);
+    atomicity::AtomicityResult r = atomicity::infer_atomicity(prog, diags, opts);
+    for (const atomicity::ProcResult& pr : r.procs()) {
+      ++total;
+      if (pr.atomic) ++atomic;
+    }
+  }
+  *total_out = total;
+  return atomic;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E8: ablation of the analysis features over the corpus ==\n\n");
+  const Config configs[] = {
+      {"full analysis", true, true, true, true},
+      {"- exceptional variants", false, true, true, true},
+      {"- Theorem 5.4 windows", true, false, true, true},
+      {"- Theorem 5.5 local conds", true, true, false, true},
+      {"- counted-CAS analogue", true, true, true, false},
+      {"none of the above", false, false, false, false},
+  };
+  int full = -1;
+  bool ok = true;
+  for (const Config& c : configs) {
+    int total = 0;
+    int atomic = atomic_count(c, &total);
+    std::printf("%-28s %2d / %2d procedures proved atomic\n", c.label, atomic,
+                total);
+    if (full < 0) {
+      full = atomic;
+    } else {
+      ok &= atomic <= full;  // removing a feature never proves more
+    }
+  }
+  std::printf("\nmonotonicity (no ablation proves more than the full "
+              "analysis): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// E9 — performance of the analysis pipeline itself ("suitable for
+// automation"): parse / analyze / model-check throughput over the corpus.
+#include <benchmark/benchmark.h>
+
+#include "synat/atomicity/infer.h"
+#include "synat/corpus/corpus.h"
+#include "synat/interp/interp.h"
+#include "synat/synl/parser.h"
+
+using namespace synat;
+
+namespace {
+
+void BM_ParseCorpus(benchmark::State& state) {
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const corpus::Entry& e : corpus::all()) {
+      DiagEngine diags;
+      synl::Program p = synl::parse_and_check(e.source, diags);
+      benchmark::DoNotOptimize(p.num_procs());
+      bytes += e.source.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseCorpus);
+
+void BM_InferOne(benchmark::State& state) {
+  const corpus::Entry& e =
+      corpus::all()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(std::string(e.name));
+  for (auto _ : state) {
+    DiagEngine diags;
+    synl::Program p = synl::parse_and_check(e.source, diags);
+    atomicity::InferOptions opts;
+    for (auto c : e.counted_cas) opts.counted_cas.emplace_back(c);
+    auto r = atomicity::infer_atomicity(p, diags, opts);
+    benchmark::DoNotOptimize(r.procs().size());
+  }
+}
+BENCHMARK(BM_InferOne)->DenseRange(0, 10);
+
+void BM_InferWholeCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const corpus::Entry& e : corpus::all()) {
+      DiagEngine diags;
+      synl::Program p = synl::parse_and_check(e.source, diags);
+      atomicity::InferOptions opts;
+      for (auto c : e.counted_cas) opts.counted_cas.emplace_back(c);
+      auto r = atomicity::infer_atomicity(p, diags, opts);
+      benchmark::DoNotOptimize(r.procs().size());
+    }
+  }
+}
+BENCHMARK(BM_InferWholeCorpus);
+
+void BM_CompileBytecode(benchmark::State& state) {
+  DiagEngine diags;
+  synl::Program p =
+      synl::parse_and_check(corpus::get("michael_malloc").source, diags);
+  for (auto _ : state) {
+    DiagEngine d2;
+    auto cp = interp::compile_program(p, d2);
+    benchmark::DoNotOptimize(cp.procs.size());
+  }
+}
+BENCHMARK(BM_CompileBytecode);
+
+void BM_InterpreterSteps(benchmark::State& state) {
+  DiagEngine diags;
+  synl::Program p =
+      synl::parse_and_check(corpus::get("semaphore_down").source, diags);
+  auto cp = interp::compile_program(p, diags);
+  interp::Interp in(cp);
+  int up = cp.find_index("Up");
+  for (auto _ : state) {
+    interp::State s = in.initial_state({{up, {}}});
+    std::string err;
+    in.run_thread(s, 0, &err);
+    benchmark::DoNotOptimize(s.globals[0].i);
+  }
+}
+BENCHMARK(BM_InterpreterSteps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

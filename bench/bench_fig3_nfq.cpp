@@ -1,0 +1,62 @@
+// E1 — Figure 3: exceptional variants of NFQ' with per-line atomicity
+// types. Regenerates the paper's listing and diffs it against the figure.
+#include <cstdio>
+#include <string>
+
+#include "synat/atomicity/infer.h"
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+
+using namespace synat;
+
+int main() {
+  DiagEngine diags;
+  synl::Program prog =
+      synl::parse_and_check(corpus::get("nfq_prime").source, diags);
+  if (diags.has_errors()) {
+    std::printf("front-end errors:\n%s", diags.dump().c_str());
+    return 1;
+  }
+  atomicity::AtomicityResult result = atomicity::infer_atomicity(prog, diags);
+
+  std::printf("== E1 (paper Figure 3): exceptional variants of NFQ' ==\n\n");
+  std::printf("%s", result.full_listing(prog).c_str());
+
+  // Paper's per-line types, in listing order per variant.
+  struct Expected {
+    const char* proc;
+    size_t variant;
+    std::vector<const char*> types;
+  };
+  const std::vector<Expected> expected = {
+      {"AddNode", 0, {"B", "B", "B", "R", "R", "B", "B", "L", "B"}},
+      {"UpdateTail", 0, {"R", "R", "B", "B", "L", "B"}},
+      {"Deq", 0, {"R", "A", "L", "B", "B"}},
+      {"Deq", 1, {"R", "R", "B", "B", "A", "B", "L", "B"}},
+  };
+
+  int mismatches = 0;
+  for (const Expected& e : expected) {
+    const atomicity::ProcResult* pr = result.result_for(prog.find_proc(e.proc));
+    const atomicity::VariantResult& v = pr->variants.at(e.variant);
+    std::string listing = result.listing(prog, v);
+    // Collect the per-line types: tokens after "aN:".
+    std::vector<std::string> got;
+    size_t pos = 0;
+    while ((pos = listing.find(':', pos)) != std::string::npos) {
+      if (pos + 1 < listing.size() && listing[pos - 1] >= '0' &&
+          listing[pos - 1] <= '9') {
+        got.push_back(std::string(1, listing[pos + 1]));
+      }
+      ++pos;
+    }
+    bool ok = got.size() == e.types.size();
+    for (size_t i = 0; ok && i < got.size(); ++i) ok = got[i] == e.types[i];
+    std::printf("%-12s variant %zu: %s\n", e.proc, e.variant + 1,
+                ok ? "matches the paper" : "MISMATCH");
+    if (!ok) ++mismatches;
+  }
+  std::printf("\nall procedures atomic: %s (paper: yes)\n",
+              result.all_atomic() ? "yes" : "NO");
+  return mismatches == 0 && result.all_atomic() ? 0 : 1;
+}

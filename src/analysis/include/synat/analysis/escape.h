@@ -1,0 +1,49 @@
+// Simple flow-sensitive escape analysis (paper Sections 3.2 / 5.4 step 1).
+//
+// Determines, per reference-typed local variable v and per CFG event e,
+// whether the object v refers to at e is certainly a fresh allocation that
+// has not yet escaped the creating thread. Accesses through such a variable
+// behave like accesses to unshared variables and are both-movers.
+//
+// v is a *fresh* variable if every assignment to v in the procedure is a
+// `new C`. v has *escaped* at event e if e is reachable from any leak of v:
+// storing v into the heap or a global, publishing it via SC/CAS, copying it
+// into another variable (conservative), or returning it.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "synat/cfg/cfg.h"
+
+namespace synat::analysis {
+
+using cfg::Cfg;
+using cfg::EventId;
+using synl::Program;
+using synl::VarId;
+
+class EscapeAnalysis {
+ public:
+  EscapeAnalysis(const Program& prog, const Cfg& cfg);
+
+  /// True if, at event `e`, variable `v` certainly holds a reference to an
+  /// object that has not escaped its creating thread.
+  bool unescaped_at(EventId e, VarId v) const;
+
+  /// True if every assignment to v is a fresh allocation.
+  bool is_fresh_var(VarId v) const;
+
+ private:
+  void analyze_var(VarId v);
+
+  const Program& prog_;
+  const Cfg& cfg_;
+  // For each analyzed var: escaped_after_[v][event] == true once a leak may
+  // have happened before the event. Vars that are not fresh map to an empty
+  // vector and always report escaped.
+  std::unordered_map<VarId, std::vector<bool>> escaped_after_;
+  std::unordered_map<VarId, bool> fresh_;
+};
+
+}  // namespace synat::analysis

@@ -1,0 +1,52 @@
+// Shared syntactic helpers over SYNL expressions used by the escape,
+// uniqueness and local-condition analyses.
+#pragma once
+
+#include "synat/cfg/cfg.h"
+#include "synat/synl/ast.h"
+
+namespace synat::analysis {
+
+using cfg::AccessPath;
+using synl::ExprId;
+using synl::Program;
+using synl::VarId;
+
+/// True if `root` mentions variable `v` as a *value* — i.e. a VarRef(v)
+/// occurs somewhere other than the base-pointer position of a field/array
+/// access or of a non-blocking primitive's target location. `x := v` and
+/// `SC(g, v)` mention v as a value; `v.fd := 0` and `SC(v.fd, e)` do not.
+bool mentions_as_value(const Program& prog, ExprId root, VarId v);
+
+/// True if the expression is exactly a read of `path`: a Location expression
+/// (or LL of one) whose AccessPath equals `path`.
+bool reads_exactly(const Program& prog, ExprId e, const AccessPath& path);
+
+/// AccessPath of a Location expression (empty-rooted if not a location).
+AccessPath path_of_expr(const Program& prog, ExprId e);
+
+/// Static type of the object holding the location's final selector: the
+/// type reached from the root variable's type through all but the last
+/// selector. Returns the invalid TypeId when it cannot be computed.
+synl::TypeId path_prefix_type(const Program& prog, const AccessPath& path);
+
+/// Static type of the location itself (through all selectors).
+synl::TypeId path_type(const Program& prog, const AccessPath& path);
+
+/// True if the two locations may refer to the same memory cell, using the
+/// paper's alias rule (Section 5.4): plain variables alias only themselves;
+/// field accesses may alias iff they access the same field of the same
+/// class; array elements may alias iff the arrays have the same element
+/// type. Unknown types are treated conservatively (may alias when the
+/// selector skeletons agree).
+bool may_alias(const Program& prog, const AccessPath& a, const AccessPath& b);
+
+/// Successor events of an SC/CAS event `e` that are reached only when the
+/// primitive SUCCEEDS. TRUE(SC(...)) succeeds by construction; for
+/// `if (SC(...)) ...` (possibly negated) only the success branch is
+/// returned; any other shape conservatively returns all successors.
+std::vector<cfg::EventId> post_success_edges(const Program& prog,
+                                             const cfg::Cfg& cfg,
+                                             cfg::EventId e);
+
+}  // namespace synat::analysis

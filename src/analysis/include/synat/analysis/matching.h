@@ -1,0 +1,63 @@
+// Matching-LL and matching-read resolution (paper Section 5.2).
+//
+// For each SC(v, val) or VL(v) event, its matching LL *expressions* are
+// found by a backward DFS over the CFG starting at the event and not going
+// past LL(v) nodes; every LL(v) reached is a match. For each CAS(v, e, n)
+// whose expected value e is a variable x, the matching reads are the reads
+// of v that were saved into x (statements `x := v` / `local x := v`),
+// found by the same backward search not going past writes of x.
+//
+// `complete` records whether every backward path hits a match before
+// reaching procedure entry: an SC with an incomplete match set may execute
+// with no matching LL (and then must fail); a CAS may succeed without a
+// matching read, in which case Theorem 5.3's CAS analogue does not apply.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "synat/cfg/cfg.h"
+
+namespace synat::analysis {
+
+using cfg::Cfg;
+using cfg::EventId;
+using synl::Program;
+
+struct MatchInfo {
+  std::vector<EventId> matches;  ///< LL events (or reads for CAS)
+  bool complete = false;         ///< a match lies on every backward path
+};
+
+class MatchingAnalysis {
+ public:
+  MatchingAnalysis(const Program& prog, const Cfg& cfg);
+
+  /// Match info for an SC/VL/CAS event; null if `e` is not such an event.
+  const MatchInfo* info(EventId e) const {
+    auto it = info_.find(e);
+    return it == info_.end() ? nullptr : &it->second;
+  }
+
+  /// True if `ll` is a matching LL (or matching read) of `primitive`.
+  bool is_match(EventId primitive, EventId ll) const {
+    const MatchInfo* mi = info(primitive);
+    if (!mi) return false;
+    for (EventId m : mi->matches)
+      if (m == ll) return true;
+    return false;
+  }
+
+  /// All SC/VL/CAS events for which `ll` is a match.
+  std::vector<EventId> matched_by(EventId ll) const;
+
+ private:
+  void match_ll(EventId sc_or_vl);
+  void match_read(EventId cas);
+
+  const Program& prog_;
+  const Cfg& cfg_;
+  std::unordered_map<EventId, MatchInfo> info_;
+};
+
+}  // namespace synat::analysis

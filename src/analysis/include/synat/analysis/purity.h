@@ -1,0 +1,80 @@
+// Pure-loop analysis (paper Section 4).
+//
+// A loop is pure if every action that can occur in a *normally terminating*
+// iteration of its body is pure with respect to the loop:
+//   (i)  global actions must not perform updates;
+//   (ii) local updates must be dead at the end of the loop body (liveness
+//        over access paths, cfg/liveness.h) and invisible outside the
+//        procedure;
+//   (iii) each LL(v) executable under normal termination must have all of
+//        its matching SC(v,·) inside the loop, with an LL(v) on every path
+//        from the loop entry to that SC.
+// Special case: an SC/CAS that is the test of an `if` whose success branch
+// cannot execute under normal termination is treated as a read.
+//
+// Lock acquire/release pairs are permitted in normally terminating
+// iterations: the CFG builder guarantees they are matched on every path
+// (Theorem 4.1's proof relies on exactly this).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synat/analysis/escape.h"
+#include "synat/analysis/matching.h"
+#include "synat/analysis/unique.h"
+#include "synat/cfg/cfg.h"
+
+namespace synat::analysis {
+
+using synl::StmtId;
+
+struct LoopPurity {
+  StmtId loop;
+  bool pure = false;
+  /// Action events that can occur in a normally terminating iteration.
+  std::unordered_set<EventId> normal_events;
+  /// Human-readable reasons the loop is impure (empty when pure).
+  std::vector<std::string> reasons;
+};
+
+class PurityAnalysis {
+ public:
+  PurityAnalysis(const Program& prog, const Cfg& cfg,
+                 const MatchingAnalysis& matching, const EscapeAnalysis& escape,
+                 const UniqueAnalysis& unique);
+
+  bool is_pure(StmtId loop) const {
+    const LoopPurity* p = result(loop);
+    return p && p->pure;
+  }
+  const LoopPurity* result(StmtId loop) const {
+    auto it = results_.find(loop);
+    return it == results_.end() ? nullptr : &it->second;
+  }
+
+  /// True if the SC/CAS at `e` counts as a read under normal termination of
+  /// its innermost loop (success branch unreachable from normal paths).
+  bool treated_as_read(EventId e) const { return sc_as_read_.count(e) != 0; }
+
+  /// True if the event is a *local action*: an access to an unshared
+  /// variable or a dereference of a unique / unescaped reference
+  /// (Theorem 3.1). Exposed because the mover assignment uses the same
+  /// classification.
+  bool is_local_action(EventId e) const;
+
+ private:
+  void analyze_loop(const cfg::LoopInfo& info);
+
+  const Program& prog_;
+  const Cfg& cfg_;
+  const MatchingAnalysis& matching_;
+  const EscapeAnalysis& escape_;
+  const UniqueAnalysis& unique_;
+  std::unordered_map<StmtId, LoopPurity> results_;
+  std::unordered_set<EventId> sc_as_read_;
+};
+
+}  // namespace synat::analysis

@@ -1,0 +1,122 @@
+#include "synat/analysis/localcond.h"
+
+#include "synat/analysis/expr_util.h"
+
+namespace synat::analysis {
+
+using cfg::Event;
+using cfg::EventKind;
+using synl::Expr;
+using synl::ExprKind;
+using synl::Stmt;
+using synl::StmtKind;
+
+std::string_view to_string(Pred p) {
+  switch (p) {
+    case Pred::True: return "true";
+    case Pred::EqNull: return "== null";
+    case Pred::NeNull: return "!= null";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Canonicalizes `e` as a null-ness predicate over `lvar`, or Pred::True.
+Pred pred_of(const Program& prog, synl::ExprId id, VarId lvar) {
+  if (!id.valid()) return Pred::True;
+  const Expr& e = prog.expr(id);
+  switch (e.kind) {
+    case ExprKind::Unary:
+      if (e.un_op == synl::UnOp::Not)
+        return negate(pred_of(prog, e.a, lvar));
+      return Pred::True;
+    case ExprKind::Binary: {
+      if (e.bin_op != synl::BinOp::Eq && e.bin_op != synl::BinOp::Ne)
+        return Pred::True;
+      auto is_lvar = [&](synl::ExprId x) {
+        return x.valid() && prog.expr(x).kind == ExprKind::VarRef &&
+               prog.expr(x).var == lvar;
+      };
+      auto is_null = [&](synl::ExprId x) {
+        return x.valid() && prog.expr(x).kind == ExprKind::NullLit;
+      };
+      bool matches = (is_lvar(e.a) && is_null(e.b)) ||
+                     (is_null(e.a) && is_lvar(e.b));
+      if (!matches) return Pred::True;
+      return e.bin_op == synl::BinOp::Eq ? Pred::EqNull : Pred::NeNull;
+    }
+    default:
+      return Pred::True;
+  }
+}
+
+}  // namespace
+
+LocalCondAnalysis::LocalCondAnalysis(const Program& prog, const Cfg& cfg)
+    : prog_(prog), cfg_(cfg) {
+  synl::for_each_stmt(prog, prog.proc(cfg.proc()).body, [&](StmtId sid) {
+    if (prog.stmt(sid).kind == StmtKind::Local) analyze_block(sid);
+  });
+}
+
+void LocalCondAnalysis::analyze_block(StmtId local_stmt) {
+  const Stmt& s = prog_.stmt(local_stmt);
+  LocalBlock block;
+  block.stmt = local_stmt;
+  block.lvar = s.var;
+
+  // Initializer shape: LL(loc) or a plain location read.
+  const Expr& init = prog_.expr(s.e1);
+  if (init.kind == ExprKind::LL) {
+    block.svar = path_of_expr(prog_, init.a);
+    block.reads_svar = block.svar.root.valid();
+    block.init_is_ll = true;
+  } else if (synl::is_location_kind(init.kind)) {
+    block.svar = path_of_expr(prog_, s.e1);
+    block.reads_svar = block.svar.root.valid();
+  }
+
+  // Walk the body: updates of lvar, conditions, successful SCs on svar.
+  synl::for_each_stmt(prog_, s.s1, [&](StmtId sid) {
+    const Stmt& inner = prog_.stmt(sid);
+    if (inner.kind == StmtKind::Assign) {
+      AccessPath lhs = path_of_expr(prog_, inner.e1);
+      if (lhs.is_plain_var() && lhs.root == block.lvar)
+        block.lvar_updated = true;
+    }
+    if (inner.kind == StmtKind::Assume) {
+      Pred p = pred_of(prog_, inner.e1, block.lvar);
+      if (p != Pred::True) {
+        // Conjoin; conflicting conditions on one path are dead code —
+        // keep the first one found.
+        if (block.cond == Pred::True) block.cond = p;
+      }
+    }
+  });
+
+  // Collect the block's events and find a TRUE-guarded SC on svar.
+  for (uint32_t i = 0; i < cfg_.num_nodes(); ++i) {
+    EventId id(i);
+    const Event& ev = cfg_.node(id);
+    if (!ev.stmt.valid()) continue;
+    // An event belongs to the block if its statement is the Local itself or
+    // is nested inside its body.
+    bool inside = false;
+    if (ev.stmt == local_stmt) inside = true;
+    synl::for_each_stmt(prog_, s.s1, [&](StmtId sid) {
+      if (sid == ev.stmt) inside = true;
+    });
+    if (!inside) continue;
+    block.events.push_back(id);
+    if (ev.kind == EventKind::SC && ev.must_succeed &&
+        block.reads_svar && ev.path == block.svar) {
+      block.has_successful_sc = true;
+    }
+  }
+
+  index_[local_stmt] = blocks_.size();
+  blocks_.push_back(std::move(block));
+}
+
+}  // namespace synat::analysis

@@ -1,0 +1,152 @@
+#include "synat/analysis/matching.h"
+
+#include "synat/analysis/expr_util.h"
+
+namespace synat::analysis {
+
+using cfg::Edge;
+using cfg::Event;
+using cfg::EventKind;
+using synl::ExprKind;
+using synl::Stmt;
+using synl::StmtKind;
+
+MatchingAnalysis::MatchingAnalysis(const Program& prog, const Cfg& cfg)
+    : prog_(prog), cfg_(cfg) {
+  for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    EventId id(i);
+    switch (cfg.node(id).kind) {
+      case EventKind::SC:
+      case EventKind::VL:
+        match_ll(id);
+        break;
+      case EventKind::CAS:
+        match_read(id);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<EventId> MatchingAnalysis::matched_by(EventId ll) const {
+  std::vector<EventId> out;
+  for (const auto& [prim, mi] : info_) {
+    for (EventId m : mi.matches) {
+      if (m == ll) {
+        out.push_back(prim);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MatchingAnalysis::match_ll(EventId start) {
+  const cfg::AccessPath& path = cfg_.node(start).path;
+  MatchInfo mi;
+  mi.complete = true;
+
+  std::vector<bool> visited(cfg_.num_nodes(), false);
+  std::vector<EventId> work;
+  auto push = [&](EventId n) {
+    if (!visited[n.idx]) {
+      visited[n.idx] = true;
+      work.push_back(n);
+    }
+  };
+  for (const Edge& e : cfg_.preds(start)) push(e.to);
+
+  std::vector<bool> matched(cfg_.num_nodes(), false);
+  while (!work.empty()) {
+    EventId n = work.back();
+    work.pop_back();
+    const Event& ev = cfg_.node(n);
+    if (ev.kind == EventKind::LL && ev.path == path) {
+      if (!matched[n.idx]) {
+        matched[n.idx] = true;
+        mi.matches.push_back(n);
+      }
+      continue;  // do not go past the matching LL
+    }
+    if (n == cfg_.entry()) {
+      mi.complete = false;  // a path from entry reaches the SC/VL with no LL
+      continue;
+    }
+    for (const Edge& e : cfg_.preds(n)) push(e.to);
+  }
+  info_[start] = std::move(mi);
+}
+
+void MatchingAnalysis::match_read(EventId cas) {
+  const Event& cas_ev = cfg_.node(cas);
+  const synl::Expr& e = prog_.expr(cas_ev.expr);
+  MatchInfo mi;
+  mi.complete = true;
+
+  // The expected value must be a variable whose defining reads we can find.
+  if (!e.b.valid() || prog_.expr(e.b).kind != ExprKind::VarRef) {
+    mi.complete = false;
+    info_[cas] = std::move(mi);
+    return;
+  }
+  synl::VarId x = prog_.expr(e.b).var;
+  const cfg::AccessPath& target = cas_ev.path;
+
+  std::vector<bool> visited(cfg_.num_nodes(), false);
+  std::vector<EventId> work;
+  auto push = [&](EventId n) {
+    if (!visited[n.idx]) {
+      visited[n.idx] = true;
+      work.push_back(n);
+    }
+  };
+  for (const Edge& edge : cfg_.preds(cas)) push(edge.to);
+
+  std::vector<bool> matched(cfg_.num_nodes(), false);
+  while (!work.empty()) {
+    EventId n = work.back();
+    work.pop_back();
+    const Event& ev = cfg_.node(n);
+    if (ev.kind == EventKind::Write && ev.path.is_plain_var() &&
+        ev.path.root == x) {
+      // Is this write saving a read of the CAS target? (`x := v`)
+      const Stmt& s = prog_.stmt(ev.stmt);
+      synl::ExprId rhs = s.kind == StmtKind::Assign ? s.e2 : s.e1;
+      if (rhs.valid() && reads_exactly(prog_, rhs, target)) {
+        // The matching read action is the Read(v) event of this statement,
+        // which immediately precedes the write in the event chain.
+        EventId read_ev;
+        for (const Edge& p : cfg_.preds(n)) {
+          const Event& pe = cfg_.node(p.to);
+          if (pe.kind == EventKind::Read && pe.stmt == ev.stmt &&
+              pe.path == target) {
+            read_ev = p.to;
+            break;
+          }
+        }
+        if (read_ev.valid()) {
+          if (!matched[read_ev.idx]) {
+            matched[read_ev.idx] = true;
+            mi.matches.push_back(read_ev);
+          }
+        } else {
+          mi.complete = false;
+        }
+      } else {
+        // x was overwritten with something else: no matching read on this
+        // path.
+        mi.complete = false;
+      }
+      continue;  // definition of x found; stop this path
+    }
+    if (n == cfg_.entry()) {
+      mi.complete = false;
+      continue;
+    }
+    for (const Edge& edge : cfg_.preds(n)) push(edge.to);
+  }
+  info_[cas] = std::move(mi);
+}
+
+}  // namespace synat::analysis

@@ -1,0 +1,199 @@
+#include "synat/analysis/purity.h"
+
+#include "synat/cfg/liveness.h"
+#include "synat/synl/printer.h"
+
+namespace synat::analysis {
+
+using cfg::Edge;
+using cfg::EdgeKind;
+using cfg::Event;
+using cfg::EventKind;
+using synl::ExprKind;
+using synl::StmtKind;
+using synl::VarKind;
+
+PurityAnalysis::PurityAnalysis(const Program& prog, const Cfg& cfg,
+                               const MatchingAnalysis& matching,
+                               const EscapeAnalysis& escape,
+                               const UniqueAnalysis& unique)
+    : prog_(prog), cfg_(cfg), matching_(matching), escape_(escape),
+      unique_(unique) {
+  for (const cfg::LoopInfo& info : cfg.loops()) analyze_loop(info);
+}
+
+bool PurityAnalysis::is_local_action(EventId e) const {
+  const Event& ev = cfg_.node(e);
+  if (!ev.path.root.valid()) return false;
+  VarKind k = prog_.var(ev.path.root).kind;
+  if (ev.path.is_plain_var()) {
+    // Unshared variables: everything except globals.
+    return k != VarKind::Global;
+  }
+  if (k == VarKind::Global) return false;  // dereference of a shared pointer
+  // Dereference through a local pointer: local action iff the pointer is a
+  // verified unique reference (working copy) or the object is a fresh,
+  // not-yet-escaped allocation at this point.
+  return unique_.is_working_copy(ev.path.root) ||
+         escape_.unescaped_at(e, ev.path.root);
+}
+
+namespace {
+
+/// True branch? False branch? Finds the success-edge kind for an SC/CAS
+/// that is (possibly negated) the condition of its `if` statement; returns
+/// false if the pattern does not apply.
+bool success_edge_kind(const Program& prog, const Cfg& cfg, EventId e,
+                       EventId& branch_out, EdgeKind& kind_out) {
+  const Event& ev = cfg.node(e);
+  if (!ev.stmt.valid() || prog.stmt(ev.stmt).kind != StmtKind::If) return false;
+  synl::ExprId cond = prog.stmt(ev.stmt).e1;
+  bool negated = false;
+  while (cond.valid() && prog.expr(cond).kind == ExprKind::Unary &&
+         prog.expr(cond).un_op == synl::UnOp::Not) {
+    negated = !negated;
+    cond = prog.expr(cond).a;
+  }
+  if (cond != ev.expr) return false;
+  // The branch node directly follows the last event of the condition.
+  if (cfg.succs(e).size() != 1) return false;
+  EventId b = cfg.succs(e)[0].to;
+  const Event& bev = cfg.node(b);
+  if (bev.kind != EventKind::Join || bev.stmt != ev.stmt) return false;
+  branch_out = b;
+  kind_out = negated ? EdgeKind::False : EdgeKind::True;
+  return true;
+}
+
+}  // namespace
+
+void PurityAnalysis::analyze_loop(const cfg::LoopInfo& info) {
+  LoopPurity result;
+  result.loop = info.stmt;
+
+  std::vector<bool> member(cfg_.num_nodes(), false);
+  for (EventId m : info.members) member[m.idx] = true;
+  auto within = [&](EventId n) { return member[n.idx]; };
+
+  // S1: reachable from the loop head staying inside the loop.
+  auto s1 = cfg_.reachable(info.head, within);
+  // S2: can reach a normal-termination point (a back-edge source of this
+  // loop) staying inside the loop.
+  std::unordered_set<EventId> s2;
+  for (EventId src : info.back_sources) {
+    auto part = cfg_.reachable_back(src, within);
+    s2.insert(part.begin(), part.end());
+  }
+
+  for (EventId n : s1) {
+    if (!s2.count(n)) continue;
+    const Event& ev = cfg_.node(n);
+    if (!ev.is_action()) continue;
+    result.normal_events.insert(n);
+  }
+
+  // Pre-compute SC/CAS-as-read for primitives in the normal set.
+  for (EventId n : result.normal_events) {
+    const Event& ev = cfg_.node(n);
+    if (ev.kind != EventKind::SC && ev.kind != EventKind::CAS) continue;
+    if (ev.must_succeed) continue;
+    EventId branch;
+    EdgeKind success;
+    if (!success_edge_kind(prog_, cfg_, n, branch, success)) continue;
+    bool success_in_normal = false;
+    for (const Edge& e : cfg_.succs(branch)) {
+      if (e.kind != success) continue;
+      if (s2.count(e.to)) success_in_normal = true;
+    }
+    if (!success_in_normal) sc_as_read_.insert(n);
+  }
+
+  auto impure = [&](EventId n, const std::string& why) {
+    result.reasons.push_back(
+        why + " at " + cfg_.node(n).path.str(prog_) + " (" +
+        std::string(to_string(cfg_.node(n).kind)) + ", line " +
+        std::to_string(cfg_.node(n).stmt.valid()
+                           ? prog_.stmt(cfg_.node(n).stmt).loc.line
+                           : 0) +
+        ")");
+  };
+
+  for (EventId n : result.normal_events) {
+    const Event& ev = cfg_.node(n);
+    switch (ev.kind) {
+      case EventKind::Read:
+      case EventKind::VL:
+      case EventKind::New:
+      case EventKind::Acquire:   // matched pairs: deletable per Theorem 4.1
+      case EventKind::Release:
+      case EventKind::Assume:
+        break;
+      case EventKind::LL: {
+        // Condition (iii): all matching SCs in the loop, LL on every path.
+        for (EventId sc : matching_.matched_by(n)) {
+          if (!member[sc.idx]) {
+            impure(n, "LL matched by an SC outside the loop");
+            continue;
+          }
+          // BFS from the head, not expanding past LL(path) nodes; if the SC
+          // is reached, some path to it lacks the LL.
+          std::vector<bool> seen(cfg_.num_nodes(), false);
+          std::vector<EventId> work{info.head};
+          seen[info.head.idx] = true;
+          bool ll_free_path = false;
+          while (!work.empty() && !ll_free_path) {
+            EventId cur = work.back();
+            work.pop_back();
+            const Event& cev = cfg_.node(cur);
+            if (cur != info.head && cev.kind == EventKind::LL &&
+                cev.path == ev.path)
+              continue;  // barrier
+            if (cur == sc) {
+              ll_free_path = true;
+              break;
+            }
+            for (const Edge& e : cfg_.succs(cur)) {
+              if (member[e.to.idx] && !seen[e.to.idx]) {
+                seen[e.to.idx] = true;
+                work.push_back(e.to);
+              }
+            }
+          }
+          if (ll_free_path)
+            impure(n, "matching SC reachable without re-executing the LL");
+        }
+        break;
+      }
+      case EventKind::Write: {
+        if (!is_local_action(n)) {
+          impure(n, "global write in a normally terminating iteration");
+          break;
+        }
+        if (cfg::live_after(prog_, cfg_, info.head, ev.path)) {
+          impure(n, "local update live at the end of the loop body");
+        }
+        break;
+      }
+      case EventKind::SC:
+      case EventKind::CAS: {
+        if (sc_as_read_.count(n)) break;  // success branch never normal
+        if (is_local_action(n)) {
+          // SC/CAS on an unshared location behaves like a conditional local
+          // write; require deadness like any other local update.
+          if (cfg::live_after(prog_, cfg_, info.head, ev.path))
+            impure(n, "local SC/CAS update live at the end of the loop body");
+          break;
+        }
+        impure(n, "SC/CAS update in a normally terminating iteration");
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  result.pure = result.reasons.empty();
+  results_[info.stmt] = std::move(result);
+}
+
+}  // namespace synat::analysis

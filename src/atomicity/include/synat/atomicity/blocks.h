@@ -1,0 +1,52 @@
+// Atomic-block partitioning (paper Section 6.4).
+//
+// When a whole procedure is not atomic, the analysis still benefits later
+// verification by splitting its body into maximal atomic blocks: a greedy
+// left-to-right scan merges consecutive units while the running sequential
+// composition stays ⊑ A, and cuts a new block when it would become N.
+// Each pure loop was already replaced by its exceptional slice in the
+// variant, so a CAS-retry loop contributes its slice's units.
+#pragma once
+
+#include <vector>
+
+#include "synat/atomicity/infer.h"
+
+namespace synat::atomicity {
+
+/// One unit of the flattened body: a statement plus its atomicity (for
+/// Local statements, the initializer's atomicity; the body is flattened
+/// into following units).
+struct BlockUnit {
+  synl::StmtId stmt;
+  Atomicity atom = Atomicity::B;
+};
+
+struct AtomicBlock {
+  std::vector<BlockUnit> units;
+  Atomicity atom = Atomicity::B;  ///< composition of the units
+};
+
+struct BlockPartition {
+  synl::ProcId variant;
+  std::vector<AtomicBlock> blocks;
+};
+
+/// Partitions one variant's body.
+BlockPartition partition_blocks(const synl::Program& prog,
+                                const VariantResult& v);
+
+/// Program-level summary as the paper reports it: an atomic procedure is a
+/// single block; a non-atomic one contributes the largest partition among
+/// its variants (the worst-case shape later verification must handle).
+struct BlockSummary {
+  size_t total_blocks = 0;
+  size_t total_procs = 0;
+  size_t atomic_procs = 0;
+  std::vector<std::pair<synl::ProcId, size_t>> per_proc;
+};
+
+BlockSummary summarize_blocks(const synl::Program& prog,
+                              const AtomicityResult& result);
+
+}  // namespace synat::atomicity

@@ -1,0 +1,93 @@
+// Atomicity inference: the seven-step algorithm of paper Section 5.4.
+//
+//  Step 0 (Section 5.2): replace each procedure by its exceptional variants.
+//  Step 1: local actions are B; lock acquire R; lock release L.
+//  Step 2: when every update of a variable goes through SC, successful
+//          SC/VL on it are L and their matching LLs are R (Theorem 5.3);
+//          CAS analogue for counted (ABA-protected) targets.
+//  Step 3: infer local conditions of local blocks (Section 5.3).
+//  Step 4: per global read/write, decide whether a conflicting access from
+//          another thread can be adjacent, using locks (Theorem 5.1),
+//          successful-SC windows (Theorem 5.4) and condition-disjoint
+//          blocks (Theorem 5.5); assign L/R/B accordingly and meet with the
+//          earlier classification.
+//  Step 5: unclassified actions get A.
+//  Step 6: propagate through the AST with join / seq / iterative closure.
+//  Step 7: a procedure is atomic iff every variant's body is ⊑ A.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synat/analysis/proc_analysis.h"
+#include "synat/atomicity/types.h"
+#include "synat/atomicity/variants.h"
+#include "synat/support/diag.h"
+
+namespace synat::atomicity {
+
+using cfg::EventId;
+using synl::StmtId;
+
+struct InferOptions {
+  VariantOptions variant_opts;
+  /// Theorem 5.4 successful-SC window exclusions (ablation E8-ii).
+  bool use_window_rule = true;
+  /// Theorem 5.5 local-condition exclusions (ablation E8-iii).
+  bool use_local_conditions = true;
+  /// Treat CAS targets as ABA-protected (modification counters), enabling
+  /// the CAS analogues of Theorems 5.3/5.4. The paper assumes the counter
+  /// discipline for the algorithms of Section 6.4; list the protected
+  /// locations as "Var" (global) or "Class.field" strings, or "*" for all.
+  std::vector<std::string> counted_cas;
+};
+
+struct VariantResult {
+  synl::ProcId variant;
+  Atomicity atomicity = Atomicity::N;  ///< of the variant body
+  std::unordered_map<uint32_t, Atomicity> event_atom;  ///< EventId.idx -> type
+  std::unordered_map<uint32_t, Atomicity> stmt_atom;   ///< StmtId.idx -> type
+  std::shared_ptr<analysis::ProcAnalysis> pa;
+};
+
+struct ProcResult {
+  synl::ProcId proc;
+  bool atomic = false;
+  Atomicity atomicity = Atomicity::N;  ///< join over variant bodies
+  bool no_variants = false;  ///< pure non-terminating loop: trivially atomic
+  bool bailed_out = false;
+  std::vector<VariantResult> variants;
+};
+
+class AtomicityResult {
+ public:
+  const std::vector<ProcResult>& procs() const { return procs_; }
+  const ProcResult* result_for(synl::ProcId proc) const {
+    for (const ProcResult& r : procs_)
+      if (r.proc == proc) return &r;
+    return nullptr;
+  }
+  bool all_atomic() const {
+    for (const ProcResult& r : procs_)
+      if (!r.atomic) return false;
+    return !procs_.empty();
+  }
+
+  /// Annotated listing of a variant in the style of the paper's Figure 3:
+  /// one line per statement, prefixed with its atomicity type.
+  std::string listing(const synl::Program& prog, const VariantResult& v) const;
+  /// Listing of every variant of every procedure.
+  std::string full_listing(const synl::Program& prog) const;
+
+ private:
+  friend class InferEngine;
+  std::vector<ProcResult> procs_;
+};
+
+/// Runs the complete analysis. Appends exceptional variants to `prog`.
+AtomicityResult infer_atomicity(synl::Program& prog, DiagEngine& diags,
+                                const InferOptions& opts = {});
+
+}  // namespace synat::atomicity

@@ -1,0 +1,90 @@
+// Atomicity types and the Flanagan–Qadeer calculus (paper Section 3.3).
+//
+// The lattice is  B ⊏ L, B ⊏ R, L ⊏ A, R ⊏ A, A ⊏ N  (L and R are
+// incomparable). `seq` is the paper's sequential-composition table, `join`
+// the least upper bound, and `iter` the iterative closure used for loops.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace synat::atomicity {
+
+enum class Atomicity : uint8_t {
+  B,  ///< both-mover
+  R,  ///< right-mover
+  L,  ///< left-mover
+  A,  ///< atomic
+  N,  ///< non-atomic ("compound")
+};
+
+constexpr std::string_view to_string(Atomicity a) {
+  switch (a) {
+    case Atomicity::B: return "B";
+    case Atomicity::R: return "R";
+    case Atomicity::L: return "L";
+    case Atomicity::A: return "A";
+    case Atomicity::N: return "N";
+  }
+  return "?";
+}
+
+/// Partial order: true iff a ⊑ b (a gives the stronger guarantee).
+constexpr bool leq(Atomicity a, Atomicity b) {
+  if (a == b) return true;
+  switch (a) {
+    case Atomicity::B: return true;
+    case Atomicity::R:
+    case Atomicity::L:
+      return b == Atomicity::A || b == Atomicity::N;
+    case Atomicity::A: return b == Atomicity::N;
+    case Atomicity::N: return false;
+  }
+  return false;
+}
+
+/// Least upper bound. join(L, R) == A since L and R are incomparable.
+constexpr Atomicity join(Atomicity a, Atomicity b) {
+  if (leq(a, b)) return b;
+  if (leq(b, a)) return a;
+  return Atomicity::A;  // only reachable for {L, R}
+}
+
+/// Greatest lower bound; meet(L, R) == B.
+constexpr Atomicity meet(Atomicity a, Atomicity b) {
+  if (leq(a, b)) return a;
+  if (leq(b, a)) return b;
+  return Atomicity::B;  // only reachable for {L, R}
+}
+
+/// Sequential composition `a; b` (table in Section 3.3). One cell needs
+/// care: some renderings of the paper show A;A = A, but Lipton reduction
+/// only discharges the pattern R*;A;L*, so composing two atomic-but-
+/// non-mover pieces is non-atomic; we follow the Flanagan–Qadeer calculus
+/// the paper builds on and use A;A = N.
+constexpr Atomicity seq(Atomicity a, Atomicity b) {
+  using enum Atomicity;
+  constexpr Atomicity table[5][5] = {
+      //             B  R  L  A  N      (second argument)
+      /* B */ {B, R, L, A, N},
+      /* R */ {R, R, A, A, N},
+      /* L */ {L, N, L, N, N},
+      /* A */ {A, N, A, N, N},
+      /* N */ {N, N, N, N, N},
+  };
+  return table[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// Iterative closure t*: atomicity of repeating a t-typed statement.
+constexpr Atomicity iter(Atomicity a) {
+  switch (a) {
+    case Atomicity::B: return Atomicity::B;
+    case Atomicity::R: return Atomicity::R;
+    case Atomicity::L: return Atomicity::L;
+    case Atomicity::A: return Atomicity::N;
+    case Atomicity::N: return Atomicity::N;
+  }
+  return Atomicity::N;
+}
+
+}  // namespace synat::atomicity

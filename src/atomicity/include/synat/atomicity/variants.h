@@ -1,0 +1,51 @@
+// Exceptional-variant generation (paper Section 5.2).
+//
+// For each pure loop, every control-flow path of its body that terminates
+// exceptionally (break out of the loop, jump past it, or return) is an
+// *exceptional slice*. A procedure's exceptional variants are the cartesian
+// product, over its pure loops, of their slices: each variant replaces each
+// pure loop by one selected slice, with branch decisions along the slice
+// turned into TRUE(e) / TRUE(!e) assumptions. Normally terminating paths
+// are dropped (Theorem 4.1 lets them be deleted), and non-pure loops are
+// kept whole.
+//
+// Variants are appended to the same Program as new procedures with
+// `variant_of` pointing at the original; they are re-run through sema so
+// all names, types and jump targets are resolved in the cloned bodies.
+#pragma once
+
+#include <vector>
+
+#include "synat/analysis/proc_analysis.h"
+#include "synat/support/diag.h"
+#include "synat/synl/ast.h"
+
+namespace synat::atomicity {
+
+using synl::ProcId;
+using synl::Program;
+
+struct VariantSet {
+  ProcId original;
+  std::vector<ProcId> variants;
+  /// True when the path count exceeded the generation cap and the variant
+  /// list is a single unspecialized clone of the procedure.
+  bool bailed_out = false;
+};
+
+struct VariantOptions {
+  /// Maximum number of paths enumerated per statement before bailing out.
+  size_t max_paths = 256;
+  /// Ablation hook (DESIGN.md E8-i): treat every loop as impure, so each
+  /// procedure has exactly one variant, itself.
+  bool disable = false;
+};
+
+/// Generates the exceptional variants of `proc`. `pa` must be the analysis
+/// of the original procedure (purity decides which loops are sliced).
+VariantSet generate_variants(Program& prog, ProcId proc,
+                             const analysis::ProcAnalysis& pa,
+                             DiagEngine& diags,
+                             const VariantOptions& opts = {});
+
+}  // namespace synat::atomicity

@@ -1,0 +1,29 @@
+// Umbrella header for the synat core library.
+//
+// Quickstart:
+//
+//   #include "synat/synat.h"
+//
+//   synat::DiagEngine diags;
+//   synat::synl::Program prog = synat::synl::parse_and_check(source, diags);
+//   synat::atomicity::AtomicityResult result =
+//       synat::atomicity::infer_atomicity(prog, diags);
+//   std::cout << result.full_listing(prog);
+//
+// The substrates (SYNL interpreter, model checker, runtime non-blocking
+// library, corpus) have their own headers under synat/interp, synat/mc,
+// synat/runtime and synat/corpus.
+#pragma once
+
+#include "synat/analysis/proc_analysis.h"
+#include "synat/atomicity/blocks.h"
+#include "synat/atomicity/infer.h"
+#include "synat/atomicity/types.h"
+#include "synat/atomicity/variants.h"
+#include "synat/cfg/cfg.h"
+#include "synat/cfg/liveness.h"
+#include "synat/support/diag.h"
+#include "synat/synl/ast.h"
+#include "synat/synl/parser.h"
+#include "synat/synl/printer.h"
+#include "synat/synl/sema.h"

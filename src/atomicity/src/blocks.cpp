@@ -1,0 +1,93 @@
+#include "synat/atomicity/blocks.h"
+
+namespace synat::atomicity {
+
+using synl::Stmt;
+using synl::StmtId;
+using synl::StmtKind;
+
+namespace {
+
+Atomicity stmt_atom_of(const VariantResult& v, StmtId id) {
+  auto it = v.stmt_atom.find(id.idx);
+  return it == v.stmt_atom.end() ? Atomicity::B : it->second;
+}
+
+/// Atomicity of the statement's own events (the Local initializer).
+Atomicity head_atom_of(const VariantResult& v, StmtId id) {
+  Atomicity acc = Atomicity::B;
+  const cfg::Cfg& cfg = v.pa->cfg();
+  for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    const cfg::Event& ev = cfg.node(cfg::EventId(i));
+    if (ev.stmt != id || !ev.is_action()) continue;
+    auto it = v.event_atom.find(i);
+    if (it != v.event_atom.end()) acc = seq(acc, it->second);
+  }
+  return acc;
+}
+
+void flatten(const synl::Program& prog, const VariantResult& v, StmtId id,
+             std::vector<BlockUnit>& out) {
+  if (!id.valid()) return;
+  const Stmt& s = prog.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Block:
+      for (StmtId child : s.stmts) flatten(prog, v, child, out);
+      break;
+    case StmtKind::Local:
+      out.push_back({id, head_atom_of(v, id)});
+      flatten(prog, v, s.s1, out);
+      break;
+    case StmtKind::Skip:
+      break;
+    default:
+      out.push_back({id, stmt_atom_of(v, id)});
+      break;
+  }
+}
+
+}  // namespace
+
+BlockPartition partition_blocks(const synl::Program& prog,
+                                const VariantResult& v) {
+  BlockPartition out;
+  out.variant = v.variant;
+
+  std::vector<BlockUnit> units;
+  flatten(prog, v, prog.proc(v.variant).body, units);
+
+  AtomicBlock cur;
+  for (const BlockUnit& u : units) {
+    Atomicity trial = seq(cur.atom, u.atom);
+    if (trial == Atomicity::N && !cur.units.empty()) {
+      out.blocks.push_back(std::move(cur));
+      cur = AtomicBlock{};
+      trial = u.atom;
+    }
+    cur.units.push_back(u);
+    cur.atom = trial;
+  }
+  if (!cur.units.empty()) out.blocks.push_back(std::move(cur));
+  return out;
+}
+
+BlockSummary summarize_blocks(const synl::Program& prog,
+                              const AtomicityResult& result) {
+  BlockSummary sum;
+  for (const ProcResult& pr : result.procs()) {
+    ++sum.total_procs;
+    size_t blocks = 1;
+    if (pr.atomic) {
+      ++sum.atomic_procs;
+    } else {
+      for (const VariantResult& v : pr.variants) {
+        blocks = std::max(blocks, partition_blocks(prog, v).blocks.size());
+      }
+    }
+    sum.total_blocks += blocks;
+    sum.per_proc.emplace_back(pr.proc, blocks);
+  }
+  return sum;
+}
+
+}  // namespace synat::atomicity

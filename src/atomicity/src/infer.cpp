@@ -1,0 +1,749 @@
+#include "synat/atomicity/infer.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "synat/analysis/expr_util.h"
+#include "synat/synl/printer.h"
+
+namespace synat::atomicity {
+
+using analysis::may_alias;
+using analysis::Pred;
+using analysis::ProcAnalysis;
+using cfg::AccessPath;
+using cfg::Edge;
+using cfg::Event;
+using cfg::EventKind;
+using synl::ProcId;
+using synl::Program;
+using synl::Stmt;
+using synl::StmtKind;
+
+namespace {
+
+/// Printable key for counted-CAS matching: "Var" for globals, "Class.field"
+/// for heap locations.
+std::string counted_key(const Program& prog, const AccessPath& path) {
+  if (!path.root.valid()) return {};
+  if (path.is_plain_var())
+    return std::string(prog.syms().name(prog.var(path.root).name));
+  synat::Symbol field = path.last_field();
+  synl::TypeId holder = analysis::path_prefix_type(prog, path);
+  std::string cls = "?";
+  if (holder.valid() && prog.type(holder).kind == synl::TypeKind::Ref)
+    cls = std::string(prog.syms().name(prog.cls(prog.type(holder).cls).name));
+  std::string f = field.valid() ? std::string(prog.syms().name(field)) : "[]";
+  return cls + "." + f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine
+
+class InferEngine {
+ public:
+  InferEngine(Program& prog, DiagEngine& diags, const InferOptions& opts)
+      : prog_(prog), diags_(diags), opts_(opts) {}
+
+  AtomicityResult run();
+
+ private:
+  /// A mutual-exclusion region inside one variant (Theorems 5.4/5.5).
+  struct Region {
+    enum Kind : uint8_t { Window, LLSCBlock, PlainBlock } kind = Window;
+    AccessPath svar;
+    Pred cond = Pred::True;
+    std::vector<bool> members;  ///< closed region (anchor..terminal)
+    std::vector<bool> in_s;     ///< anchor + strictly-after-anchor part
+    std::vector<bool> prot;     ///< strictly after the anchor
+  };
+
+  struct VariantCtx {
+    ProcId id;
+    std::shared_ptr<ProcAnalysis> pa;
+    std::vector<Region> regions;
+    /// Lock paths held on entry to each event.
+    std::vector<std::vector<AccessPath>> held;
+  };
+
+  void build_variant_ctx(ProcId variant);
+  void build_regions(VariantCtx& ctx);
+  void build_lock_sets(VariantCtx& ctx);
+
+  bool is_global_action(const VariantCtx& ctx, EventId e) const {
+    const Event& ev = ctx.pa->cfg().node(e);
+    if (!ev.is_action()) return false;
+    switch (ev.kind) {
+      case EventKind::Read:
+      case EventKind::Write:
+      case EventKind::LL:
+      case EventKind::VL:
+      case EventKind::SC:
+      case EventKind::CAS:
+        return !ctx.pa->purity().is_local_action(e);
+      case EventKind::Acquire:
+      case EventKind::Release:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  bool write_like(const Event& ev) const {
+    return ev.kind == EventKind::Write || ev.kind == EventKind::SC ||
+           ev.kind == EventKind::CAS;
+  }
+  bool read_like(const Event& ev) const {
+    return ev.kind == EventKind::Read || ev.kind == EventKind::LL ||
+           ev.kind == EventKind::VL || ev.kind == EventKind::SC ||
+           ev.kind == EventKind::CAS;
+  }
+
+  bool counted_cas(const AccessPath& path) const {
+    std::string key = counted_key(prog_, path);
+    for (const std::string& s : opts_.counted_cas)
+      if (s == "*" || s == key) return true;
+    return false;
+  }
+
+  /// Step-2 discipline: every global update of any location aliasing `path`
+  /// is performed by the given primitive kind.
+  bool all_updates_via(const AccessPath& path, EventKind prim) const;
+
+  /// Theorem 5.5 premise for svar's alias class: all LL-SC blocks on it
+  /// share one non-trivial condition and all global updates are SCs inside
+  /// such blocks. Returns the common condition.
+  std::optional<Pred> llsc_premise(const AccessPath& svar) const;
+
+  /// Directional protection of `e` by region `r` (see DESIGN.md):
+  /// the slot immediately before/after e is strictly inside the region.
+  bool before_protected(const VariantCtx& ctx, const Region& r, EventId e) const;
+  bool after_protected(const VariantCtx& ctx, const Region& r, EventId e) const;
+
+  /// Whether a conflicting access `f` (in ctx_f) is excluded from the slot
+  /// adjacent to `e` (in ctx_e) in the given direction.
+  bool excluded(const VariantCtx& ctx_e, EventId e, const VariantCtx& ctx_f,
+                EventId f, bool before) const;
+
+  Atomicity classify_event(const VariantCtx& ctx, EventId e) const;
+  Atomicity step4(const VariantCtx& ctx, EventId e) const;
+
+  void propagate(VariantCtx& ctx, VariantResult& out) const;
+  Atomicity stmt_atom(const VariantCtx& ctx, const VariantResult& res,
+                      synl::StmtId id,
+                      std::unordered_map<uint32_t, Atomicity>& memo) const;
+  Atomicity seq_events_of(const VariantCtx& ctx, const VariantResult& res,
+                          synl::StmtId id, bool pre_release_only,
+                          bool release_only) const;
+
+  Program& prog_;
+  DiagEngine& diags_;
+  const InferOptions& opts_;
+  std::vector<VariantCtx> vctx_;
+};
+
+// ---------------------------------------------------------------------------
+
+void InferEngine::build_variant_ctx(ProcId variant) {
+  VariantCtx ctx;
+  ctx.id = variant;
+  ctx.pa = std::make_shared<ProcAnalysis>(prog_, variant);
+  build_regions(ctx);
+  build_lock_sets(ctx);
+  vctx_.push_back(std::move(ctx));
+}
+
+void InferEngine::build_regions(VariantCtx& ctx) {
+  const cfg::Cfg& cfg = ctx.pa->cfg();
+  const size_t n = cfg.num_nodes();
+  auto all = [](EventId) { return true; };
+
+  // Successful-SC windows (Theorem 5.4) and, for counted targets, CAS
+  // windows from the matching read to the CAS.
+  for (uint32_t i = 0; i < n; ++i) {
+    EventId sc(i);
+    const Event& ev = cfg.node(sc);
+    bool is_sc_window = ev.kind == EventKind::SC && ev.must_succeed;
+    bool is_cas_window = ev.kind == EventKind::CAS && ev.must_succeed &&
+                         counted_cas(ev.path);
+    if (!is_sc_window && !is_cas_window) continue;
+    const analysis::MatchInfo* mi = ctx.pa->matching().info(sc);
+    if (!mi || mi->matches.empty()) continue;
+
+    Region r;
+    r.kind = Region::Window;
+    r.svar = ev.path;
+    r.members.assign(n, false);
+    r.in_s.assign(n, false);
+    r.prot.assign(n, false);
+    auto back = cfg.reachable_back(sc, all);
+    for (EventId anchor : mi->matches) {
+      auto fwd = cfg.reachable(anchor, all);
+      for (EventId m : fwd) {
+        if (!back.count(m)) continue;
+        r.members[m.idx] = true;
+        r.in_s[m.idx] = true;
+        if (m != anchor) r.prot[m.idx] = true;
+      }
+    }
+    // Anchors of one window are never "protected" even if another anchor
+    // reaches them.
+    for (EventId anchor : mi->matches) r.prot[anchor.idx] = false;
+    ctx.regions.push_back(std::move(r));
+  }
+
+  // Local blocks (Theorem 5.5): LL-SC blocks and plain local blocks.
+  for (const analysis::LocalBlock& b : ctx.pa->localcond().blocks()) {
+    if (!b.reads_svar || b.lvar_updated) continue;
+    Region r;
+    r.kind = b.is_llsc_block() ? Region::LLSCBlock : Region::PlainBlock;
+    r.svar = b.svar;
+    r.cond = b.cond;
+    r.members.assign(n, false);
+    r.in_s.assign(n, false);
+    r.prot.assign(n, false);
+    for (EventId e : b.events) r.members[e.idx] = true;
+
+    // Anchor: the initializer's read/LL of svar.
+    EventId anchor;
+    for (EventId e : b.events) {
+      const Event& ev = cfg.node(e);
+      if (ev.stmt == b.stmt &&
+          (ev.kind == EventKind::LL || ev.kind == EventKind::Read) &&
+          ev.path == b.svar) {
+        anchor = e;
+        break;
+      }
+    }
+    if (!anchor.valid()) continue;
+    auto fwd = cfg.reachable(anchor, all);
+    for (EventId m : fwd) {
+      if (!r.members[m.idx]) continue;
+      r.in_s[m.idx] = true;
+      if (m != anchor) r.prot[m.idx] = true;
+    }
+    ctx.regions.push_back(std::move(r));
+  }
+}
+
+void InferEngine::build_lock_sets(VariantCtx& ctx) {
+  const cfg::Cfg& cfg = ctx.pa->cfg();
+  const size_t n = cfg.num_nodes();
+  // Forward dataflow: set of lock paths held on entry to each node; meet is
+  // intersection. Initialized to "unknown" (bottom = everything) except the
+  // entry.
+  std::vector<std::vector<AccessPath>> in(n);
+  std::vector<bool> defined(n, false);
+  defined[cfg.entry().idx] = true;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      EventId id(i);
+      if (!defined[i]) continue;
+      // Transfer.
+      std::vector<AccessPath> out = in[i];
+      const Event& ev = cfg.node(id);
+      if (ev.kind == EventKind::Acquire && ev.path.root.valid()) {
+        out.push_back(ev.path);
+      } else if (ev.kind == EventKind::Release && ev.path.root.valid()) {
+        for (size_t k = 0; k < out.size(); ++k) {
+          if (out[k] == ev.path) {
+            out.erase(out.begin() + static_cast<long>(k));
+            break;
+          }
+        }
+      }
+      for (const Edge& e : cfg.succs(id)) {
+        if (!defined[e.to.idx]) {
+          defined[e.to.idx] = true;
+          in[e.to.idx] = out;
+          changed = true;
+        } else {
+          // Intersect.
+          std::vector<AccessPath> merged;
+          for (const AccessPath& p : in[e.to.idx]) {
+            for (const AccessPath& q : out) {
+              if (p == q) {
+                merged.push_back(p);
+                break;
+              }
+            }
+          }
+          if (merged.size() != in[e.to.idx].size()) {
+            in[e.to.idx] = std::move(merged);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  ctx.held = std::move(in);
+}
+
+bool InferEngine::all_updates_via(const AccessPath& path, EventKind prim) const {
+  for (const VariantCtx& w : vctx_) {
+    const cfg::Cfg& cfg = w.pa->cfg();
+    for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+      EventId f(i);
+      const Event& fe = cfg.node(f);
+      if (!write_like(fe)) continue;
+      if (fe.kind == prim) continue;
+      if (!is_global_action(w, f)) continue;  // local updates do not count
+      if (may_alias(prog_, fe.path, path)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Pred> InferEngine::llsc_premise(const AccessPath& svar) const {
+  std::optional<Pred> common;
+  for (const VariantCtx& w : vctx_) {
+    for (const Region& r : w.regions) {
+      if (r.kind != Region::LLSCBlock) continue;
+      if (!may_alias(prog_, r.svar, svar)) continue;
+      if (r.cond == Pred::True) return std::nullopt;
+      if (common && *common != r.cond) return std::nullopt;
+      common = r.cond;
+    }
+  }
+  if (!common) return std::nullopt;
+
+  // Every global update of ~svar must be an SC inside an LL-SC block on it.
+  for (const VariantCtx& w : vctx_) {
+    const cfg::Cfg& cfg = w.pa->cfg();
+    for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+      EventId f(i);
+      const Event& fe = cfg.node(f);
+      if (!write_like(fe) || !is_global_action(w, f)) continue;
+      if (!may_alias(prog_, fe.path, svar)) continue;
+      if (fe.kind != EventKind::SC) return std::nullopt;
+      bool inside = false;
+      for (const Region& r : w.regions) {
+        if (r.kind == Region::LLSCBlock && may_alias(prog_, r.svar, svar) &&
+            r.members[f.idx]) {
+          inside = true;
+          break;
+        }
+      }
+      if (!inside) return std::nullopt;
+    }
+  }
+  return common;
+}
+
+bool InferEngine::before_protected(const VariantCtx& ctx, const Region& r,
+                                   EventId e) const {
+  if (!r.prot[e.idx]) return false;
+  for (const Edge& p : ctx.pa->cfg().preds(e)) {
+    if (!r.in_s[p.to.idx]) return false;
+  }
+  return true;
+}
+
+bool InferEngine::after_protected(const VariantCtx& ctx, const Region& r,
+                                  EventId e) const {
+  if (!r.in_s[e.idx]) return false;
+  for (const Edge& s : ctx.pa->cfg().succs(e)) {
+    if (!r.prot[s.to.idx]) return false;
+  }
+  return true;
+}
+
+bool InferEngine::excluded(const VariantCtx& ctx_e, EventId e,
+                           const VariantCtx& ctx_f, EventId f,
+                           bool before) const {
+  // (a) Theorem 5.1: both hold a common lock.
+  for (const AccessPath& le : ctx_e.held[e.idx]) {
+    for (const AccessPath& lf : ctx_f.held[f.idx]) {
+      if (may_alias(prog_, le, lf)) return true;
+    }
+  }
+
+  for (const Region& re : ctx_e.regions) {
+    if (!re.members[e.idx]) continue;
+    bool dir_ok = before ? before_protected(ctx_e, re, e)
+                         : after_protected(ctx_e, re, e);
+    if (!dir_ok) continue;
+
+    // (b) Theorem 5.4: both inside successful-SC windows on aliasing vars.
+    if (opts_.use_window_rule && re.kind == Region::Window) {
+      for (const Region& rf : ctx_f.regions) {
+        if (rf.kind == Region::Window && rf.members[f.idx] &&
+            may_alias(prog_, re.svar, rf.svar))
+          return true;
+      }
+    }
+
+    // (c) Theorem 5.5: condition-disjoint LL-SC / local block pair.
+    if (opts_.use_local_conditions && re.cond != Pred::True &&
+        (re.kind == Region::LLSCBlock || re.kind == Region::PlainBlock)) {
+      std::optional<Pred> p = llsc_premise(re.svar);
+      if (!p) continue;
+      // e's own block condition must be p (LL-SC side) or !p (local side).
+      bool e_is_llsc = re.kind == Region::LLSCBlock;
+      if (e_is_llsc && re.cond != *p) continue;
+      if (!e_is_llsc && re.cond != analysis::negate(*p)) continue;
+      Region::Kind want = e_is_llsc ? Region::PlainBlock : Region::LLSCBlock;
+      Pred want_cond = e_is_llsc ? analysis::negate(*p) : *p;
+      for (const Region& rf : ctx_f.regions) {
+        if (rf.kind == want && rf.cond == want_cond && rf.members[f.idx] &&
+            may_alias(prog_, re.svar, rf.svar))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e) const {
+  const Event& ev = ctx.pa->cfg().node(e);
+  bool conflict_before = false, conflict_after = false;
+
+  for (const VariantCtx& w : vctx_) {
+    const cfg::Cfg& wcfg = w.pa->cfg();
+    for (uint32_t i = 0; i < wcfg.num_nodes(); ++i) {
+      EventId f(i);
+      const Event& fe = wcfg.node(f);
+      if (!fe.is_action() || !is_global_action(w, f)) continue;
+      // A read conflicts with writes; a write conflicts with reads+writes.
+      bool is_conflict = write_like(fe) || (write_like(ev) && read_like(fe));
+      if (!is_conflict) continue;
+      if (fe.kind == EventKind::Acquire || fe.kind == EventKind::Release)
+        continue;
+      if (!may_alias(prog_, ev.path, fe.path)) continue;
+      if (!conflict_before && !excluded(ctx, e, w, f, /*before=*/true))
+        conflict_before = true;
+      if (!conflict_after && !excluded(ctx, e, w, f, /*before=*/false))
+        conflict_after = true;
+      if (conflict_before && conflict_after) return Atomicity::A;
+    }
+  }
+  if (!conflict_before && !conflict_after) return Atomicity::B;
+  if (!conflict_before) return Atomicity::L;  // nothing can be right before it
+  return Atomicity::R;                        // nothing can be right after it
+}
+
+Atomicity InferEngine::classify_event(const VariantCtx& ctx, EventId e) const {
+  const Event& ev = ctx.pa->cfg().node(e);
+  switch (ev.kind) {
+    case EventKind::New:
+    case EventKind::Assume:
+      return Atomicity::B;
+    case EventKind::Acquire:
+      return Atomicity::R;  // Theorem 3.2
+    case EventKind::Release:
+      return Atomicity::L;  // Theorem 3.2
+    default:
+      break;
+  }
+
+  // Step 1: local actions (Theorem 3.1).
+  if (ctx.pa->purity().is_local_action(e)) return Atomicity::B;
+
+  Atomicity result = Atomicity::A;  // step-5 default
+
+  // Step 2: Theorem 5.3 (and the counted-CAS analogue).
+  switch (ev.kind) {
+    case EventKind::SC:
+      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC))
+        result = meet(result, Atomicity::L);
+      break;
+    case EventKind::VL:
+      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC))
+        result = meet(result, Atomicity::L);
+      break;
+    case EventKind::CAS:
+      if (ev.must_succeed && counted_cas(ev.path) &&
+          all_updates_via(ev.path, EventKind::CAS))
+        result = meet(result, Atomicity::L);
+      break;
+    case EventKind::LL: {
+      // Matching LL of a successful SC/VL under the SC-only discipline.
+      for (uint32_t i = 0; i < ctx.pa->cfg().num_nodes(); ++i) {
+        EventId prim(i);
+        const Event& pe = ctx.pa->cfg().node(prim);
+        if ((pe.kind != EventKind::SC && pe.kind != EventKind::VL) ||
+            !pe.must_succeed)
+          continue;
+        if (ctx.pa->matching().is_match(prim, e) &&
+            all_updates_via(pe.path, EventKind::SC)) {
+          result = meet(result, Atomicity::R);
+          break;
+        }
+      }
+      break;
+    }
+    case EventKind::Read: {
+      // Matching read of a successful counted CAS.
+      for (uint32_t i = 0; i < ctx.pa->cfg().num_nodes(); ++i) {
+        EventId prim(i);
+        const Event& pe = ctx.pa->cfg().node(prim);
+        if (pe.kind != EventKind::CAS || !pe.must_succeed) continue;
+        if (counted_cas(pe.path) && ctx.pa->matching().is_match(prim, e) &&
+            all_updates_via(pe.path, EventKind::CAS)) {
+          result = meet(result, Atomicity::R);
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Step 4: Theorem 3.3 with the exclusion theorems. May-fail SC/CAS stay
+  // at their step-2/step-5 value: their outcome does not commute past other
+  // threads' successful SCs, so Theorem 3.3 does not apply to them.
+  bool may_fail_primitive =
+      (ev.kind == EventKind::SC || ev.kind == EventKind::CAS) &&
+      !ev.must_succeed;
+  if (!may_fail_primitive) result = meet(result, step4(ctx, e));
+
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Step 6: AST propagation
+
+Atomicity InferEngine::seq_events_of(const VariantCtx& ctx,
+                                     const VariantResult& res, synl::StmtId id,
+                                     bool pre_release_only,
+                                     bool release_only) const {
+  const cfg::Cfg& cfg = ctx.pa->cfg();
+  Atomicity acc = Atomicity::B;
+  for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    const Event& ev = cfg.node(EventId(i));
+    if (ev.stmt != id || !ev.is_action()) continue;
+    bool is_release = ev.kind == EventKind::Release;
+    if (pre_release_only && is_release) continue;
+    if (release_only && !is_release) continue;
+    auto it = res.event_atom.find(i);
+    if (it == res.event_atom.end()) continue;
+    acc = seq(acc, it->second);
+  }
+  return acc;
+}
+
+Atomicity InferEngine::stmt_atom(
+    const VariantCtx& ctx, const VariantResult& res, synl::StmtId id,
+    std::unordered_map<uint32_t, Atomicity>& memo) const {
+  if (!id.valid()) return Atomicity::B;
+  if (auto it = memo.find(id.idx); it != memo.end()) return it->second;
+  const Stmt& s = prog_.stmt(id);
+  Atomicity a = Atomicity::B;
+  switch (s.kind) {
+    case StmtKind::Assign:
+    case StmtKind::ExprStmt:
+    case StmtKind::Assume:
+    case StmtKind::Assert:
+    case StmtKind::Return:
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Skip:
+      a = seq_events_of(ctx, res, id, false, false);
+      break;
+    case StmtKind::Block:
+      for (synl::StmtId child : s.stmts)
+        a = seq(a, stmt_atom(ctx, res, child, memo));
+      break;
+    case StmtKind::If: {
+      Atomicity cond = seq_events_of(ctx, res, id, false, false);
+      Atomicity branches = join(stmt_atom(ctx, res, s.s1, memo),
+                                stmt_atom(ctx, res, s.s2, memo));
+      a = seq(cond, branches);
+      break;
+    }
+    case StmtKind::Local:
+      a = seq(seq_events_of(ctx, res, id, false, false),
+              stmt_atom(ctx, res, s.s1, memo));
+      break;
+    case StmtKind::Loop:
+      a = iter(stmt_atom(ctx, res, s.s1, memo));
+      break;
+    case StmtKind::Synchronized: {
+      Atomicity pre = seq_events_of(ctx, res, id, /*pre_release_only=*/true,
+                                    /*release_only=*/false);
+      Atomicity post = seq_events_of(ctx, res, id, false,
+                                     /*release_only=*/true);
+      a = seq(seq(pre, stmt_atom(ctx, res, s.s1, memo)), post);
+      break;
+    }
+  }
+  memo[id.idx] = a;
+  return a;
+}
+
+void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
+  const cfg::Cfg& cfg = ctx.pa->cfg();
+  for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    EventId e(i);
+    if (!cfg.node(e).is_action()) continue;
+    out.event_atom[i] = classify_event(ctx, e);
+  }
+  std::unordered_map<uint32_t, Atomicity> memo;
+  out.atomicity =
+      stmt_atom(ctx, out, prog_.proc(ctx.id).body, memo);
+  for (auto [idx, a] : memo) out.stmt_atom[idx] = a;
+}
+
+// ---------------------------------------------------------------------------
+
+AtomicityResult InferEngine::run() {
+  AtomicityResult result;
+  const size_t num_original = prog_.num_procs();
+
+  // Step 0: analyses of the originals + exceptional variants.
+  std::vector<VariantSet> sets;
+  for (size_t i = 0; i < num_original; ++i) {
+    ProcId pid(static_cast<uint32_t>(i));
+    ProcAnalysis pa(prog_, pid);
+    sets.push_back(
+        generate_variants(prog_, pid, pa, diags_, opts_.variant_opts));
+  }
+
+  // Build contexts for every variant (cross-variant conflict universe).
+  for (const VariantSet& vs : sets)
+    for (ProcId v : vs.variants) build_variant_ctx(v);
+
+  // Steps 1-6 per variant; step 7 per original procedure.
+  std::unordered_map<uint32_t, VariantResult*> by_variant;
+  for (const VariantSet& vs : sets) {
+    ProcResult pr;
+    pr.proc = vs.original;
+    pr.bailed_out = vs.bailed_out;
+    pr.no_variants = vs.variants.empty();
+    Atomicity overall = Atomicity::B;
+    for (ProcId v : vs.variants) {
+      VariantCtx* ctx = nullptr;
+      for (VariantCtx& c : vctx_)
+        if (c.id == v) ctx = &c;
+      SYNAT_ASSERT(ctx != nullptr, "missing variant context");
+      VariantResult vr;
+      vr.variant = v;
+      vr.pa = ctx->pa;
+      propagate(*ctx, vr);
+      overall = join(overall, vr.atomicity);
+      pr.variants.push_back(std::move(vr));
+    }
+    pr.atomicity = overall;
+    pr.atomic = leq(overall, Atomicity::A);
+    result.procs_.push_back(std::move(pr));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Listings (Figure 3 style)
+
+namespace {
+
+struct Lister {
+  const Program& prog;
+  const VariantResult& v;
+  std::string out;
+  char prefix;
+  int line = 1;
+
+  Atomicity head_atom(synl::StmtId id) const {
+    // The atomicity of the statement's own actions (for structured
+    // statements) or of the whole statement (for leaves).
+    const Stmt& s = prog.stmt(id);
+    bool structured = s.kind == StmtKind::Local || s.kind == StmtKind::If ||
+                      s.kind == StmtKind::Loop ||
+                      s.kind == StmtKind::Synchronized ||
+                      s.kind == StmtKind::Block;
+    if (!structured) {
+      auto it = v.stmt_atom.find(id.idx);
+      return it == v.stmt_atom.end() ? Atomicity::B : it->second;
+    }
+    // Fold this statement's own events.
+    Atomicity acc = Atomicity::B;
+    const cfg::Cfg& cfg = v.pa->cfg();
+    for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+      const Event& ev = cfg.node(EventId(i));
+      if (ev.stmt != id || !ev.is_action()) continue;
+      auto it = v.event_atom.find(i);
+      if (it != v.event_atom.end()) acc = seq(acc, it->second);
+    }
+    return acc;
+  }
+
+  void emit(synl::StmtId id, int indent) {
+    const Stmt& s = prog.stmt(id);
+    if (s.kind == StmtKind::Block) {
+      for (synl::StmtId c : s.stmts) emit(c, indent);
+      return;
+    }
+    if (s.kind == StmtKind::Skip) return;
+    out += prefix + std::to_string(line++) + ":";
+    out += to_string(head_atom(id));
+    out += ' ';
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += synl::stmt_head(prog, id);
+    out += '\n';
+    switch (s.kind) {
+      case StmtKind::Local:
+      case StmtKind::Loop:
+      case StmtKind::Synchronized:
+        emit(s.s1, indent + 1);
+        break;
+      case StmtKind::If:
+        emit(s.s1, indent + 1);
+        if (s.s2.valid()) {
+          out += "     ";
+          out.append(static_cast<size_t>(indent) * 2, ' ');
+          out += "else\n";
+          emit(s.s2, indent + 1);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::string AtomicityResult::listing(const Program& prog,
+                                     const VariantResult& v) const {
+  Lister lister{prog, v, {}, 'a', 1};
+  std::string head = "// variant ";
+  head += prog.proc(v.variant).variant_tag.empty()
+              ? std::string(prog.syms().name(prog.proc(v.variant).name))
+              : prog.proc(v.variant).variant_tag;
+  head += " : ";
+  head += to_string(v.atomicity);
+  head += '\n';
+  lister.emit(prog.proc(v.variant).body, 0);
+  return head + lister.out;
+}
+
+std::string AtomicityResult::full_listing(const Program& prog) const {
+  std::string out;
+  for (const ProcResult& pr : procs_) {
+    out += "proc ";
+    out += prog.syms().name(prog.proc(pr.proc).name);
+    out += " : ";
+    out += pr.atomic ? "atomic" : "NOT atomic";
+    out += " (";
+    out += to_string(pr.atomicity);
+    out += ")\n";
+    for (const VariantResult& v : pr.variants) {
+      out += listing(prog, v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+AtomicityResult infer_atomicity(Program& prog, DiagEngine& diags,
+                                const InferOptions& opts) {
+  return InferEngine(prog, diags, opts).run();
+}
+
+}  // namespace synat::atomicity

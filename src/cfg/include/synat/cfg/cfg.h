@@ -1,0 +1,120 @@
+// Per-procedure control-flow graph over events (see event.h).
+//
+// Construction walks the AST in evaluation order: for every statement the
+// events of its sub-expressions appear in left-to-right post-order before
+// the statement's own effect event. `synchronized` bodies are bracketed by
+// Acquire/Release, and jumps (break / continue / return) that leave
+// synchronized blocks get the intervening Release events inserted on the
+// jump path, preserving the matched-pair property the paper's Theorem 4.1
+// relies on.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synat/cfg/event.h"
+
+namespace synat::cfg {
+
+struct LoopInfo {
+  StmtId stmt;           ///< the Loop statement
+  EventId head;          ///< LoopHead node
+  StmtId parent;         ///< enclosing Loop statement, if any
+  std::vector<EventId> back_sources;  ///< nodes with a Back edge to head
+  std::vector<EventId> members;       ///< all nodes strictly inside the loop
+};
+
+class Cfg {
+ public:
+  EventId entry() const { return entry_; }
+  EventId exit() const { return exit_; }
+  ProcId proc() const { return proc_; }
+
+  const Event& node(EventId id) const { return nodes_[id.idx]; }
+  Event& node(EventId id) { return nodes_[id.idx]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const std::vector<Edge>& succs(EventId id) const { return succs_[id.idx]; }
+  const std::vector<Edge>& preds(EventId id) const { return preds_[id.idx]; }
+
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+  const LoopInfo* loop_info(StmtId loop) const {
+    auto it = loop_index_.find(loop);
+    return it == loop_index_.end() ? nullptr : &loops_[it->second];
+  }
+
+  /// True if `n` is inside loop `loop` (directly or in a nested loop).
+  bool in_loop(EventId n, StmtId loop) const;
+
+  /// All event ids in creation order (a valid traversal universe; creation
+  /// order is not a topological order because of back edges).
+  std::vector<EventId> all_nodes() const;
+
+  /// Forward reachability from `from`, optionally restricted to nodes for
+  /// which `within` returns true (edges to outside nodes are not followed).
+  template <class Pred>
+  std::unordered_set<EventId> reachable(EventId from, Pred within) const {
+    std::unordered_set<EventId> seen;
+    std::vector<EventId> work{from};
+    if (!within(from)) return seen;
+    seen.insert(from);
+    while (!work.empty()) {
+      EventId n = work.back();
+      work.pop_back();
+      for (const Edge& e : succs(n)) {
+        if (!within(e.to) || seen.count(e.to)) continue;
+        seen.insert(e.to);
+        work.push_back(e.to);
+      }
+    }
+    return seen;
+  }
+
+  /// Backward reachability (same contract as `reachable`).
+  template <class Pred>
+  std::unordered_set<EventId> reachable_back(EventId from, Pred within) const {
+    std::unordered_set<EventId> seen;
+    std::vector<EventId> work{from};
+    if (!within(from)) return seen;
+    seen.insert(from);
+    while (!work.empty()) {
+      EventId n = work.back();
+      work.pop_back();
+      for (const Edge& e : preds(n)) {
+        if (!within(e.to) || seen.count(e.to)) continue;
+        seen.insert(e.to);
+        work.push_back(e.to);
+      }
+    }
+    return seen;
+  }
+
+  std::string dump(const Program& prog) const;
+
+ private:
+  friend class CfgBuilder;
+  EventId add_node(Event ev) {
+    nodes_.push_back(std::move(ev));
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return EventId(static_cast<uint32_t>(nodes_.size() - 1));
+  }
+  void add_edge(EventId from, EventId to, EdgeKind kind) {
+    succs_[from.idx].push_back({to, kind});
+    preds_[to.idx].push_back({from, kind});
+  }
+
+  ProcId proc_;
+  EventId entry_, exit_;
+  std::vector<Event> nodes_;
+  std::vector<std::vector<Edge>> succs_;
+  std::vector<std::vector<Edge>> preds_;
+  std::vector<LoopInfo> loops_;
+  std::unordered_map<StmtId, size_t> loop_index_;
+};
+
+/// Builds the CFG for one procedure. The program must have passed sema.
+Cfg build_cfg(const Program& prog, ProcId proc);
+
+}  // namespace synat::cfg

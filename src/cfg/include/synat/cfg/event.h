@@ -1,0 +1,125 @@
+// Events: the "actions" of the paper at CFG granularity.
+//
+// Each CFG node is one primitive evaluation event. The paper's notion of
+// action (Section 3.3) maps onto event kinds as follows:
+//   R(v)   -> Read            (also LL / VL, which are global reads)
+//   W(v)   -> Write           (also the write half of SC / CAS)
+//   acq(v) -> Acquire
+//   rel(v) -> Release
+// plus structural pseudo-events (Entry, Exit, LoopHead, Join) that perform
+// no action and are ignored by the mover analysis.
+//
+// Reads and writes carry an AccessPath describing the accessed location
+// (root variable plus field/index selectors); whether an access is a local
+// or global action is decided later by the escape/uniqueness analyses, not
+// here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synat/synl/ast.h"
+
+namespace synat::cfg {
+
+using synl::ExprId;
+using synl::ProcId;
+using synl::Program;
+using synl::StmtId;
+using synl::VarId;
+
+struct EventId {
+  uint32_t idx = UINT32_MAX;
+  constexpr EventId() = default;
+  constexpr explicit EventId(uint32_t i) : idx(i) {}
+  constexpr bool valid() const { return idx != UINT32_MAX; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+/// One selector step of an access path.
+struct Selector {
+  enum Kind : uint8_t { Field, Index } kind = Field;
+  synat::Symbol field;  ///< valid iff kind == Field
+
+  friend bool operator==(const Selector&, const Selector&) = default;
+};
+
+/// The location accessed by a read/write/LL/SC/VL/CAS event:
+/// root variable followed by zero or more .field / [*] selectors.
+/// Array indices are abstracted to [*]; the alias analysis treats all
+/// indices of the same array as potentially equal.
+struct AccessPath {
+  VarId root;
+  std::vector<Selector> sels;
+
+  bool is_plain_var() const { return sels.empty(); }
+  /// The final selector's field, or the invalid symbol for plain vars /
+  /// index accesses.
+  synat::Symbol last_field() const {
+    if (sels.empty() || sels.back().kind != Selector::Field) return {};
+    return sels.back().field;
+  }
+  friend bool operator==(const AccessPath&, const AccessPath&) = default;
+
+  std::string str(const Program& prog) const;
+};
+
+enum class EventKind : uint8_t {
+  // Structural pseudo-events.
+  Entry,     ///< procedure entry
+  Exit,      ///< procedure exit (all returns & fallthrough converge here)
+  LoopHead,  ///< top of a loop (stmt = the Loop)
+  Join,      ///< merge point after an if
+  // Actions.
+  Read,     ///< read of path
+  Write,    ///< write of path
+  LL,       ///< LL(path); a global read that also sets the link
+  VL,       ///< VL(path); a global read of the link state
+  SC,       ///< SC(path, v); write if successful
+  CAS,      ///< CAS(path, e, n); read + conditional write
+  New,      ///< object allocation
+  Acquire,  ///< lock acquire (synchronized entry); path = lock expr root
+  Release,  ///< lock release (synchronized exit)
+  Assume,   ///< TRUE(e) constraint; no memory action itself (its reads are
+            ///< separate events), used by local-condition inference
+};
+
+std::string_view to_string(EventKind k);
+
+constexpr bool is_action(EventKind k) {
+  return k >= EventKind::Read && k <= EventKind::Release;
+}
+
+/// Kind of CFG edge; branch edges record which way an `if` went so path
+/// analyses can collect branch constraints.
+enum class EdgeKind : uint8_t { Fall, True, False, Back };
+
+struct Edge {
+  EventId to;
+  EdgeKind kind = EdgeKind::Fall;
+};
+
+struct Event {
+  EventKind kind = EventKind::Join;
+  StmtId stmt;   ///< statement that generated this event
+  ExprId expr;   ///< expression for Read/Write/LL/SC/VL/CAS/New/Assume;
+                 ///< for Write from an Assign this is the LHS location
+  AccessPath path;  ///< for Read/Write/LL/SC/VL/CAS and lock Acquire/Release
+  bool must_succeed = false;  ///< SC/CAS lexically inside a TRUE(...)
+  bool is_base = false;  ///< Read performed only to compute an address
+                         ///< (the base pointer of a field/array access)
+  StmtId loop;   ///< innermost enclosing Loop statement, if any
+
+  bool is_action() const { return cfg::is_action(kind); }
+};
+
+}  // namespace synat::cfg
+
+template <>
+struct std::hash<synat::cfg::EventId> {
+  size_t operator()(synat::cfg::EventId id) const noexcept {
+    return std::hash<uint32_t>{}(id.idx);
+  }
+};

@@ -1,0 +1,39 @@
+// Location liveness queries for purity condition (ii) of Section 4.
+//
+// A pure local update to location v requires that, on every CFG path from
+// the end of the loop body to the procedure's exit points, the next access
+// to v (if any) is a write, and that on paths with no access, v is
+// procedure-local (so the value written in the deleted iteration cannot be
+// observed). This is exactly "v is dead at the loop head" under a liveness
+// relation where:
+//   - a value Read of v, or of a proper prefix of v (which lets the pointer
+//     escape and the field be reached another way), is a use;
+//   - a Write of v or of a proper prefix of v (re-pointing the base) is a
+//     kill;
+//   - base reads (address computation, Event::is_base) are not uses;
+//   - LL/VL/SC/CAS touching v are conservatively uses;
+//   - reaching Exit without any access is a use iff v's root is a
+//     thread-local variable (its value survives the call).
+//
+// Queries are intended for local actions only (plain local variables and
+// paths rooted at unique references), where syntactic path identity is
+// sound: such locations have no aliases by construction.
+#pragma once
+
+#include "synat/cfg/cfg.h"
+
+namespace synat::cfg {
+
+/// True if `query` may be used (read before any write) on some path starting
+/// at the successors of `point`.
+bool live_after(const Program& prog, const Cfg& cfg, EventId point,
+                const AccessPath& query);
+
+/// Relationship between an event and a queried location.
+enum class AccessEffect : uint8_t { None, Use, Kill };
+
+/// Classifies what `ev` does to `query` under the rules above. Exposed for
+/// tests and the purity analysis.
+AccessEffect access_effect(const Event& ev, const AccessPath& query);
+
+}  // namespace synat::cfg

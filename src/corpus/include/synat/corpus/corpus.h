@@ -1,0 +1,42 @@
+// Embedded SYNL sources for every algorithm the paper analyzes (Section 6)
+// plus auxiliary calibration programs used by tests and benchmarks.
+//
+// Names:
+//   nfq              - Michael&Scott LL/SC/VL FIFO queue, Figure 1 (loops
+//                      impure: the analysis is expected NOT to prove it)
+//   nfq_prime        - NFQ', Figure 2 (AddNode / UpdateTail / Deq)
+//   herlihy_small    - Herlihy small-object algorithm, Figure 4
+//   gh_large_v1      - Gao-Hesselink large objects, simplified program 1
+//                      (Figure 5; copy loop in do-while form, see DESIGN.md)
+//   gh_large_v2      - program 2 (Figure 6; not directly provable)
+//   gh_large_v3      - full program with version numbers (Figure 7; not
+//                      directly provable, matching the paper)
+//   semaphore_down   - the pure-loop example of Section 4
+//   treiber_stack    - CAS+counter stack exercising the CAS analogues
+//   michael_malloc   - transcription of the allocation fast paths of
+//                      Michael's lock-free allocator (Section 6.4)
+//   locked_counter   - synchronized-block example (Theorem 5.1 path)
+//   racy_counter     - negative control: must NOT be proven atomic
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synat::corpus {
+
+struct Entry {
+  std::string_view name;
+  std::string_view description;
+  std::string_view source;
+  /// CAS targets carrying modification counters (InferOptions::counted_cas).
+  std::vector<std::string_view> counted_cas;
+};
+
+/// All corpus programs, in a stable order.
+const std::vector<Entry>& all();
+
+/// Lookup by name; throws InternalError for unknown names.
+const Entry& get(std::string_view name);
+
+}  // namespace synat::corpus

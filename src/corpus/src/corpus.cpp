@@ -1,0 +1,731 @@
+#include "synat/corpus/corpus.h"
+
+#include "synat/support/diag.h"
+
+namespace synat::corpus {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 1: Michael & Scott's non-blocking FIFO queue using LL/SC/VL.
+// The Enq/Deq loops update Tail and are therefore NOT pure; the analysis is
+// expected to fail on this program (that is the paper's motivation for NFQ').
+constexpr std::string_view kNfq = R"(
+// Non-Blocking FIFO Queue (paper Figure 1)
+class Node {
+  int Value;
+  Node Next;
+}
+global Node Head;
+global Node Tail;
+
+proc Enq(int value) {
+  local node := new Node in {
+    node.Value := value;
+    node.Next := null;
+    loop {
+      local t := LL(Tail) in
+      local next := LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (next != null) {
+          SC(Tail, next);
+          continue;
+        }
+        if (SC(t.Next, node)) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+proc int Deq() {
+  loop {
+    local h := LL(Head) in
+    local next := h.Next in {
+      if (!VL(Head)) { continue; }
+      if (next == null) { return 0 - 1; }   // EMPTY
+      if (h == LL(Tail)) {
+        SC(Tail, next);
+        continue;
+      }
+      local value := next.Value in {
+        if (SC(Head, next)) { return value; }
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 2: NFQ'. All updates of Tail are delegated to UpdateTail, making
+// every loop pure; the paper's Figure 3 lists the exceptional variants.
+constexpr std::string_view kNfqPrime = R"(
+// NFQ' (paper Figure 2)
+class Node {
+  int Value;
+  Node Next;
+}
+global Node Head;
+global Node Tail;
+
+proc AddNode(int value) {
+  local node := new Node in {
+    node.Value := value;
+    node.Next := null;
+    loop {
+      local t := LL(Tail) in
+      local next := LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (next != null) { continue; }
+        if (SC(t.Next, node)) { return; }
+      }
+    }
+  }
+}
+
+proc UpdateTail() {
+  loop {
+    local t := LL(Tail) in
+    local next := t.Next in {
+      if (!VL(Tail)) { continue; }
+      if (next != null) {
+        SC(Tail, next);
+        return;
+      }
+    }
+  }
+}
+
+proc int Deq() {
+  loop {
+    local h := LL(Head) in
+    local next := h.Next in {
+      if (!VL(Head)) { continue; }
+      if (next == null) { return 0 - 1; }   // EMPTY
+      if (h == LL(Tail)) { continue; }
+      local value := next.Value in {
+        if (SC(Head, next)) { return value; }
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 4: Herlihy's small-object algorithm. `prv` is the thread's working
+// copy; copy/computation are written out as field assignments.
+constexpr std::string_view kHerlihySmall = R"(
+// Herlihy's non-blocking algorithm for small objects (paper Figure 4)
+class Node {
+  int data;
+}
+global Node Q;
+threadlocal Node prv;
+
+proc Apply() {
+  loop {
+    local m := LL(Q) in {
+      prv.data := m.data;            // copy(prv.data, m.data)
+      if (!VL(Q)) { continue; }
+      prv.data := prv.data + 1;      // computation(prv.data)
+      if (SC(Q, prv)) {
+        prv := m;
+        break;
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 5: Gao & Hesselink, simplified program 1 (copy everything).
+// The copy loop is written in do-while form so the always-executed first
+// copy is visible to the path-insensitive liveness analysis (DESIGN.md E4);
+// with W >= 1 group this is the same program.
+constexpr std::string_view kGhLargeV1 = R"(
+// Gao-Hesselink large objects, simplified program 1 (paper Figure 5)
+class Obj {
+  int[] data;
+}
+global Obj SharedObj;
+threadlocal Obj prvObj;
+
+proc Apply(int g) {
+  a2: loop {
+    local m := LL(SharedObj) in
+    local i := 1 in {
+      loop {
+        prvObj.data[i] := m.data[i];         // copy group i
+        if (!VL(SharedObj)) { continue a2; }
+        i := i + 1;
+        if (i > 3) { break; }                // W = 3 groups
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] := prvObj.data[g] + 1;  // compute(prvObj, g)
+      if (SC(SharedObj, prvObj)) {
+        prvObj := m;
+        return;
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 6: program 2 — copy only groups whose data differs. The guard
+// reads prvObj.data[i] in normally terminating iterations, so the outer
+// loop is NOT pure and the analysis does not prove atomicity directly
+// (the paper argues equivalence with program 1 manually; see DESIGN.md).
+constexpr std::string_view kGhLargeV2 = R"(
+// Gao-Hesselink large objects, simplified program 2 (paper Figure 6)
+class Obj {
+  int[] data;
+}
+global Obj SharedObj;
+threadlocal Obj prvObj;
+
+proc Apply(int g) {
+  a2: loop {
+    local m := LL(SharedObj) in
+    local i := 1 in {
+      loop {
+        if (prvObj.data[i] != m.data[i]) {
+          prvObj.data[i] := m.data[i];
+          if (!VL(SharedObj)) { continue a2; }
+        }
+        i := i + 1;
+        if (i > 3) { break; }
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] := prvObj.data[g] + 1;
+      if (SC(SharedObj, prvObj)) {
+        prvObj := m;
+        return;
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 7: the full program with version numbers (and the paper's added
+// VL and version reset). Like program 2 it is not directly provable.
+constexpr std::string_view kGhLargeV3 = R"(
+// Gao-Hesselink large objects, full program (paper Figure 7)
+class Obj {
+  int[] data;
+  int[] version;
+}
+global Obj SharedObj;
+threadlocal Obj prvObj;
+
+proc Apply(int g) {
+  a2: loop {
+    local m := LL(SharedObj) in
+    local i := 1 in {
+      loop {
+        local newVersion := m.version[i] in {
+          if (newVersion != prvObj.version[i]) {
+            prvObj.data[i] := m.data[i];
+            if (!VL(SharedObj)) { continue a2; }
+            prvObj.version[i] := newVersion;
+          }
+        }
+        i := i + 1;
+        if (i > 3) { break; }
+      }
+      if (!VL(SharedObj)) { continue a2; }
+      prvObj.data[g] := prvObj.data[g] + 1;       // compute(prvObj, g)
+      prvObj.version[g] := prvObj.version[g] + 1;
+      if (SC(SharedObj, prvObj)) {
+        prvObj := m;
+        return;
+      } else {
+        prvObj.version[g] := 0;
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Section 4: the semaphore Down example of a pure loop.
+constexpr std::string_view kSemaphoreDown = R"(
+// Semaphore Down (paper Section 4)
+global int S;
+
+proc Down() {
+  loop {
+    local tmp := LL(S) in {
+      if (tmp > 0) {
+        if (SC(S, tmp - 1)) { return; }
+      }
+    }
+  }
+}
+
+proc Up() {
+  loop {
+    local tmp := LL(S) in {
+      if (SC(S, tmp + 1)) { return; }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Treiber stack with an ABA counter on Top: exercises the CAS analogues of
+// Theorems 5.3/5.4 (matching reads, counted targets).
+constexpr std::string_view kTreiberStack = R"(
+// Treiber stack; Top carries a modification counter (counted CAS target)
+class Node {
+  int value;
+  Node next;
+}
+global Node Top;
+
+proc Push(int v) {
+  local n := new Node in {
+    n.value := v;
+    loop {
+      local top := Top in {
+        n.next := top;
+        if (CAS(Top, top, n)) { return; }
+      }
+    }
+  }
+}
+
+proc int Pop() {
+  loop {
+    local top := Top in {
+      if (top == null) { return 0 - 1; }
+      local next := top.next in {
+        if (CAS(Top, top, next)) { return top.value; }
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Section 6.4: transcription of the allocation fast paths of Michael's
+// lock-free memory allocator (PLDI'04, Figure 4). SYNL has no procedure
+// calls, so each routine is a top-level procedure (the paper inlines; the
+// block structure is identical either way). Pointers packed with tags in
+// the original become counted integer words here: Active/Partial hold
+// descriptor ids plus credits, Anchor packs avail/count/state/tag. Every
+// CAS target carries a modification counter in the original, so all are
+// listed as counted.
+constexpr std::string_view kMichaelMalloc = R"(
+// Michael's lock-free allocator, allocation routines (PLDI'04 Fig. 4)
+class Heap {
+  int Active;      // active descriptor + credits (tagged word)
+  int Partial;     // partial descriptor list head (tagged word)
+}
+class Desc {
+  int Anchor;      // packed avail/count/state/tag word
+  int Superblock;  // base address of the superblock (read-only once set)
+  int Maxcount;    // blocks per superblock (read-only once set)
+}
+global Heap H;
+global Desc D;
+global int DescAvail;  // lock-free descriptor free list (tagged word)
+
+proc int MallocFromActive() {
+  local oldactive := 0 in {
+    loop {                                   // pop a credit from Active
+      oldactive := H.Active;
+      if (oldactive == 0) { return 0; }
+      if (CAS(H.Active, oldactive, oldactive - 1)) { break; }
+    }
+    local addr := 0 in {
+      loop {                                 // reserve block from anchor
+        local oldanchor := D.Anchor in {
+          addr := D.Superblock + oldanchor;
+          if (CAS(D.Anchor, oldanchor, oldanchor + 1)) { break; }
+        }
+      }
+      return addr;
+    }
+  }
+}
+
+proc int MallocFromPartial() {
+  local desc := 0 in {
+    loop {                                   // pop a partial descriptor
+      desc := H.Partial;
+      if (desc == 0) { return 0; }
+      if (CAS(H.Partial, desc, 0)) { break; }
+    }
+    loop {                                   // acquire credits
+      local oldanchor := D.Anchor in {
+        if (oldanchor == 0) { return 0; }
+        if (CAS(D.Anchor, oldanchor, oldanchor - 1)) { break; }
+      }
+    }
+    local addr := 0 in {
+      loop {                                 // reserve block
+        local oldanchor := D.Anchor in {
+          addr := D.Superblock + oldanchor;
+          if (CAS(D.Anchor, oldanchor, oldanchor + 1)) { break; }
+        }
+      }
+      return addr;
+    }
+  }
+}
+
+proc int DescAlloc() {
+  loop {
+    local old := DescAvail in {
+      if (old != 0) {
+        if (CAS(DescAvail, old, old - 1)) { return old; }
+      } else {
+        return 0;
+      }
+    }
+  }
+}
+
+proc DescRetire(int desc) {
+  loop {
+    local old := DescAvail in {
+      if (CAS(DescAvail, old, desc)) { return; }
+    }
+  }
+}
+
+proc int MallocFromNewSB(int sb) {
+  local newdesc := new Desc in {
+    newdesc.Superblock := sb;
+    newdesc.Maxcount := 128;
+    newdesc.Anchor := 1;
+    local oldactive := 0 in {
+      loop {                                 // install the new superblock
+        oldactive := H.Active;
+        if (oldactive != 0) { return 0; }    // someone else installed one
+        if (CAS(H.Active, oldactive, 127)) { break; }
+      }
+      return newdesc.Superblock;
+    }
+  }
+}
+
+proc UpdateActive(int newcredits) {
+  loop {                                     // publish leftover credits
+    local oldactive := H.Active in {
+      if (oldactive != 0) { break; }
+      if (CAS(H.Active, oldactive, newcredits)) { return; }
+    }
+  }
+  loop {                                     // else make superblock partial
+    local oldpartial := H.Partial in {
+      if (CAS(H.Partial, oldpartial, newcredits)) { return; }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Spin lock built from LL/SC (Section 1 mentions non-blocking
+// synchronization implementing blocking objects). Both procedures are
+// atomic: the acquire loop is pure with a single exceptional slice.
+constexpr std::string_view kSpinlock = R"(
+// Test-and-set spin lock via LL/SC
+global int L;
+
+proc Acquire() {
+  loop {
+    local v := LL(L) in {
+      if (v == 0) {
+        if (SC(L, 1)) { return; }
+      }
+    }
+  }
+}
+
+proc Release() {
+  loop {
+    local v := LL(L) in {
+      if (SC(L, 0)) { return; }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// The CAS-based Michael & Scott queue ([13]): like the LL/SC NFQ of
+// Figure 1, its loops help-update Tail in normally terminating iterations,
+// so they are impure and the analysis (correctly) does not prove the
+// procedures atomic without the NFQ'-style restructuring.
+constexpr std::string_view kNfqCas = R"(
+// Michael & Scott queue, CAS flavor (helping updates keep the loops impure)
+class Node {
+  int Value;
+  Node Next;
+}
+global Node Head;
+global Node Tail;
+
+proc Enq(int value) {
+  local node := new Node in {
+    node.Value := value;
+    node.Next := null;
+    loop {
+      local t := Tail in
+      local next := t.Next in {
+        if (t == Tail) {
+          if (next == null) {
+            if (CAS(t.Next, next, node)) {
+              CAS(Tail, t, node);
+              return;
+            }
+          } else {
+            CAS(Tail, t, next);   // help: impure update
+          }
+        }
+      }
+    }
+  }
+}
+
+proc int Deq() {
+  loop {
+    local h := Head in
+    local t := Tail in
+    local next := h.Next in {
+      if (h == Head) {
+        if (h == t) {
+          if (next == null) { return 0 - 1; }
+          CAS(Tail, t, next);     // help: impure update
+        } else {
+          local value := next.Value in {
+            if (CAS(Head, h, next)) { return value; }
+          }
+        }
+      }
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Lock-based counter: the synchronized-statement path (Theorem 5.1).
+constexpr std::string_view kLockedCounter = R"(
+// Lock-based counter: atomic via Theorem 5.1
+class LockObj {
+  int dummy;
+}
+global LockObj M;
+global int C;
+
+proc Inc() {
+  synchronized (M) {
+    local t := C in {
+      C := t + 1;
+    }
+  }
+}
+
+proc int Get() {
+  synchronized (M) {
+    local t := C in {
+      return t;
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Negative control: unsynchronized read-modify-write. Must NOT be atomic.
+constexpr std::string_view kRacyCounter = R"(
+// Racy counter: Inc must NOT be proven atomic
+global int C;
+
+proc Inc() {
+  local t := C in {
+    C := t + 1;
+  }
+}
+
+proc int Get() {
+  local t := C in {
+    return t;
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Model-checking drivers: the algorithm sources plus Init/TInit setup
+// procedures (Table 2 and Section 6.3 substrates). Kept separate from the
+// analysis entries so the atomicity tests are not polluted by setup code.
+constexpr std::string_view kNfqPrimeMcInit = R"(
+proc Init() {
+  local dummy := new Node in {
+    dummy.Next := null;
+    Head := dummy;
+    Tail := dummy;
+  }
+}
+)";
+
+// The paper's injected bug: AddNode without the `next != null` recheck, so
+// a successful SC can overwrite an already-linked node and lose it.
+constexpr std::string_view kNfqPrimeBug = R"(
+// NFQ' with the AddNode recheck deleted (paper Table 2, row "incorrect")
+class Node {
+  int Value;
+  Node Next;
+}
+global Node Head;
+global Node Tail;
+
+proc AddNode(int value) {
+  local node := new Node in {
+    node.Value := value;
+    node.Next := null;
+    loop {
+      local t := LL(Tail) in
+      local next := LL(t.Next) in {
+        if (!VL(Tail)) { continue; }
+        if (SC(t.Next, node)) { return; }
+      }
+    }
+  }
+}
+
+proc UpdateTail() {
+  loop {
+    local t := LL(Tail) in
+    local next := t.Next in {
+      if (!VL(Tail)) { continue; }
+      if (next != null) {
+        SC(Tail, next);
+        return;
+      }
+    }
+  }
+}
+
+proc int Deq() {
+  loop {
+    local h := LL(Head) in
+    local next := h.Next in {
+      if (!VL(Head)) { continue; }
+      if (next == null) { return 0 - 1; }
+      if (h == LL(Tail)) { continue; }
+      local value := next.Value in {
+        if (SC(Head, next)) { return value; }
+      }
+    }
+  }
+}
+)";
+
+// Version numbers must start nonzero: Figure 7's `prvObj.version[g] := 0`
+// reset relies on 0 never matching a published version. With all-zero
+// initial versions a failed SC leaves stale data that is not re-copied
+// (our model checker found this corner; see EXPERIMENTS.md E4).
+constexpr std::string_view kGhMcInit = R"(
+proc Init() {
+  SharedObj := new Obj;
+  local o := SharedObj in {
+    o.version[1] := 1;
+    o.version[2] := 1;
+    o.version[3] := 1;
+  }
+}
+
+proc TInit() {
+  prvObj := new Obj;
+}
+)";
+
+// The malloc driver of [Michael PLDI'04] Fig. 4, expressed with real calls
+// (the front end inlines them, as the paper's Section 1 prescribes).
+constexpr std::string_view kMichaelMallocDriver = R"(
+proc int Malloc(int sb) {
+  loop {
+    local addr := MallocFromActive() in {
+      if (addr != 0) { return addr; }
+      local addr2 := MallocFromPartial() in {
+        if (addr2 != 0) { return addr2; }
+        local addr3 := MallocFromNewSB(sb) in {
+          if (addr3 != 0) { return addr3; }
+        }
+      }
+    }
+  }
+}
+)";
+
+const std::string& michael_malloc_full_source() {
+  static const std::string src =
+      std::string(kMichaelMalloc) + std::string(kMichaelMallocDriver);
+  return src;
+}
+
+const std::string& nfq_prime_mc_source() {
+  static const std::string src =
+      std::string(kNfqPrime) + std::string(kNfqPrimeMcInit);
+  return src;
+}
+const std::string& nfq_prime_bug_mc_source() {
+  static const std::string src =
+      std::string(kNfqPrimeBug) + std::string(kNfqPrimeMcInit);
+  return src;
+}
+const std::string& gh_mc_source() {
+  static const std::string src =
+      std::string(kGhLargeV3) + std::string(kGhMcInit);
+  return src;
+}
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> kAll = {
+      {"nfq", "Michael&Scott LL/SC queue (Fig. 1, impure loops)", kNfq, {}},
+      {"nfq_prime", "NFQ' (Fig. 2) - AddNode/UpdateTail/Deq", kNfqPrime, {}},
+      {"herlihy_small", "Herlihy small objects (Fig. 4)", kHerlihySmall, {}},
+      {"gh_large_v1", "Gao-Hesselink program 1 (Fig. 5)", kGhLargeV1, {}},
+      {"gh_large_v2", "Gao-Hesselink program 2 (Fig. 6)", kGhLargeV2, {}},
+      {"gh_large_v3", "Gao-Hesselink full program (Fig. 7)", kGhLargeV3, {}},
+      {"semaphore_down", "semaphore Down/Up (Sec. 4)", kSemaphoreDown, {}},
+      {"treiber_stack", "Treiber stack, counted CAS", kTreiberStack, {"Top"}},
+      {"michael_malloc",
+       "Michael's allocator allocation routines (Sec. 6.4)",
+       kMichaelMalloc,
+       {"Heap.Active", "Heap.Partial", "Desc.Anchor", "DescAvail"}},
+      {"michael_malloc_full",
+       "allocator routines + the inlined Malloc driver (Sec. 6.4)",
+       michael_malloc_full_source(),
+       {"Heap.Active", "Heap.Partial", "Desc.Anchor", "DescAvail"}},
+      {"spinlock", "LL/SC test-and-set spin lock", kSpinlock, {}},
+      {"nfq_cas", "Michael&Scott queue, CAS flavor (impure loops)", kNfqCas,
+       {"Head", "Tail", "Node.Next"}},
+      {"locked_counter", "lock-based counter (Thm. 5.1)", kLockedCounter, {}},
+      {"racy_counter", "racy counter (negative control)", kRacyCounter, {}},
+      {"nfq_prime_mc", "NFQ' + Init, model-checking driver (Table 2)",
+       nfq_prime_mc_source(), {}},
+      {"nfq_prime_bug_mc",
+       "incorrect AddNode + Init, model-checking driver (Table 2)",
+       nfq_prime_bug_mc_source(), {}},
+      {"gh_mc", "Gao-Hesselink + Init/TInit, model-checking driver (Sec 6.3)",
+       gh_mc_source(), {}},
+  };
+  return kAll;
+}
+
+}  // namespace
+
+const std::vector<Entry>& all() { return entries(); }
+
+const Entry& get(std::string_view name) {
+  for (const Entry& e : entries()) {
+    if (e.name == name) return e;
+  }
+  SYNAT_ASSERT(false, "unknown corpus entry: " + std::string(name));
+}
+
+}  // namespace synat::corpus

@@ -1,0 +1,58 @@
+// Interpreter state: a full program configuration (globals, heap, threads).
+//
+// LL/SC is modelled with per-location version counters: LL records the
+// current version in the thread's link set; SC succeeds iff the recorded
+// version is still current, and bumps it (plain writes do not break links,
+// matching the paper's Section 3.1 semantics where only successful SCs
+// count as writes for link purposes). Absolute version numbers are
+// exploration artifacts; the model checker canonicalizes them to validity
+// bits when hashing states.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "synat/interp/value.h"
+#include "synat/synl/ast.h"
+
+namespace synat::interp {
+
+struct HeapObj {
+  synl::ClassId cls;               ///< invalid => this is an array
+  std::vector<Value> fields;       ///< fields or elements
+  std::vector<uint64_t> versions;  ///< per-cell SC version
+  int32_t lock_owner = -1;         ///< thread id holding the object's lock
+  uint32_t lock_depth = 0;
+};
+
+enum class ThreadStatus : uint8_t {
+  Runnable,
+  Done,   ///< returned from its top-level procedure
+  Stuck,  ///< failed an Assume; this path is infeasible
+};
+
+struct Thread {
+  int proc = -1;  ///< index into CompiledProgram::procs
+  uint32_t pc = 0;
+  std::vector<Value> stack;
+  std::vector<Value> frame;
+  /// LL reservations: location -> version observed. std::map keeps the
+  /// canonical serialization deterministic.
+  std::map<LocKey, uint64_t> links;
+  ThreadStatus status = ThreadStatus::Done;
+  Value ret;  ///< return value once Done
+};
+
+struct State {
+  std::vector<Value> globals;
+  std::vector<uint64_t> global_versions;
+  std::vector<HeapObj> heap;              ///< ObjId o lives at heap[o - 1]
+  std::vector<std::vector<Value>> tls;    ///< per-thread thread-local slots
+  std::vector<Thread> threads;
+
+  HeapObj& obj(ObjId o) { return heap[o - 1]; }
+  const HeapObj& obj(ObjId o) const { return heap[o - 1]; }
+  bool valid_ref(ObjId o) const { return o != kNull && o <= heap.size(); }
+};
+
+}  // namespace synat::interp

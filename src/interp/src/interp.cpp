@@ -1,0 +1,504 @@
+#include "synat/interp/interp.h"
+
+namespace synat::interp {
+
+using synl::BinOp;
+using synl::TypeKind;
+using synl::UnOp;
+
+namespace {
+
+std::string at(const CompiledProgram& cp, const Thread& t) {
+  const CompiledProc& p = cp.procs[static_cast<size_t>(t.proc)];
+  std::string out = p.name + "+" + std::to_string(t.pc);
+  if (t.pc < p.code.size() && t.pc > 0) {
+    synl::StmtId s = p.code[t.pc - 1].stmt;
+    if (s.valid() && cp.prog->stmt(s).loc.valid())
+      out += " (line " + std::to_string(cp.prog->stmt(s).loc.line) + ")";
+  }
+  return out;
+}
+
+Value eval_binary(BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinOp::Add: return Value::of_int(a.i + b.i);
+    case BinOp::Sub: return Value::of_int(a.i - b.i);
+    case BinOp::Mul: return Value::of_int(a.i * b.i);
+    case BinOp::Div: return Value::of_int(b.i == 0 ? 0 : a.i / b.i);
+    case BinOp::Mod: return Value::of_int(b.i == 0 ? 0 : a.i % b.i);
+    case BinOp::Eq:
+      if (a.kind == Value::Ref || b.kind == Value::Ref)
+        return Value::of_bool(a.ref == b.ref);
+      return Value::of_bool(a.i == b.i);
+    case BinOp::Ne:
+      if (a.kind == Value::Ref || b.kind == Value::Ref)
+        return Value::of_bool(a.ref != b.ref);
+      return Value::of_bool(a.i != b.i);
+    case BinOp::Lt: return Value::of_bool(a.i < b.i);
+    case BinOp::Le: return Value::of_bool(a.i <= b.i);
+    case BinOp::Gt: return Value::of_bool(a.i > b.i);
+    case BinOp::Ge: return Value::of_bool(a.i >= b.i);
+    case BinOp::And: return Value::of_bool(a.truthy() && b.truthy());
+    case BinOp::Or: return Value::of_bool(a.truthy() || b.truthy());
+  }
+  return Value::unit();
+}
+
+}  // namespace
+
+Value Interp::default_value(synl::TypeId t) const {
+  if (!t.valid()) return Value::of_int(0);
+  switch (cp_.prog->type(t).kind) {
+    case TypeKind::Bool: return Value::of_bool(false);
+    case TypeKind::Ref:
+    case TypeKind::Null:
+    case TypeKind::Array: return Value::null();
+    default: return Value::of_int(0);
+  }
+}
+
+ObjId Interp::alloc_array(State& s, synl::TypeId elem) const {
+  HeapObj arr;
+  arr.cls = synl::ClassId();  // array marker
+  arr.fields.assign(static_cast<size_t>(array_size_), default_value(elem));
+  arr.versions.assign(static_cast<size_t>(array_size_), 0);
+  s.heap.push_back(std::move(arr));
+  return static_cast<ObjId>(s.heap.size());
+}
+
+ObjId Interp::alloc_object(State& s, synl::ClassId cls) const {
+  HeapObj obj;
+  obj.cls = cls;
+  const synl::ClassInfo& info = cp_.prog->cls(cls);
+  for (const synl::FieldInfo& f : info.fields) {
+    if (f.type.valid() && cp_.prog->type(f.type).kind == TypeKind::Array) {
+      // Auto-allocate fixed-size arrays (SYNL has no array literal; the
+      // model checker bounds them, see DESIGN.md).
+      obj.fields.push_back(Value::of_ref(alloc_array(s, cp_.prog->type(f.type).elem)));
+    } else {
+      obj.fields.push_back(default_value(f.type));
+    }
+    obj.versions.push_back(0);
+  }
+  s.heap.push_back(std::move(obj));
+  return static_cast<ObjId>(s.heap.size());
+}
+
+State Interp::initial_state(const std::vector<ThreadSpec>& specs) const {
+  State s;
+  s.globals.reserve(cp_.global_vars.size());
+  for (synl::VarId v : cp_.global_vars)
+    s.globals.push_back(default_value(cp_.prog->var(v).type));
+  s.global_versions.assign(cp_.global_vars.size(), 0);
+
+  for (const ThreadSpec& spec : specs) {
+    Thread t;
+    t.proc = spec.proc;
+    t.pc = 0;
+    SYNAT_ASSERT(spec.proc >= 0 &&
+                     static_cast<size_t>(spec.proc) < cp_.procs.size(),
+                 "bad thread proc index");
+    const CompiledProc& p = cp_.procs[static_cast<size_t>(spec.proc)];
+    SYNAT_ASSERT(spec.args.size() == p.num_params,
+                 "wrong argument count for " + p.name);
+    t.frame.assign(p.frame_size, Value::unit());
+    for (size_t i = 0; i < spec.args.size(); ++i) t.frame[i] = spec.args[i];
+    t.status = ThreadStatus::Runnable;
+    s.threads.push_back(std::move(t));
+
+    std::vector<Value> tls;
+    for (synl::VarId v : cp_.tl_vars)
+      tls.push_back(default_value(cp_.prog->var(v).type));
+    s.tls.push_back(std::move(tls));
+  }
+  return s;
+}
+
+const Insn& Interp::next_insn(const State& s, int tid) const {
+  const Thread& t = s.threads[static_cast<size_t>(tid)];
+  return cp_.procs[static_cast<size_t>(t.proc)].code[t.pc];
+}
+
+bool Interp::runnable(const State& s, int tid) const {
+  const Thread& t = s.threads[static_cast<size_t>(tid)];
+  if (t.status != ThreadStatus::Runnable) return false;
+  const Insn& insn = next_insn(s, tid);
+  if (insn.op == Op::Acquire) {
+    // The lock object ref is on top of the stack.
+    if (t.stack.empty()) return true;  // error path; let step report it
+    ObjId o = t.stack.back().ref;
+    if (!s.valid_ref(o)) return true;
+    const HeapObj& obj = s.obj(o);
+    return obj.lock_owner == -1 || obj.lock_owner == tid;
+  }
+  return true;
+}
+
+bool Interp::next_insn_invisible(const State& s, int tid) const {
+  const Thread& t = s.threads[static_cast<size_t>(tid)];
+  if (t.status != ThreadStatus::Runnable) return false;
+  switch (next_insn(s, tid).op) {
+    case Op::Nop:
+    case Op::PushInt:
+    case Op::PushBool:
+    case Op::PushNull:
+    case Op::Pop:
+    case Op::LoadLocal:
+    case Op::StoreLocal:
+    case Op::LoadTL:
+    case Op::StoreTL:
+    case Op::Binary:
+    case Op::Unary:
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::Assume:
+    case Op::Assert:
+    case Op::Return:
+    case Op::New:  // fresh object: invisible until published
+      return true;
+    default:
+      return false;
+  }
+}
+
+StepResult Interp::step(State& s, int tid, std::string* error) const {
+  Thread& t = s.threads[static_cast<size_t>(tid)];
+  switch (t.status) {
+    case ThreadStatus::Done: return StepResult::Done;
+    case ThreadStatus::Stuck: return StepResult::Stuck;
+    case ThreadStatus::Runnable: break;
+  }
+  const Insn& insn = next_insn(s, tid);
+  return exec(s, tid, insn, error);
+}
+
+StepResult Interp::exec(State& s, int tid, const Insn& insn,
+                        std::string* error) const {
+  Thread& t = s.threads[static_cast<size_t>(tid)];
+  auto fail = [&](const std::string& what) {
+    if (error) *error = what + " at " + at(cp_, t);
+    return StepResult::Error;
+  };
+  auto pop = [&]() {
+    Value v = t.stack.back();
+    t.stack.pop_back();
+    return v;
+  };
+  if (t.stack.size() > 4096) return fail("operand stack overflow");
+
+  // Helpers shared by the location-addressed instruction families. They
+  // resolve the cell identity and current value/version.
+  struct Cell {
+    Value* value = nullptr;
+    uint64_t* version = nullptr;
+    LocKey key;
+    bool ok = false;
+  };
+  auto global_cell = [&](int32_t slot) {
+    Cell c;
+    c.value = &s.globals[static_cast<size_t>(slot)];
+    c.version = &s.global_versions[static_cast<size_t>(slot)];
+    c.key = {LocKey::Global, static_cast<uint32_t>(slot), 0};
+    c.ok = true;
+    return c;
+  };
+  auto field_cell = [&](ObjId o, int32_t field) {
+    Cell c;
+    if (!s.valid_ref(o)) return c;
+    HeapObj& obj = s.obj(o);
+    if (field < 0 || static_cast<size_t>(field) >= obj.fields.size()) return c;
+    c.value = &obj.fields[static_cast<size_t>(field)];
+    c.version = &obj.versions[static_cast<size_t>(field)];
+    c.key = {LocKey::Field, o, static_cast<uint32_t>(field)};
+    c.ok = true;
+    return c;
+  };
+  auto elem_cell = [&](ObjId o, int64_t idx) {
+    Cell c;
+    if (!s.valid_ref(o)) return c;
+    HeapObj& obj = s.obj(o);
+    if (idx < 0 || static_cast<size_t>(idx) >= obj.fields.size()) return c;
+    c.value = &obj.fields[static_cast<size_t>(idx)];
+    c.version = &obj.versions[static_cast<size_t>(idx)];
+    c.key = {LocKey::Elem, o, static_cast<uint32_t>(idx)};
+    c.ok = true;
+    return c;
+  };
+
+  auto do_ll = [&](const Cell& c) {
+    t.links[c.key] = *c.version;
+    t.stack.push_back(*c.value);
+  };
+  auto do_vl = [&](const Cell& c) {
+    auto it = t.links.find(c.key);
+    t.stack.push_back(
+        Value::of_bool(it != t.links.end() && it->second == *c.version));
+  };
+  auto do_sc = [&](const Cell& c, const Value& v) {
+    auto it = t.links.find(c.key);
+    if (it != t.links.end() && it->second == *c.version) {
+      *c.value = v;
+      ++*c.version;
+      t.stack.push_back(Value::of_bool(true));
+    } else {
+      t.stack.push_back(Value::of_bool(false));
+    }
+  };
+  auto do_cas = [&](const Cell& c, const Value& expected, const Value& newv) {
+    bool equal = (c.value->kind == Value::Ref || expected.kind == Value::Ref)
+                     ? c.value->ref == expected.ref
+                     : c.value->i == expected.i;
+    if (equal) {
+      *c.value = newv;
+      ++*c.version;  // the "modification counter": CAS bumps it
+      t.stack.push_back(Value::of_bool(true));
+    } else {
+      t.stack.push_back(Value::of_bool(false));
+    }
+  };
+
+  switch (insn.op) {
+    case Op::Nop:
+      break;
+    case Op::PushInt:
+      t.stack.push_back(Value::of_int(insn.imm));
+      break;
+    case Op::PushBool:
+      t.stack.push_back(Value::of_bool(insn.a != 0));
+      break;
+    case Op::PushNull:
+      t.stack.push_back(Value::null());
+      break;
+    case Op::Pop:
+      pop();
+      break;
+    case Op::LoadLocal:
+      t.stack.push_back(t.frame[static_cast<size_t>(insn.a)]);
+      break;
+    case Op::StoreLocal:
+      t.frame[static_cast<size_t>(insn.a)] = pop();
+      break;
+    case Op::LoadGlobal:
+      t.stack.push_back(s.globals[static_cast<size_t>(insn.a)]);
+      break;
+    case Op::StoreGlobal:
+      s.globals[static_cast<size_t>(insn.a)] = pop();
+      break;
+    case Op::LoadTL:
+      t.stack.push_back(s.tls[static_cast<size_t>(tid)][static_cast<size_t>(insn.a)]);
+      break;
+    case Op::StoreTL:
+      s.tls[static_cast<size_t>(tid)][static_cast<size_t>(insn.a)] = pop();
+      break;
+    case Op::LoadField: {
+      ObjId o = pop().ref;
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("null or invalid field access");
+      t.stack.push_back(*c.value);
+      break;
+    }
+    case Op::StoreField: {
+      ObjId o = pop().ref;
+      Value v = pop();
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("null or invalid field store");
+      *c.value = v;
+      break;
+    }
+    case Op::LoadElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("array access out of bounds or null");
+      t.stack.push_back(*c.value);
+      break;
+    }
+    case Op::StoreElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Value v = pop();
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("array store out of bounds or null");
+      *c.value = v;
+      break;
+    }
+    case Op::New:
+      t.stack.push_back(Value::of_ref(
+          alloc_object(s, synl::ClassId(static_cast<uint32_t>(insn.a)))));
+      break;
+    case Op::Binary: {
+      Value b = pop();
+      Value a = pop();
+      t.stack.push_back(eval_binary(static_cast<BinOp>(insn.a), a, b));
+      break;
+    }
+    case Op::Unary: {
+      Value a = pop();
+      if (static_cast<UnOp>(insn.a) == UnOp::Not) {
+        t.stack.push_back(Value::of_bool(!a.truthy()));
+      } else {
+        t.stack.push_back(Value::of_int(-a.i));
+      }
+      break;
+    }
+    case Op::LLGlobal: do_ll(global_cell(insn.a)); break;
+    case Op::VLGlobal: do_vl(global_cell(insn.a)); break;
+    case Op::SCGlobal: {
+      Value v = pop();
+      do_sc(global_cell(insn.a), v);
+      break;
+    }
+    case Op::CASGlobal: {
+      Value newv = pop();
+      Value expected = pop();
+      do_cas(global_cell(insn.a), expected, newv);
+      break;
+    }
+    case Op::LLField: {
+      ObjId o = pop().ref;
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("LL on null/invalid field");
+      do_ll(c);
+      break;
+    }
+    case Op::VLField: {
+      ObjId o = pop().ref;
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("VL on null/invalid field");
+      do_vl(c);
+      break;
+    }
+    case Op::SCField: {
+      ObjId o = pop().ref;
+      Value v = pop();
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("SC on null/invalid field");
+      do_sc(c, v);
+      break;
+    }
+    case Op::CASField: {
+      ObjId o = pop().ref;
+      Value newv = pop();
+      Value expected = pop();
+      Cell c = field_cell(o, insn.a);
+      if (!c.ok) return fail("CAS on null/invalid field");
+      do_cas(c, expected, newv);
+      break;
+    }
+    case Op::LLElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("LL on invalid element");
+      do_ll(c);
+      break;
+    }
+    case Op::VLElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("VL on invalid element");
+      do_vl(c);
+      break;
+    }
+    case Op::SCElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Value v = pop();
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("SC on invalid element");
+      do_sc(c, v);
+      break;
+    }
+    case Op::CASElem: {
+      int64_t idx = pop().i;
+      ObjId o = pop().ref;
+      Value newv = pop();
+      Value expected = pop();
+      Cell c = elem_cell(o, idx);
+      if (!c.ok) return fail("CAS on invalid element");
+      do_cas(c, expected, newv);
+      break;
+    }
+    case Op::Jump:
+      t.pc = static_cast<uint32_t>(insn.a);
+      return StepResult::Ok;
+    case Op::JumpIfFalse: {
+      Value c = pop();
+      if (!c.truthy()) {
+        t.pc = static_cast<uint32_t>(insn.a);
+        return StepResult::Ok;
+      }
+      break;
+    }
+    case Op::Acquire: {
+      // Do not consume anything unless the lock is available.
+      if (t.stack.empty()) return fail("acquire without lock operand");
+      ObjId o = t.stack.back().ref;
+      if (!s.valid_ref(o)) return fail("acquire on null");
+      HeapObj& obj = s.obj(o);
+      if (obj.lock_owner != -1 && obj.lock_owner != tid)
+        return StepResult::Blocked;
+      pop();
+      obj.lock_owner = tid;
+      ++obj.lock_depth;
+      break;
+    }
+    case Op::Release: {
+      ObjId o = pop().ref;
+      if (!s.valid_ref(o)) return fail("release on null");
+      HeapObj& obj = s.obj(o);
+      if (obj.lock_owner != tid) return fail("release of unowned lock");
+      if (--obj.lock_depth == 0) obj.lock_owner = -1;
+      break;
+    }
+    case Op::Assume: {
+      Value c = pop();
+      if (!c.truthy()) {
+        t.status = ThreadStatus::Stuck;
+        return StepResult::Stuck;
+      }
+      break;
+    }
+    case Op::Assert: {
+      Value c = pop();
+      if (!c.truthy()) return fail("assertion failed");
+      break;
+    }
+    case Op::Return: {
+      t.ret = pop();
+      t.status = ThreadStatus::Done;
+      // A finished thread never runs again: drop its frame, stack and links
+      // so they neither root garbage nor differentiate states.
+      t.frame.clear();
+      t.stack.clear();
+      t.links.clear();
+      ++t.pc;
+      return StepResult::Ok;
+    }
+  }
+  ++t.pc;
+  return StepResult::Ok;
+}
+
+StepResult Interp::run_thread(State& s, int tid, std::string* error,
+                              size_t max_steps) const {
+  for (size_t i = 0; i < max_steps; ++i) {
+    StepResult r = step(s, tid, error);
+    switch (r) {
+      case StepResult::Ok:
+        if (s.threads[static_cast<size_t>(tid)].status == ThreadStatus::Done)
+          return StepResult::Done;
+        break;
+      case StepResult::Done:
+      case StepResult::Stuck:
+      case StepResult::Blocked:
+      case StepResult::Error:
+        return r;
+    }
+  }
+  if (error) *error = "thread did not terminate within the step budget";
+  return StepResult::Error;
+}
+
+}  // namespace synat::interp

@@ -1,0 +1,31 @@
+// Ready-made property checks for the model-checking experiments.
+//
+// These correspond to the structural/functional properties TVLA verified in
+// the paper's Table 2 experiment: the queue's list stays well formed in
+// every state, and at quiescence the queue contains exactly the values
+// whose producers completed.
+#pragma once
+
+#include <set>
+
+#include "synat/mc/mc.h"
+
+namespace synat::mc {
+
+/// Walks the Node list from `head` (inclusive) collecting object ids;
+/// returns an error string on cycles or dangling references.
+std::optional<std::string> walk_list(const State& s, interp::ObjId head,
+                                     int next_field,
+                                     std::vector<interp::ObjId>& out);
+
+/// Invariant for NFQ'-style queues: the list from Head is finite and
+/// null-terminated, and Tail points to a node on it.
+StateCheck queue_wellformed(const ModelChecker& mc, int next_field);
+
+/// Final-state check: the values stored in the queue (excluding the dummy
+/// head) are exactly `expected` — detects the lost-node bug of the paper's
+/// "incorrect AddNode" row.
+StateCheck queue_final_contents(const ModelChecker& mc, int value_field,
+                                int next_field, std::multiset<int64_t> expected);
+
+}  // namespace synat::mc

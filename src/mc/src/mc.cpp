@@ -1,0 +1,375 @@
+#include "synat/mc/mc.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "synat/support/hash.h"
+
+namespace synat::mc {
+
+using interp::HeapObj;
+using interp::LocKey;
+using interp::ObjId;
+using interp::StepResult;
+using interp::Thread;
+using interp::ThreadStatus;
+
+std::string Result::summary() const {
+  std::string out = "states=" + std::to_string(states) +
+                    " transitions=" + std::to_string(transitions) +
+                    " finals=" + std::to_string(final_states) +
+                    " time=" + std::to_string(seconds) + "s";
+  if (error_found) out += " ERROR: " + error;
+  if (hit_state_limit) out += " (state limit hit)";
+  return out;
+}
+
+ModelChecker::ModelChecker(const CompiledProgram& cp, Options opts)
+    : cp_(cp), opts_(std::move(opts)), interp_(cp, opts_.array_size) {
+  proc_atomic_.assign(cp_.procs.size(), false);
+  for (const std::string& name : opts_.atomic_procs) {
+    int idx = cp_.find_index(name);
+    SYNAT_ASSERT(idx >= 0, "unknown atomic proc: " + name);
+    proc_atomic_[static_cast<size_t>(idx)] = true;
+  }
+}
+
+int ModelChecker::global_slot(std::string_view name) const {
+  synat::Symbol s = cp_.prog->syms().lookup(name);
+  for (size_t i = 0; i < cp_.global_vars.size(); ++i)
+    if (cp_.prog->var(cp_.global_vars[i]).name == s)
+      return static_cast<int>(i);
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+
+namespace {
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const State& s) : s_(s) {}
+
+  std::string run() {
+    // Deterministic root order: globals, then per thread frame/stack/tls/ret.
+    for (const Value& v : s_.globals) touch(v);
+    for (size_t tid = 0; tid < s_.threads.size(); ++tid) {
+      const Thread& t = s_.threads[tid];
+      if (t.status == ThreadStatus::Runnable) {
+        for (const Value& v : t.frame) touch(v);
+        for (const Value& v : t.stack) touch(v);
+        for (const auto& [key, ver] : t.links) {
+          if (key.kind != LocKey::Global) touch(Value::of_ref(key.a));
+        }
+        // Thread-locals of finished threads can never be read again (each
+        // thread runs its procedure once), so only live threads' count.
+        for (const Value& v : s_.tls[tid]) touch(v);
+      }
+      touch(t.ret);
+    }
+    // BFS closure over heap references.
+    for (size_t i = 0; i < order_.size(); ++i) {
+      const HeapObj& obj = s_.obj(order_[i]);
+      for (const Value& v : obj.fields) touch(v);
+    }
+
+    // Serialize.
+    put(static_cast<uint64_t>(s_.globals.size()));
+    for (const Value& v : s_.globals) put_value(v);
+    put(static_cast<uint64_t>(order_.size()));
+    for (ObjId o : order_) {
+      const HeapObj& obj = s_.obj(o);
+      put(obj.cls.valid() ? obj.cls.idx + 1 : 0u);
+      put(static_cast<uint64_t>(static_cast<int64_t>(obj.lock_owner)));
+      put(obj.lock_depth);
+      put(static_cast<uint64_t>(obj.fields.size()));
+      for (const Value& v : obj.fields) put_value(v);
+    }
+    put(static_cast<uint64_t>(s_.threads.size()));
+    for (size_t tid = 0; tid < s_.threads.size(); ++tid) {
+      const Thread& t = s_.threads[tid];
+      // A thread that can never run again is fully described by its status
+      // and return value; pc, procedure and private data are normalized
+      // away so equivalent futures coincide.
+      bool live = t.status == ThreadStatus::Runnable;
+      put(static_cast<uint64_t>(t.status));
+      put_value(t.ret);
+      if (!live) continue;
+      put(static_cast<uint64_t>(t.proc));
+      put(t.pc);
+      put(static_cast<uint64_t>(t.frame.size()));
+      for (const Value& v : t.frame) put_value(v);
+      put(static_cast<uint64_t>(t.stack.size()));
+      for (const Value& v : t.stack) put_value(v);
+      put(static_cast<uint64_t>(s_.tls[tid].size()));
+      for (const Value& v : s_.tls[tid]) put_value(v);
+      put_links(t);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void touch(const Value& v) {
+    if (v.kind != Value::Ref || v.ref == interp::kNull) return;
+    if (canon_.size() <= v.ref) canon_.resize(v.ref + 1, 0);
+    if (canon_[v.ref] != 0) return;
+    canon_[v.ref] = static_cast<uint32_t>(order_.size()) + 1;
+    order_.push_back(v.ref);
+  }
+
+  uint32_t canon_ref(ObjId o) const {
+    return o == interp::kNull ? 0 : canon_[o];
+  }
+
+  void put(uint64_t v) {
+    // Varint-free fixed encoding; compactness is irrelevant (hashed anyway).
+    out_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+
+  void put_value(const Value& v) {
+    put(v.kind);
+    if (v.kind == Value::Ref) {
+      put(canon_ref(v.ref));
+    } else {
+      put(static_cast<uint64_t>(v.i));
+    }
+  }
+
+  /// Links serialize as (canonical key, still-valid bit), sorted by the
+  /// canonical key: absolute version numbers never enter the state identity.
+  void put_links(const Thread& t) {
+    struct CanonLink {
+      uint8_t kind;
+      uint32_t a, b;
+      uint8_t valid;
+      auto key() const { return std::tuple(kind, a, b); }
+    };
+    std::vector<CanonLink> links;
+    for (const auto& [key, ver] : t.links) {
+      CanonLink cl;
+      cl.kind = key.kind;
+      cl.a = key.kind == LocKey::Global ? key.a : canon_ref(key.a);
+      cl.b = key.b;
+      uint64_t current;
+      if (key.kind == LocKey::Global) {
+        current = s_.global_versions[key.a];
+      } else {
+        current = s_.obj(key.a).versions[key.b];
+      }
+      cl.valid = ver == current ? 1 : 0;
+      // Stale links on unreachable objects can never be validated again and
+      // are dropped from the identity entirely.
+      if (key.kind != LocKey::Global && cl.a == 0) continue;
+      links.push_back(cl);
+    }
+    std::sort(links.begin(), links.end(),
+              [](const CanonLink& x, const CanonLink& y) {
+                if (x.key() != y.key()) return x.key() < y.key();
+                return x.valid < y.valid;
+              });
+    put(static_cast<uint64_t>(links.size()));
+    for (const CanonLink& cl : links) {
+      put(cl.kind);
+      put(cl.a);
+      put(cl.b);
+      put(cl.valid);
+    }
+  }
+
+  const State& s_;
+  std::vector<uint32_t> canon_{0};  ///< raw ObjId -> canonical id (1-based)
+  std::vector<ObjId> order_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string ModelChecker::canonicalize(const State& s) const {
+  return Canonicalizer(s).run();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+bool ModelChecker::thread_inside_atomic(const State& s, int tid) const {
+  const Thread& t = s.threads[static_cast<size_t>(tid)];
+  if (t.status != ThreadStatus::Runnable) return false;
+  if (!proc_atomic_[static_cast<size_t>(t.proc)]) return false;
+  return t.pc > 0;  // entered but not finished
+}
+
+std::vector<int> ModelChecker::choices(const State& s) const {
+  const int n = static_cast<int>(s.threads.size());
+
+  // Atomic-block reduction: a thread inside a declared-atomic procedure
+  // runs to completion before anyone else is considered.
+  for (int tid = 0; tid < n; ++tid) {
+    if (thread_inside_atomic(s, tid) && interp_.runnable(s, tid))
+      return {tid};
+  }
+
+  // Ample-set POR: commit one invisible instruction without interleaving.
+  if (opts_.por) {
+    for (int tid = 0; tid < n; ++tid) {
+      if (interp_.runnable(s, tid) && interp_.next_insn_invisible(s, tid))
+        return {tid};
+    }
+  }
+
+  std::vector<int> out;
+  for (int tid = 0; tid < n; ++tid) {
+    if (interp_.runnable(s, tid)) out.push_back(tid);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exploration
+
+Result ModelChecker::run(const RunSpec& spec) {
+  Result result;
+  auto t0 = std::chrono::steady_clock::now();
+  auto finish = [&]() {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+  auto report = [&](const std::string& msg) {
+    result.error_found = true;
+    result.error = msg;
+  };
+
+  // Build the initial state and run setup deterministically.
+  std::vector<interp::ThreadSpec> specs;
+  for (const ThreadPlan& plan : spec.threads) {
+    int idx = cp_.find_index(plan.proc);
+    SYNAT_ASSERT(idx >= 0, "unknown procedure: " + plan.proc);
+    specs.push_back({idx, plan.args});
+  }
+  State init = interp_.initial_state(specs);
+
+  auto run_setup = [&](int tid, const std::string& proc,
+                       const std::vector<Value>& args) -> bool {
+    int idx = cp_.find_index(proc);
+    SYNAT_ASSERT(idx >= 0, "unknown setup procedure: " + proc);
+    Thread& t = init.threads[static_cast<size_t>(tid)];
+    Thread saved = t;
+    const interp::CompiledProc& p = cp_.procs[static_cast<size_t>(idx)];
+    SYNAT_ASSERT(args.size() == p.num_params,
+                 "wrong setup argument count for " + proc);
+    t.proc = idx;
+    t.pc = 0;
+    t.stack.clear();
+    t.frame.assign(p.frame_size, Value::unit());
+    for (size_t i = 0; i < args.size(); ++i) t.frame[i] = args[i];
+    t.status = ThreadStatus::Runnable;
+    std::string err;
+    StepResult r = interp_.run_thread(init, tid, &err);
+    if (r != StepResult::Done) {
+      report("setup " + proc + " failed: " + err);
+      return false;
+    }
+    // Restore the main procedure (thread-locals and links persist).
+    saved.links = t.links;
+    t = std::move(saved);
+    return true;
+  };
+
+  if (!spec.global_init.empty()) {
+    if (!run_setup(0, spec.global_init, {})) return finish();
+  }
+  for (size_t tid = 0; tid < spec.threads.size(); ++tid) {
+    const ThreadPlan& plan = spec.threads[tid];
+    if (plan.init_proc.empty()) continue;
+    if (!run_setup(static_cast<int>(tid), plan.init_proc, plan.init_args))
+      return finish();
+  }
+
+  // DFS with hash-compacted seen set.
+  std::unordered_set<uint64_t> seen;
+  auto canon_hash = [&](const State& s) {
+    std::string bytes = canonicalize(s);
+    return hash_bytes(bytes);
+  };
+
+  struct Frame {
+    State state;
+    std::vector<int> tids;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto check_state = [&](const State& s, const std::vector<int>& tids) -> bool {
+    if (opts_.invariant) {
+      if (auto msg = opts_.invariant(s, interp_)) {
+        report("invariant violated: " + *msg);
+        return false;
+      }
+    }
+    if (tids.empty()) {
+      ++result.final_states;
+      if (opts_.report_deadlock) {
+        for (const Thread& t : s.threads) {
+          if (t.status == ThreadStatus::Runnable) {
+            report("deadlock: thread blocked at quiescence");
+            return false;
+          }
+        }
+      }
+      if (opts_.final_check) {
+        if (auto msg = opts_.final_check(s, interp_)) {
+          report("final-state check failed: " + *msg);
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  seen.insert(canon_hash(init));
+  result.states = 1;
+  {
+    std::vector<int> tids = choices(init);
+    if (!check_state(init, tids)) return finish();
+    stack.push_back({std::move(init), std::move(tids), 0});
+  }
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next >= top.tids.size()) {
+      stack.pop_back();
+      continue;
+    }
+    int tid = top.tids[top.next++];
+    State succ = top.state;  // copy
+    std::string err;
+    StepResult r = interp_.step(succ, tid, &err);
+    ++result.transitions;
+    switch (r) {
+      case StepResult::Ok:
+      case StepResult::Stuck:
+        break;  // Stuck marks the thread infeasible; the state still counts
+      case StepResult::Blocked:
+      case StepResult::Done:
+        continue;  // no new state
+      case StepResult::Error:
+        report(err);
+        return finish();
+    }
+    uint64_t h = canon_hash(succ);
+    if (!seen.insert(h).second) continue;
+    ++result.states;
+    if (result.states > opts_.max_states) {
+      result.hit_state_limit = true;
+      return finish();
+    }
+    std::vector<int> tids = choices(succ);
+    if (!check_state(succ, tids)) return finish();
+    stack.push_back({std::move(succ), std::move(tids), 0});
+  }
+  return finish();
+}
+
+}  // namespace synat::mc

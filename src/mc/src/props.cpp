@@ -1,0 +1,64 @@
+#include "synat/mc/props.h"
+
+namespace synat::mc {
+
+using interp::ObjId;
+
+std::optional<std::string> walk_list(const State& s, ObjId head,
+                                     int next_field,
+                                     std::vector<ObjId>& out) {
+  ObjId cur = head;
+  size_t guard = s.heap.size() + 1;
+  while (cur != interp::kNull) {
+    if (!s.valid_ref(cur)) return "dangling reference in list";
+    if (out.size() > guard) return "cycle in list";
+    out.push_back(cur);
+    const Value& next = s.obj(cur).fields[static_cast<size_t>(next_field)];
+    if (next.kind != Value::Ref) return "non-reference Next field";
+    cur = next.ref;
+  }
+  return std::nullopt;
+}
+
+StateCheck queue_wellformed(const ModelChecker& mc, int next_field) {
+  int head_slot = mc.global_slot("Head");
+  int tail_slot = mc.global_slot("Tail");
+  return [=](const State& s, const Interp&) -> std::optional<std::string> {
+    ObjId head = s.globals[static_cast<size_t>(head_slot)].ref;
+    ObjId tail = s.globals[static_cast<size_t>(tail_slot)].ref;
+    if (head == interp::kNull) return std::nullopt;  // before Init
+    std::vector<ObjId> nodes;
+    if (auto err = walk_list(s, head, next_field, nodes)) return err;
+    for (ObjId n : nodes) {
+      if (n == tail) return std::nullopt;
+    }
+    return "Tail not reachable from Head";
+  };
+}
+
+StateCheck queue_final_contents(const ModelChecker& mc, int value_field,
+                                int next_field,
+                                std::multiset<int64_t> expected) {
+  int head_slot = mc.global_slot("Head");
+  return [=](const State& s, const Interp&) -> std::optional<std::string> {
+    ObjId head = s.globals[static_cast<size_t>(head_slot)].ref;
+    if (head == interp::kNull) return "queue never initialized";
+    std::vector<ObjId> nodes;
+    if (auto err = walk_list(s, head, next_field, nodes)) return err;
+    std::multiset<int64_t> got;
+    for (size_t i = 1; i < nodes.size(); ++i) {  // skip the dummy
+      got.insert(s.obj(nodes[i]).fields[static_cast<size_t>(value_field)].i);
+    }
+    if (got != expected) {
+      std::string msg = "queue contents {";
+      for (int64_t v : got) msg += std::to_string(v) + ",";
+      msg += "} != expected {";
+      for (int64_t v : expected) msg += std::to_string(v) + ",";
+      msg += "}";
+      return msg;
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace synat::mc

@@ -1,0 +1,223 @@
+// Simplified Michael lock-free allocator (paper Section 6.4, [12]).
+//
+// One size class. Superblocks hold `maxcount` fixed-size blocks whose free
+// list is threaded through the blocks themselves as indices; each
+// descriptor's Anchor packs (avail index, count, tag) into one 64-bit word
+// updated by CAS — the tag is the modification counter the paper's CAS
+// theorems rely on. The Active descriptor and the partial list are counted
+// CAS pointers.
+//
+// Simplifications vs. [12], documented in DESIGN.md: a single size class
+// and heap; no credits subfield in Active (we CAS the descriptor's anchor
+// directly); superblocks are cached forever (no EMPTY-state reclamation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "synat/runtime/versioned.h"
+
+namespace synat::runtime {
+
+class LockFreeAllocator {
+ public:
+  /// blocks of `block_size` bytes, `blocks_per_superblock` per superblock.
+  explicit LockFreeAllocator(size_t block_size = 64,
+                             uint16_t blocks_per_superblock = 64)
+      : block_size_(align_up(block_size + sizeof(Header), 16)),
+        maxcount_(blocks_per_superblock) {}
+
+  ~LockFreeAllocator() {
+    for (Descriptor* d : all_descriptors_snapshot()) {
+      std::free(d->superblock);
+      delete d;
+    }
+  }
+  LockFreeAllocator(const LockFreeAllocator&) = delete;
+  LockFreeAllocator& operator=(const LockFreeAllocator&) = delete;
+
+  void* malloc() {
+    while (true) {
+      if (void* p = malloc_from_active()) return p;
+      if (void* p = malloc_from_partial()) return p;
+      if (void* p = malloc_from_new_sb()) return p;
+    }
+  }
+
+  void free(void* payload) {
+    Header* h = reinterpret_cast<Header*>(static_cast<char*>(payload) -
+                                          sizeof(Header));
+    Descriptor* d = h->desc;
+    uint16_t idx = h->index;
+    uint64_t old_anchor = d->anchor.load(std::memory_order_acquire);
+    while (true) {
+      Anchor a = unpack(old_anchor);
+      // Thread the block back onto the free list.
+      block_next(d, idx) = a.avail;
+      Anchor na{idx, static_cast<uint16_t>(a.count + 1),
+                static_cast<uint32_t>(a.tag + 1)};
+      if (d->anchor.compare_exchange_weak(old_anchor, pack(na),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        if (a.count == 0) make_partial(d);  // it was full: re-expose it
+        return;
+      }
+    }
+  }
+
+  size_t superblocks_allocated() const {
+    return sb_count_.load(std::memory_order_relaxed);
+  }
+  size_t block_payload_size() const { return block_size_ - sizeof(Header); }
+
+ private:
+  struct Descriptor;
+
+  struct Header {
+    Descriptor* desc;
+    uint16_t index;
+  };
+
+  struct Anchor {
+    uint16_t avail;  ///< index of first free block (kNone = empty list)
+    uint16_t count;  ///< free blocks
+    uint32_t tag;    ///< CAS modification counter
+  };
+  static constexpr uint16_t kNone = 0xffff;
+
+  struct Descriptor {
+    std::atomic<uint64_t> anchor{0};
+    char* superblock = nullptr;
+    uint16_t maxcount = 0;
+    Descriptor* next_partial = nullptr;  ///< link while on the partial list
+    Descriptor* next_all = nullptr;      ///< teardown bookkeeping
+  };
+
+  static uint64_t pack(Anchor a) {
+    return static_cast<uint64_t>(a.avail) | (static_cast<uint64_t>(a.count) << 16) |
+           (static_cast<uint64_t>(a.tag) << 32);
+  }
+  static Anchor unpack(uint64_t bits) {
+    return {static_cast<uint16_t>(bits & 0xffff),
+            static_cast<uint16_t>((bits >> 16) & 0xffff),
+            static_cast<uint32_t>(bits >> 32)};
+  }
+  static size_t align_up(size_t n, size_t a) { return (n + a - 1) / a * a; }
+
+  char* block_addr(Descriptor* d, uint16_t idx) const {
+    return d->superblock + static_cast<size_t>(idx) * block_size_;
+  }
+  /// The free-list "next" index stored in a free block's payload.
+  uint16_t& block_next(Descriptor* d, uint16_t idx) const {
+    return *reinterpret_cast<uint16_t*>(block_addr(d, idx) + sizeof(Header));
+  }
+
+  void* take(Descriptor* d, uint16_t idx) const {
+    Header* h = reinterpret_cast<Header*>(block_addr(d, idx));
+    h->desc = d;
+    h->index = idx;
+    return block_addr(d, idx) + sizeof(Header);
+  }
+
+  void* malloc_from_descriptor(Descriptor* d) {
+    uint64_t old_anchor = d->anchor.load(std::memory_order_acquire);
+    while (true) {
+      Anchor a = unpack(old_anchor);
+      if (a.count == 0 || a.avail == kNone) return nullptr;
+      uint16_t idx = a.avail;
+      uint16_t next = block_next(d, idx);
+      Anchor na{next, static_cast<uint16_t>(a.count - 1),
+                static_cast<uint32_t>(a.tag + 1)};
+      if (d->anchor.compare_exchange_weak(old_anchor, pack(na),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        return take(d, idx);
+      }
+    }
+  }
+
+  void* malloc_from_active() {
+    auto active = active_.load();
+    if (!active.value) return nullptr;
+    if (void* p = malloc_from_descriptor(active.value)) return p;
+    // Exhausted: retire it from Active (whoever wins; losers just retry).
+    active_.cas(active, nullptr);
+    return nullptr;
+  }
+
+  void* malloc_from_partial() {
+    while (true) {
+      auto head = partial_.load();
+      if (!head.value) return nullptr;
+      if (!partial_.cas(head, head.value->next_partial)) continue;
+      Descriptor* d = head.value;
+      if (void* p = malloc_from_descriptor(d)) {
+        // Reinstall as Active so subsequent mallocs hit the fast path.
+        auto expected = active_.load();
+        if (!expected.value) active_.cas(expected, d);
+        return p;
+      }
+      // Fully drained between push and pop: drop it (frees re-expose it).
+    }
+  }
+
+  void* malloc_from_new_sb() {
+    Descriptor* d = new Descriptor;
+    d->superblock = static_cast<char*>(
+        std::aligned_alloc(16, block_size_ * maxcount_));
+    d->maxcount = maxcount_;
+    // Blocks 1..max-1 form the free list; block 0 is returned immediately.
+    for (uint16_t i = 1; i < maxcount_; ++i) {
+      block_next(d, i) = i + 1 < maxcount_ ? static_cast<uint16_t>(i + 1) : kNone;
+    }
+    d->anchor.store(pack({1, static_cast<uint16_t>(maxcount_ - 1), 0}),
+                    std::memory_order_release);
+    register_descriptor(d);
+    sb_count_.fetch_add(1, std::memory_order_relaxed);
+
+    auto expected = active_.load();
+    if (!expected.value && active_.cas(expected, d)) {
+      return take(d, 0);
+    }
+    // Someone else installed an Active first: expose ours as partial.
+    void* p = take(d, 0);
+    make_partial(d);
+    return p;
+  }
+
+  void make_partial(Descriptor* d) {
+    auto head = partial_.load();
+    while (true) {
+      d->next_partial = head.value;
+      if (partial_.cas(head, d)) return;
+    }
+  }
+
+  void register_descriptor(Descriptor* d) {
+    Descriptor* head = all_.load(std::memory_order_acquire);
+    do {
+      d->next_all = head;
+    } while (!all_.compare_exchange_weak(head, d, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+  }
+
+  std::vector<Descriptor*> all_descriptors_snapshot() const {
+    std::vector<Descriptor*> out;
+    for (Descriptor* d = all_.load(std::memory_order_acquire); d;
+         d = d->next_all)
+      out.push_back(d);
+    return out;
+  }
+
+  const size_t block_size_;
+  const uint16_t maxcount_;
+  VersionedAtomic<Descriptor*> active_{nullptr};
+  VersionedAtomic<Descriptor*> partial_{nullptr};
+  std::atomic<Descriptor*> all_{nullptr};
+  std::atomic<size_t> sb_count_{0};
+};
+
+}  // namespace synat::runtime

@@ -1,0 +1,150 @@
+// Epoch-based memory reclamation for the non-blocking containers.
+//
+// Threads enter a read-side critical section (Guard) before touching nodes
+// that concurrent operations may retire. Retired nodes are freed once every
+// registered thread has left the epoch in which they were retired (two
+// global epoch advances). This is the standard 3-epoch scheme; it keeps the
+// containers' fast paths lock-free while making node reuse safe (ABA on
+// recycled addresses is additionally guarded by the VersionedAtomic
+// counters).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace synat::runtime {
+
+class EpochDomain {
+ public:
+  static constexpr uint64_t kIdle = ~0ull;
+
+  EpochDomain() = default;
+  ~EpochDomain() { drain_all_unsafe(); }
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// RAII read-side critical section.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& dom) : dom_(dom), slot_(dom.my_slot()) {
+      uint64_t e = dom_.global_epoch_.load(std::memory_order_acquire);
+      dom_.slots_[slot_].epoch.store(e, std::memory_order_release);
+    }
+    ~Guard() {
+      dom_.slots_[slot_].epoch.store(kIdle, std::memory_order_release);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochDomain& dom_;
+    size_t slot_;
+  };
+
+  /// Defers `deleter` until no thread can still hold a reference obtained
+  /// before this call. Must be invoked outside or inside a Guard (both are
+  /// safe; the node must already be unlinked).
+  void retire(std::function<void()> deleter) {
+    size_t slot = my_slot();
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lk(slots_[slot].mu);
+      slots_[slot].retired.push_back({std::move(deleter), e});
+    }
+    if (++slots_[slot].ops % kCollectPeriod == 0) collect(slot);
+  }
+
+  /// Attempts an epoch advance + local collection (also called
+  /// periodically from retire()).
+  void collect(size_t slot) {
+    try_advance();
+    uint64_t safe = global_epoch_.load(std::memory_order_acquire);
+    // Nodes retired at epoch e are free when global >= e + 2.
+    std::vector<Retired> free_now;
+    {
+      std::lock_guard<std::mutex> lk(slots_[slot].mu);
+      auto& list = slots_[slot].retired;
+      size_t kept = 0;
+      for (auto& r : list) {
+        if (r.epoch + 2 <= safe) {
+          free_now.push_back(std::move(r));
+        } else {
+          list[kept++] = std::move(r);
+        }
+      }
+      list.resize(kept);
+    }
+    for (auto& r : free_now) r.deleter();
+  }
+
+  /// Number of deferred deletions not yet executed (tests/diagnostics).
+  size_t pending() {
+    size_t n = 0;
+    for (auto& s : slots_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.retired.size();
+    }
+    return n;
+  }
+
+  /// Frees everything regardless of epochs. Only safe when no concurrent
+  /// readers exist (destructor / tests).
+  void drain_all_unsafe() {
+    for (auto& s : slots_) {
+      std::vector<Retired> list;
+      {
+        std::lock_guard<std::mutex> lk(s.mu);
+        list.swap(s.retired);
+      }
+      for (auto& r : list) r.deleter();
+    }
+  }
+
+  static constexpr size_t kMaxThreads = 128;
+
+ private:
+  struct Retired {
+    std::function<void()> deleter;
+    uint64_t epoch;
+  };
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::mutex mu;                 ///< protects retired (slow path only)
+    std::vector<Retired> retired;  ///< deferred deletions
+    uint64_t ops = 0;
+  };
+
+  static constexpr uint64_t kCollectPeriod = 64;
+
+  size_t my_slot() {
+    // Per (thread, domain) slot assignment; a plain thread_local would be
+    // shared across domains.
+    thread_local std::vector<std::pair<const EpochDomain*, size_t>> cache;
+    for (auto& [dom, slot] : cache) {
+      if (dom == this) return slot;
+    }
+    size_t slot = slot_counter_.fetch_add(1) % kMaxThreads;
+    cache.emplace_back(this, slot);
+    return slot;
+  }
+
+  void try_advance() {
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    for (const Slot& s : slots_) {
+      uint64_t se = s.epoch.load(std::memory_order_acquire);
+      if (se != kIdle && se < e) return;  // a reader lags behind
+    }
+    global_epoch_.compare_exchange_strong(e, e + 1,
+                                          std::memory_order_acq_rel);
+  }
+
+  std::atomic<uint64_t> global_epoch_{2};
+  std::atomic<size_t> slot_counter_{0};
+  std::array<Slot, kMaxThreads> slots_;
+};
+
+}  // namespace synat::runtime

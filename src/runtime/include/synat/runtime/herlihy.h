@@ -1,0 +1,89 @@
+// Herlihy's universal construction for small objects (paper Section 6.2,
+// [7]): each thread keeps a private working copy; an operation copies the
+// shared object, applies the update to the copy, and publishes it with SC.
+// The retired shared copy becomes the thread's next working copy, so the
+// construction uses exactly num_threads + 1 blocks and never allocates
+// after start-up.
+//
+// Reads of the shared block can race with the former owner's writes to its
+// (stale) working copy — exactly the hazard the paper describes — which the
+// VL validation detects, discarding the torn copy. T must therefore be
+// trivially copyable (the copy is a memcpy that tolerates byte races).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "synat/runtime/llsc.h"
+
+namespace synat::runtime {
+
+template <typename T, size_t MaxThreads = 64>
+  requires std::is_trivially_copyable_v<T>
+class HerlihyObject {
+ public:
+  explicit HerlihyObject(T initial) {
+    blocks_.resize(MaxThreads + 1);
+    blocks_[0].data = initial;
+    shared_.store(&blocks_[0]);
+    for (size_t i = 1; i < blocks_.size(); ++i) free_.push_back(&blocks_[i]);
+  }
+  HerlihyObject(const HerlihyObject&) = delete;
+  HerlihyObject& operator=(const HerlihyObject&) = delete;
+
+  /// Applies `op` atomically; returns op's result.
+  template <typename Op>
+  auto apply(Op&& op) {
+    Block* prv = my_private();
+    typename LLSCCell<Block*>::Link link;
+    while (true) {
+      Block* m = shared_.ll(link);
+      // copy(prv.data, m.data): may observe a torn value if the former
+      // owner of m is still writing; VL rejects that case.
+      std::memcpy(static_cast<void*>(&prv->data),
+                  static_cast<const void*>(&m->data), sizeof(T));
+      if (!shared_.vl(link)) continue;
+      auto result = op(prv->data);  // computation(prv.data)
+      if (shared_.sc(link, prv)) {
+        my_private() = m;  // retire the old shared copy
+        return result;
+      }
+    }
+  }
+
+  /// Linearizable read.
+  T read() {
+    return apply([](T& v) { return v; });
+  }
+
+ private:
+  struct alignas(64) Block {
+    T data{};
+  };
+
+  Block*& my_private() {
+    thread_local std::vector<std::pair<const HerlihyObject*, Block*>> cache;
+    for (auto& [obj, blk] : cache) {
+      if (obj == this) return blk;
+    }
+    Block* blk;
+    {
+      std::lock_guard<std::mutex> lk(init_mu_);
+      if (free_.empty()) std::abort();  // more than MaxThreads threads
+      blk = free_.back();
+      free_.pop_back();
+    }
+    cache.emplace_back(this, blk);
+    return cache.back().second;
+  }
+
+  LLSCCell<Block*> shared_{nullptr};
+  std::vector<Block> blocks_;
+  std::vector<Block*> free_;
+  std::mutex init_mu_;  ///< one-time per-thread block assignment only
+};
+
+}  // namespace synat::runtime

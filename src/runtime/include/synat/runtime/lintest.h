@@ -1,0 +1,153 @@
+// Linearizability testing (Herlihy & Wing [8], checked with the Wing-Gong
+// search). This is the runtime counterpart of the paper's two-step plan:
+// prove procedures atomic statically, check the sequential behavior, and
+// conclude linearizability. The tester validates the runtime containers
+// directly: record a concurrent history, then search for a legal sequential
+// witness that respects real time.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "synat/support/hash.h"
+
+namespace synat::runtime {
+
+/// One completed operation in a history.
+struct HistOp {
+  int tid = 0;
+  int op = 0;        ///< operation code (spec-defined)
+  int64_t arg = 0;
+  int64_t ret = 0;
+  uint64_t invoke = 0;   ///< global timestamps
+  uint64_t respond = 0;
+};
+
+/// Collects per-thread operation logs with globally ordered timestamps.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(int num_threads) : logs_(static_cast<size_t>(num_threads)) {}
+
+  uint64_t invoke() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  void respond(int tid, int op, int64_t arg, int64_t ret, uint64_t invoke_ts) {
+    uint64_t ts = clock_.fetch_add(1, std::memory_order_acq_rel);
+    logs_[static_cast<size_t>(tid)].push_back({tid, op, arg, ret, invoke_ts, ts});
+  }
+
+  std::vector<HistOp> history() const {
+    std::vector<HistOp> out;
+    for (const auto& log : logs_) out.insert(out.end(), log.begin(), log.end());
+    return out;
+  }
+
+ private:
+  std::atomic<uint64_t> clock_{1};
+  std::vector<std::vector<HistOp>> logs_;
+};
+
+/// Sequential FIFO queue specification. op 0 = enqueue(arg) -> 0,
+/// op 1 = dequeue() -> value or kEmpty.
+struct QueueSpec {
+  static constexpr int kEnq = 0;
+  static constexpr int kDeq = 1;
+  static constexpr int64_t kEmpty = -1;
+
+  std::deque<int64_t> items;
+
+  /// Applies the operation; returns false if the recorded result is not the
+  /// legal one from this state.
+  bool apply(const HistOp& op) {
+    if (op.op == kEnq) {
+      items.push_back(op.arg);
+      return true;
+    }
+    if (items.empty()) return op.ret == kEmpty;
+    if (op.ret != items.front()) return false;
+    items.pop_front();
+    return true;
+  }
+
+  uint64_t digest() const {
+    Hasher h;
+    for (int64_t v : items) h.mix(static_cast<uint64_t>(v));
+    return h.value();
+  }
+};
+
+/// Sequential LIFO stack specification (op 0 = push, 1 = pop).
+struct StackSpec {
+  static constexpr int kPush = 0;
+  static constexpr int kPop = 1;
+  static constexpr int64_t kEmpty = -1;
+
+  std::vector<int64_t> items;
+
+  bool apply(const HistOp& op) {
+    if (op.op == kPush) {
+      items.push_back(op.arg);
+      return true;
+    }
+    if (items.empty()) return op.ret == kEmpty;
+    if (op.ret != items.back()) return false;
+    items.pop_back();
+    return true;
+  }
+
+  uint64_t digest() const {
+    Hasher h;
+    for (int64_t v : items) h.mix(static_cast<uint64_t>(v));
+    return h.value();
+  }
+};
+
+/// Wing-Gong search: true iff `history` is linearizable w.r.t. Spec.
+/// Exponential in the worst case; intended for the small histories the
+/// stress tests record. Memoizes (chosen-set, spec-state) pairs.
+template <typename Spec>
+bool linearizable(std::vector<HistOp> history) {
+  const size_t n = history.size();
+  if (n > 62) return true;  // too large to decide; callers keep runs small
+  std::unordered_set<uint64_t> seen;
+
+  struct Frame {
+    uint64_t taken;  ///< bitmask of linearized ops
+    Spec spec;
+  };
+  std::vector<Frame> stack{{0, Spec{}}};
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (std::popcount(f.taken) == static_cast<int>(n)) return true;
+
+    // An op is a candidate if it is not taken and no other untaken op
+    // responded before its invocation (real-time order).
+    uint64_t earliest_response = ~0ull;
+    for (size_t i = 0; i < n; ++i) {
+      if (f.taken & (1ull << i)) continue;
+      earliest_response = std::min(earliest_response, history[i].respond);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (f.taken & (1ull << i)) continue;
+      if (history[i].invoke > earliest_response) continue;
+      Spec next = f.spec;
+      if (!next.apply(history[i])) continue;
+      uint64_t key = Hasher()
+                         .mix(f.taken | (1ull << i))
+                         .mix(next.digest())
+                         .value();
+      if (!seen.insert(key).second) continue;
+      stack.push_back({f.taken | (1ull << i), std::move(next)});
+    }
+  }
+  return false;
+}
+
+}  // namespace synat::runtime

@@ -1,0 +1,110 @@
+// Simulated Load-Linked / Store-Conditional / Validate.
+//
+// x86-64 has no LL/SC, so the cell packs a 64-bit value with a 64-bit
+// modification count into a double-word atomic (cmpxchg16b where available;
+// libatomic otherwise). Semantics match the paper's Section 3.1:
+//   - LL returns the value and records the count in the calling thread's
+//     link token;
+//   - SC succeeds iff no successful SC happened since the matching LL (the
+//     count is unchanged), and bumps the count;
+//   - VL reports whether the link is still valid;
+//   - plain loads/stores are possible but, per the discipline the analysis
+//     assumes, stores should go through SC only.
+// There are no spurious failures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace synat::runtime {
+
+/// A value holdable by an LLSCCell: 64 bits, trivially copyable.
+template <typename T>
+concept LLSCValue = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+template <LLSCValue T>
+class LLSCCell {
+ public:
+  /// Link token returned by ll(); pass it to sc()/vl(). Tokens are cheap
+  /// value types; each thread typically keeps one per protected cell.
+  struct Link {
+    uint64_t count = ~0ull;
+  };
+
+  constexpr LLSCCell() : state_(Packed{}) {}
+  explicit LLSCCell(T initial) : state_(Packed{to_bits(initial), 0}) {}
+
+  LLSCCell(const LLSCCell&) = delete;
+  LLSCCell& operator=(const LLSCCell&) = delete;
+
+  /// Load-linked: returns the current value and arms `link`.
+  T ll(Link& link) const {
+    Packed p = state_.load(std::memory_order_acquire);
+    link.count = p.count;
+    return from_bits(p.bits);
+  }
+
+  /// Validate: true iff no successful SC since the matching ll().
+  bool vl(const Link& link) const {
+    return state_.load(std::memory_order_acquire).count == link.count;
+  }
+
+  /// Store-conditional: writes `value` iff the link is still valid.
+  /// Consumes the link (a second sc on the same token fails).
+  bool sc(Link& link, T value) {
+    Packed expected = state_.load(std::memory_order_acquire);
+    if (expected.count != link.count) {
+      link.count = ~0ull;
+      return false;
+    }
+    Packed desired{to_bits(value), expected.count + 1};
+    bool ok = state_.compare_exchange_strong(expected, desired,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+    link.count = ~0ull;
+    return ok;
+  }
+
+  /// Unlinked read (a plain global read in the paper's terms).
+  T load() const { return from_bits(state_.load(std::memory_order_acquire).bits); }
+
+  /// Unconditional store. Does NOT bump the count: per the paper's
+  /// semantics only successful SCs invalidate links. Use only for
+  /// initialization in code the analysis blesses.
+  void store(T value) {
+    Packed p = state_.load(std::memory_order_relaxed);
+    // Re-read of p on failure updates the count we preserve.
+    while (!state_.compare_exchange_weak(p, Packed{to_bits(value), p.count},
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Number of successful SCs so far (diagnostics).
+  uint64_t modification_count() const {
+    return state_.load(std::memory_order_relaxed).count;
+  }
+
+ private:
+  struct Packed {
+    uint64_t bits = 0;
+    uint64_t count = 0;
+    friend bool operator==(const Packed&, const Packed&) = default;
+  };
+
+  static uint64_t to_bits(T v) {
+    uint64_t bits = 0;
+    __builtin_memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static T from_bits(uint64_t bits) {
+    T v{};
+    __builtin_memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+
+  std::atomic<Packed> state_;
+};
+
+}  // namespace synat::runtime

@@ -1,0 +1,110 @@
+// Michael & Scott's non-blocking FIFO queue (paper Section 6.1, [13]),
+// implemented with counted CAS (VersionedAtomic) and epoch reclamation.
+//
+// This is the CAS flavor of the algorithm the paper analyzes as NFQ: a
+// singly-linked list with a dummy head; enqueue links at the tail and
+// swings Tail (possibly helped by other operations); dequeue advances Head.
+#pragma once
+
+#include <optional>
+
+#include "synat/runtime/ebr.h"
+#include "synat/runtime/versioned.h"
+
+namespace synat::runtime {
+
+template <typename T>
+class MSQueue {
+ public:
+  MSQueue() {
+    Node* dummy = new Node{};
+    head_.store(dummy);
+    tail_.store(dummy);
+  }
+  ~MSQueue() {
+    // Single-threaded teardown.
+    Node* n = head_.value();
+    while (n) {
+      Node* next = n->next.value();
+      delete n;
+      n = next;
+    }
+    ebr_.drain_all_unsafe();
+  }
+  MSQueue(const MSQueue&) = delete;
+  MSQueue& operator=(const MSQueue&) = delete;
+
+  void enqueue(T value) {
+    enqueue_stalled(std::move(value), [] {});
+  }
+
+  /// enqueue with a caller-provided stall between the link CAS and the Tail
+  /// swing — simulates a thread preempted at the algorithm's most delicate
+  /// point. Other operations help the stalled enqueue to completion, which
+  /// is the non-blocking progress property the paper's introduction cites
+  /// (benchmark E7 uses this hook).
+  template <typename Stall>
+  void enqueue_stalled(T value, Stall&& stall) {
+    Node* node = new Node{std::move(value)};
+    EpochDomain::Guard g(ebr_);
+    while (true) {
+      auto tail = tail_.load();
+      auto next = tail.value->next.load();
+      if (tail.stamp != tail_.load().stamp) continue;  // tail moved: re-read
+      if (next.value != nullptr) {
+        // Tail lags: help swing it (the update NFQ' moves into UpdateTail).
+        tail_.cas(tail, next.value);
+        continue;
+      }
+      auto expected = next;
+      if (tail.value->next.cas(expected, node)) {
+        stall();
+        tail_.cas(tail, node);  // optional SC(Tail, node); may fail harmlessly
+        return;
+      }
+    }
+  }
+
+  std::optional<T> dequeue() {
+    EpochDomain::Guard g(ebr_);
+    while (true) {
+      auto head = head_.load();
+      auto tail = tail_.load();
+      auto next = head.value->next.load();
+      if (head.stamp != head_.load().stamp) continue;
+      if (next.value == nullptr) return std::nullopt;  // EMPTY
+      if (head.value == tail.value) {
+        tail_.cas(tail, next.value);  // help
+        continue;
+      }
+      T value = next.value->value;  // read before CAS (next may be retired)
+      auto expected = head;
+      if (head_.cas(expected, next.value)) {
+        Node* retired = head.value;
+        ebr_.retire([retired] { delete retired; });
+        return value;
+      }
+    }
+  }
+
+  /// Approximate length (single-threaded use / tests).
+  size_t unsafe_size() const {
+    size_t n = 0;
+    for (Node* cur = head_.value()->next.value(); cur;
+         cur = cur->next.value())
+      ++n;
+    return n;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    VersionedAtomic<Node*> next{nullptr};
+  };
+
+  VersionedAtomic<Node*> head_{nullptr};
+  VersionedAtomic<Node*> tail_{nullptr};
+  EpochDomain ebr_;
+};
+
+}  // namespace synat::runtime

@@ -1,0 +1,43 @@
+// Lock-based FIFO queue: the blocking baseline the paper's introduction
+// contrasts non-blocking synchronization against (benchmark E7).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace synat::runtime {
+
+template <typename T>
+class MutexQueue {
+ public:
+  void enqueue(T value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    items_.push_back(std::move(value));
+  }
+
+  /// Counterpart of MSQueue::enqueue_stalled: the stall happens while the
+  /// lock is held (a preempted lock holder blocks everyone).
+  template <typename Stall>
+  void enqueue_stalled(T value, Stall&& stall) {
+    std::lock_guard<std::mutex> lk(mu_);
+    items_.push_back(std::move(value));
+    stall();
+  }
+
+  std::optional<T> dequeue() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  size_t unsafe_size() const { return items_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace synat::runtime

@@ -1,0 +1,61 @@
+// Treiber stack with counted CAS and epoch reclamation.
+#pragma once
+
+#include <optional>
+
+#include "synat/runtime/ebr.h"
+#include "synat/runtime/versioned.h"
+
+namespace synat::runtime {
+
+template <typename T>
+class TreiberStack {
+ public:
+  TreiberStack() = default;
+  ~TreiberStack() {
+    Node* n = top_.value();
+    while (n) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+    ebr_.drain_all_unsafe();
+  }
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+
+  void push(T value) {
+    Node* node = new Node{std::move(value), nullptr};
+    auto top = top_.load();
+    while (true) {
+      node->next = top.value;
+      if (top_.cas(top, node)) return;  // cas refreshed `top` on failure
+    }
+  }
+
+  std::optional<T> pop() {
+    EpochDomain::Guard g(ebr_);
+    auto top = top_.load();
+    while (true) {
+      if (top.value == nullptr) return std::nullopt;
+      T value = top.value->value;
+      Node* retired = top.value;
+      if (top_.cas(top, top.value->next)) {
+        ebr_.retire([retired] { delete retired; });
+        return value;
+      }
+    }
+  }
+
+  bool empty() const { return top_.value() == nullptr; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+  VersionedAtomic<Node*> top_{nullptr};
+  EpochDomain ebr_;
+};
+
+}  // namespace synat::runtime

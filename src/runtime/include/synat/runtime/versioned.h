@@ -1,0 +1,82 @@
+// CAS with a modification counter — the paper's Section 5.2 cure for ABA.
+//
+// Every successful CAS increments a counter stored next to the value in a
+// double-word atomic; the expected value for a CAS is a (value, counter)
+// stamp obtained by a previous load. A CAS whose stamp is stale fails even
+// if the raw value happens to match (the ABA case).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace synat::runtime {
+
+template <typename T>
+  requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
+class VersionedAtomic {
+ public:
+  struct Stamped {
+    T value{};
+    uint64_t stamp = 0;
+  };
+
+  constexpr VersionedAtomic() : state_(Packed{}) {}
+  explicit VersionedAtomic(T initial) : state_(Packed{to_bits(initial), 0}) {}
+
+  VersionedAtomic(const VersionedAtomic&) = delete;
+  VersionedAtomic& operator=(const VersionedAtomic&) = delete;
+
+  /// The matching read of a future CAS: value plus stamp.
+  Stamped load() const {
+    Packed p = state_.load(std::memory_order_acquire);
+    return {from_bits(p.bits), p.count};
+  }
+
+  /// Value-only read.
+  T value() const { return from_bits(state_.load(std::memory_order_acquire).bits); }
+
+  /// Compare-and-swap against a stamped expectation; updates `expected` to
+  /// the observed state on failure (like compare_exchange).
+  bool cas(Stamped& expected, T desired) {
+    Packed exp{to_bits(expected.value), expected.stamp};
+    Packed des{to_bits(desired), expected.stamp + 1};
+    if (state_.compare_exchange_strong(exp, des, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return true;
+    }
+    expected = {from_bits(exp.bits), exp.count};
+    return false;
+  }
+
+  /// Unconditional store; still bumps the counter so outstanding stamps
+  /// turn stale (initialization-time use).
+  void store(T value) {
+    Packed p = state_.load(std::memory_order_relaxed);
+    while (!state_.compare_exchange_weak(p, Packed{to_bits(value), p.count + 1},
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  struct Packed {
+    uint64_t bits = 0;
+    uint64_t count = 0;
+    friend bool operator==(const Packed&, const Packed&) = default;
+  };
+  static uint64_t to_bits(T v) {
+    uint64_t bits = 0;
+    __builtin_memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static T from_bits(uint64_t bits) {
+    T v{};
+    __builtin_memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+
+  std::atomic<Packed> state_;
+};
+
+}  // namespace synat::runtime

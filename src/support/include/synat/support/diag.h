@@ -1,0 +1,73 @@
+// Diagnostic accumulation for the SYNL front end and analyses.
+//
+// Analyses never throw on user-input (SYNL source) problems; they report
+// through a DiagEngine and degrade conservatively. Internal invariant
+// violations use SYNAT_ASSERT, which throws InternalError so tests can
+// observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synat/support/source_loc.h"
+
+namespace synat {
+
+enum class Severity { Note, Warning, Error };
+
+std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one program.
+class DiagEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message) {
+    if (sev == Severity::Error) ++num_errors_;
+    diags_.push_back({sev, loc, std::move(message)});
+  }
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  bool has_errors() const { return num_errors_ != 0; }
+  size_t num_errors() const { return num_errors_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics, one per line, for error messages and tests.
+  std::string dump() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t num_errors_ = 0;
+};
+
+/// Thrown when an internal invariant is violated (a synat bug, not a
+/// problem with the analyzed program).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void internal_error(const char* file, int line, const std::string& what);
+
+#define SYNAT_ASSERT(cond, what)                                      \
+  do {                                                                \
+    if (!(cond)) ::synat::internal_error(__FILE__, __LINE__, (what)); \
+  } while (0)
+
+}  // namespace synat

@@ -1,0 +1,45 @@
+// Source positions and ranges for SYNL front-end diagnostics.
+//
+// Positions are 1-based (line, column) like most compilers; a default
+// constructed SourceLoc is "unknown" and prints as "<unknown>".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace synat {
+
+/// A single point in a source buffer.
+struct SourceLoc {
+  uint32_t line = 0;    ///< 1-based; 0 means unknown
+  uint32_t column = 0;  ///< 1-based; 0 means unknown
+
+  constexpr bool valid() const { return line != 0; }
+
+  friend constexpr bool operator==(SourceLoc, SourceLoc) = default;
+  friend constexpr auto operator<=>(SourceLoc a, SourceLoc b) {
+    if (auto c = a.line <=> b.line; c != 0) return c;
+    return a.column <=> b.column;
+  }
+
+  std::string str() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// A half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  constexpr bool valid() const { return begin.valid(); }
+  friend constexpr bool operator==(const SourceRange&, const SourceRange&) = default;
+
+  std::string str() const {
+    if (!valid()) return "<unknown>";
+    return begin.str() + "-" + end.str();
+  }
+};
+
+}  // namespace synat

@@ -1,0 +1,68 @@
+// Interned identifiers.
+//
+// All SYNL identifiers (variables, fields, procedure names, class names) are
+// interned into a SymbolTable so the analyses can compare and hash names as
+// 32-bit ids. A Symbol is only meaningful relative to the table that created
+// it; each Program owns one table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace synat {
+
+/// An interned string id. Value 0 is reserved for the empty/invalid symbol.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr uint32_t id() const { return id_; }
+
+  friend constexpr bool operator==(Symbol, Symbol) = default;
+  friend constexpr auto operator<=>(Symbol, Symbol) = default;
+
+ private:
+  friend class SymbolTable;
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+  uint32_t id_ = 0;
+};
+
+/// Interns strings; owned by a Program.
+class SymbolTable {
+ public:
+  SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  Symbol intern(std::string_view name);
+  /// Returns the invalid symbol if `name` was never interned.
+  Symbol lookup(std::string_view name) const;
+  std::string_view name(Symbol s) const;
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Heterogeneous lookup so Symbol lookup by string_view does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::vector<std::string> names_;  // index == id; names_[0] == ""
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> index_;
+};
+
+}  // namespace synat
+
+template <>
+struct std::hash<synat::Symbol> {
+  size_t operator()(synat::Symbol s) const noexcept {
+    return std::hash<uint32_t>{}(s.id());
+  }
+};

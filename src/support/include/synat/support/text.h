@@ -1,0 +1,29 @@
+// Small text utilities shared by the pretty printer, report emitters and
+// corpus loader.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synat {
+
+/// Splits on `sep` keeping empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Pads `text` on the right with spaces to at least `width` columns.
+std::string pad_right(std::string_view text, size_t width);
+
+/// Joins items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Renders `n` with thousands separators ("4069080" -> "4,069,080").
+std::string with_commas(uint64_t n);
+
+}  // namespace synat

@@ -1,0 +1,37 @@
+#include "synat/support/diag.h"
+
+namespace synat {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out(loc.str());
+  out += ": ";
+  out += to_string(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+std::string DiagEngine::dump() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void internal_error(const char* file, int line, const std::string& what) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": internal error: " + what);
+}
+
+}  // namespace synat

@@ -1,0 +1,30 @@
+#include "synat/support/symbol.h"
+
+#include "synat/support/diag.h"
+
+namespace synat {
+
+SymbolTable::SymbolTable() {
+  names_.emplace_back();  // id 0: invalid/empty
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  if (name.empty()) return Symbol();
+  if (auto it = index_.find(name); it != index_.end()) return Symbol(it->second);
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string(name), id);
+  return Symbol(id);
+}
+
+Symbol SymbolTable::lookup(std::string_view name) const {
+  if (auto it = index_.find(name); it != index_.end()) return Symbol(it->second);
+  return Symbol();
+}
+
+std::string_view SymbolTable::name(Symbol s) const {
+  SYNAT_ASSERT(s.id() < names_.size(), "symbol from a different table");
+  return names_[s.id()];
+}
+
+}  // namespace synat

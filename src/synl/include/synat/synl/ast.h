@@ -1,0 +1,398 @@
+// SYNL abstract syntax (paper Table 1), arena-allocated.
+//
+// A Program owns flat vectors of Expr and Stmt nodes; ExprId / StmtId are
+// indices into those vectors. Ids double as stable analysis keys (liveness
+// sets, mover maps, CFG node payloads), and the arena makes the exceptional-
+// variant generator's statement cloning cheap.
+//
+// Differences from the paper's abstract grammar, all syntax-level only:
+//  - `while (e) s` is desugared by the parser into `loop { if (e) s else break; }`
+//    so analyses only ever see unconditional loops, as the paper assumes.
+//  - Loops may carry labels and `continue`/`break` may target them (the
+//    paper's Section 6.3 pseudo-code uses `continue a2`).
+//  - `TRUE(e)` (Assume) is a first-class statement; the paper introduces it
+//    for exceptional variants and we also accept it in source.
+//  - `assert(e)` exists for the model checker's property language.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "synat/support/diag.h"
+#include "synat/support/source_loc.h"
+#include "synat/support/symbol.h"
+
+namespace synat::synl {
+
+namespace detail {
+template <class Tag>
+struct Id {
+  uint32_t idx = std::numeric_limits<uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t i) : idx(i) {}
+  constexpr bool valid() const { return idx != std::numeric_limits<uint32_t>::max(); }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+}  // namespace detail
+
+using ExprId = detail::Id<struct ExprTag>;
+using StmtId = detail::Id<struct StmtTag>;
+using VarId = detail::Id<struct VarTag>;
+using ProcId = detail::Id<struct ProcTag>;
+using ClassId = detail::Id<struct ClassTag>;
+using TypeId = detail::Id<struct TypeTag>;
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class TypeKind : uint8_t {
+  Unknown,  ///< not yet inferred / error recovery
+  Int,
+  Bool,
+  Null,   ///< type of the `null` literal; compatible with any Ref
+  Ref,    ///< reference to a class instance
+  Array,  ///< array; element type in TypeNode::elem
+};
+
+struct TypeNode {
+  TypeKind kind = TypeKind::Unknown;
+  ClassId cls;   ///< valid iff kind == Ref
+  TypeId elem;   ///< valid iff kind == Array
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  NullLit,
+  VarRef,  ///< x
+  Field,   ///< a.name
+  Index,   ///< a[b]
+  Unary,   ///< op a
+  Binary,  ///< a op b
+  LL,      ///< LL(a)
+  VL,      ///< VL(a)
+  SC,      ///< SC(a, b)
+  CAS,     ///< CAS(a, b, c)
+  New,     ///< new C
+  Call,    ///< name(args...) — eliminated by the inliner before analysis
+           ///< (the paper's language has no explicit calls; Section 1 says
+           ///< internal procedures are inlined, which inline_calls does)
+};
+
+enum class UnOp : uint8_t { Not, Neg };
+enum class BinOp : uint8_t { Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+
+std::string_view to_string(UnOp op);
+std::string_view to_string(BinOp op);
+
+struct Expr {
+  ExprKind kind = ExprKind::IntLit;
+  SourceLoc loc;
+  ExprId a, b, c;      ///< operands; see ExprKind comments
+  std::vector<ExprId> args;  ///< Call arguments
+  Symbol name;         ///< VarRef: variable; Field: field; New: class;
+                       ///< Call: callee
+  int64_t int_value = 0;
+  bool bool_value = false;
+  UnOp un_op = UnOp::Not;
+  BinOp bin_op = BinOp::Add;
+
+  // Filled by sema:
+  VarId var;          ///< resolved declaration for VarRef
+  TypeId type;        ///< static type of this expression
+  ClassId new_class;  ///< resolved class for New
+};
+
+/// True for the `Location` production of Table 1 (x | x.fd | x[e]).
+constexpr bool is_location_kind(ExprKind k) {
+  return k == ExprKind::VarRef || k == ExprKind::Field || k == ExprKind::Index;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : uint8_t {
+  Assign,        ///< e1 := e2
+  ExprStmt,      ///< e1;   (sugar for `local dummy := e1 in skip`)
+  Block,         ///< { stmts... }
+  If,            ///< if (e1) s1 else s2   (s2 may be invalid)
+  Local,         ///< local name := e1 in s1
+  Loop,          ///< [label:] loop s1
+  Return,        ///< return [e1]
+  Break,         ///< break [label]
+  Continue,      ///< continue [label]
+  Skip,          ///< skip
+  Synchronized,  ///< synchronized (e1) s1
+  Assume,        ///< TRUE(e1)
+  Assert,        ///< assert(e1)
+};
+
+std::string_view to_string(StmtKind k);
+
+struct Stmt {
+  StmtKind kind = StmtKind::Skip;
+  SourceLoc loc;
+  ExprId e1, e2;
+  StmtId s1, s2;
+  std::vector<StmtId> stmts;  ///< Block children
+  Symbol label;               ///< Loop: own label; Break/Continue: target label
+  Symbol name;                ///< Local: declared variable name
+  TypeId declared_type;       ///< Local: optional annotation
+
+  // Filled by sema:
+  VarId var;           ///< Local: resolved variable
+  StmtId jump_target;  ///< Break/Continue: enclosing (or labeled) Loop
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+struct FieldInfo {
+  Symbol name;
+  TypeId type;
+};
+
+struct ClassInfo {
+  Symbol name;
+  SourceLoc loc;
+  bool defined = false;  ///< false for forward-reference stubs
+  std::vector<FieldInfo> fields;
+
+  /// Index into `fields`, or -1 if absent.
+  int field_index(Symbol field) const {
+    for (size_t i = 0; i < fields.size(); ++i)
+      if (fields[i].name == field) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+enum class VarKind : uint8_t {
+  Global,       ///< shared between all threads
+  ThreadLocal,  ///< one instance per thread, persists across procedure calls
+  Param,        ///< procedure parameter
+  Local,        ///< `local x := e in s`
+};
+
+std::string_view to_string(VarKind k);
+
+struct VarInfo {
+  Symbol name;
+  VarKind kind = VarKind::Local;
+  TypeId type;
+  ProcId proc;      ///< owning procedure for Param/Local
+  SourceLoc loc;
+  StmtId decl_stmt; ///< the Local statement for VarKind::Local
+};
+
+struct ProcInfo {
+  Symbol name;
+  SourceLoc loc;
+  std::vector<VarId> params;
+  std::vector<VarId> locals;  ///< all Local declarations in the body
+  StmtId body;
+  TypeId ret_type;            ///< declared return type (may be invalid)
+
+  /// Set by the exceptional-variant generator: the original procedure this
+  /// variant specializes, and a human-readable variant tag ("Deq'2").
+  ProcId variant_of;
+  std::string variant_tag;
+};
+
+// ---------------------------------------------------------------------------
+// Program
+
+class Program {
+ public:
+  Program() {
+    // Pre-intern the canonical primitive types so they are shared.
+    type_unknown_ = add_type({TypeKind::Unknown, {}, {}});
+    type_int_ = add_type({TypeKind::Int, {}, {}});
+    type_bool_ = add_type({TypeKind::Bool, {}, {}});
+    type_null_ = add_type({TypeKind::Null, {}, {}});
+  }
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  SymbolTable& syms() { return syms_; }
+  const SymbolTable& syms() const { return syms_; }
+
+  // -- node arenas ---------------------------------------------------------
+  ExprId add_expr(Expr e) {
+    exprs_.push_back(std::move(e));
+    return ExprId(static_cast<uint32_t>(exprs_.size() - 1));
+  }
+  StmtId add_stmt(Stmt s) {
+    stmts_.push_back(std::move(s));
+    return StmtId(static_cast<uint32_t>(stmts_.size() - 1));
+  }
+  Expr& expr(ExprId id) {
+    SYNAT_ASSERT(id.idx < exprs_.size(), "bad ExprId");
+    return exprs_[id.idx];
+  }
+  const Expr& expr(ExprId id) const {
+    SYNAT_ASSERT(id.idx < exprs_.size(), "bad ExprId");
+    return exprs_[id.idx];
+  }
+  Stmt& stmt(StmtId id) {
+    SYNAT_ASSERT(id.idx < stmts_.size(), "bad StmtId");
+    return stmts_[id.idx];
+  }
+  const Stmt& stmt(StmtId id) const {
+    SYNAT_ASSERT(id.idx < stmts_.size(), "bad StmtId");
+    return stmts_[id.idx];
+  }
+  size_t num_exprs() const { return exprs_.size(); }
+  size_t num_stmts() const { return stmts_.size(); }
+
+  // -- types ---------------------------------------------------------------
+  TypeId add_type(TypeNode t) {
+    types_.push_back(t);
+    return TypeId(static_cast<uint32_t>(types_.size() - 1));
+  }
+  const TypeNode& type(TypeId id) const {
+    SYNAT_ASSERT(id.valid() && id.idx < types_.size(), "bad TypeId");
+    return types_[id.idx];
+  }
+  TypeId unknown_type() const { return type_unknown_; }
+  TypeId int_type() const { return type_int_; }
+  TypeId bool_type() const { return type_bool_; }
+  TypeId null_type() const { return type_null_; }
+  TypeId ref_type(ClassId cls);
+  TypeId array_type(TypeId elem);
+
+  // -- declarations --------------------------------------------------------
+  ClassId add_class(ClassInfo c) {
+    classes_.push_back(std::move(c));
+    return ClassId(static_cast<uint32_t>(classes_.size() - 1));
+  }
+  ClassId find_class(Symbol name) const {
+    for (size_t i = 0; i < classes_.size(); ++i)
+      if (classes_[i].name == name) return ClassId(static_cast<uint32_t>(i));
+    return ClassId();
+  }
+  ClassInfo& cls(ClassId id) {
+    SYNAT_ASSERT(id.valid() && id.idx < classes_.size(), "bad ClassId");
+    return classes_[id.idx];
+  }
+  const ClassInfo& cls(ClassId id) const {
+    SYNAT_ASSERT(id.valid() && id.idx < classes_.size(), "bad ClassId");
+    return classes_[id.idx];
+  }
+  size_t num_classes() const { return classes_.size(); }
+
+  VarId add_var(VarInfo v) {
+    vars_.push_back(std::move(v));
+    return VarId(static_cast<uint32_t>(vars_.size() - 1));
+  }
+  VarInfo& var(VarId id) {
+    SYNAT_ASSERT(id.valid() && id.idx < vars_.size(), "bad VarId");
+    return vars_[id.idx];
+  }
+  const VarInfo& var(VarId id) const {
+    SYNAT_ASSERT(id.valid() && id.idx < vars_.size(), "bad VarId");
+    return vars_[id.idx];
+  }
+  size_t num_vars() const { return vars_.size(); }
+
+  ProcId add_proc(ProcInfo p) {
+    procs_.push_back(std::move(p));
+    return ProcId(static_cast<uint32_t>(procs_.size() - 1));
+  }
+  ProcId find_proc(std::string_view name) const {
+    Symbol s = syms_.lookup(name);
+    for (size_t i = 0; i < procs_.size(); ++i)
+      if (procs_[i].name == s) return ProcId(static_cast<uint32_t>(i));
+    return ProcId();
+  }
+  ProcInfo& proc(ProcId id) {
+    SYNAT_ASSERT(id.valid() && id.idx < procs_.size(), "bad ProcId");
+    return procs_[id.idx];
+  }
+  const ProcInfo& proc(ProcId id) const {
+    SYNAT_ASSERT(id.valid() && id.idx < procs_.size(), "bad ProcId");
+    return procs_[id.idx];
+  }
+  size_t num_procs() const { return procs_.size(); }
+
+  std::vector<VarId>& globals() { return globals_; }
+  const std::vector<VarId>& globals() const { return globals_; }
+  std::vector<VarId>& threadlocals() { return threadlocals_; }
+  const std::vector<VarId>& threadlocals() const { return threadlocals_; }
+
+  /// True if `t` can hold a reference (Ref, Null or Unknown).
+  bool is_ref_like(TypeId t) const {
+    TypeKind k = type(t).kind;
+    return k == TypeKind::Ref || k == TypeKind::Null || k == TypeKind::Unknown;
+  }
+
+  std::string type_str(TypeId t) const;
+
+ private:
+  SymbolTable syms_;
+  std::vector<Expr> exprs_;
+  std::vector<Stmt> stmts_;
+  std::vector<TypeNode> types_;
+  std::vector<ClassInfo> classes_;
+  std::vector<VarInfo> vars_;
+  std::vector<ProcInfo> procs_;
+  std::vector<VarId> globals_;
+  std::vector<VarId> threadlocals_;
+  TypeId type_unknown_, type_int_, type_bool_, type_null_;
+};
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+
+/// Calls `fn(ExprId)` for `root` and every transitive sub-expression.
+template <class Fn>
+void for_each_subexpr(const Program& prog, ExprId root, Fn&& fn) {
+  if (!root.valid()) return;
+  fn(root);
+  const Expr& e = prog.expr(root);
+  for_each_subexpr(prog, e.a, fn);
+  for_each_subexpr(prog, e.b, fn);
+  for_each_subexpr(prog, e.c, fn);
+  for (ExprId arg : e.args) for_each_subexpr(prog, arg, fn);
+}
+
+/// Calls `fn(StmtId)` for `root` and every statement nested inside it
+/// (pre-order).
+template <class Fn>
+void for_each_stmt(const Program& prog, StmtId root, Fn&& fn) {
+  if (!root.valid()) return;
+  fn(root);
+  const Stmt& s = prog.stmt(root);
+  for_each_stmt(prog, s.s1, fn);
+  for_each_stmt(prog, s.s2, fn);
+  for (StmtId child : s.stmts) for_each_stmt(prog, child, fn);
+}
+
+/// Calls `fn(ExprId)` for every expression appearing directly in `root`
+/// or any nested statement.
+template <class Fn>
+void for_each_expr_in_stmt(const Program& prog, StmtId root, Fn&& fn) {
+  for_each_stmt(prog, root, [&](StmtId sid) {
+    const Stmt& s = prog.stmt(sid);
+    for_each_subexpr(prog, s.e1, fn);
+    for_each_subexpr(prog, s.e2, fn);
+  });
+}
+
+}  // namespace synat::synl
+
+template <class Tag>
+struct std::hash<synat::synl::detail::Id<Tag>> {
+  size_t operator()(synat::synl::detail::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.idx);
+  }
+};

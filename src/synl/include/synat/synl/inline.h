@@ -1,0 +1,38 @@
+// Procedure-call inlining (paper Section 1: "internal procedures are
+// inlined, and we do not handle recursion").
+//
+// SYNL's abstract language has no calls, but writing corpora without them
+// is painful, so the concrete syntax accepts `pn(args)` in two positions —
+// as an expression statement and as the entire right-hand side of an
+// assignment or local initializer — and this pass rewrites them away
+// before sema:
+//
+//   x := F(a);                        local __argN := a in
+//                               =>    local __retN := <default> in {
+//                                       __inlN: loop {
+//                                         local <param> := __argN in
+//                                           <body with `return e` replaced
+//                                            by { __retN := e; break __inlN; }>
+//                                         break __inlN;
+//                                       }
+//                                       x := __retN;
+//                                     }
+//
+// The single-iteration labeled loop gives `return` a structured jump
+// target; it has no back edges, so downstream analyses treat it as the
+// straight-line region it is. Fresh `__` names avoid capturing caller
+// variables. Recursion (direct or mutual) is rejected.
+#pragma once
+
+#include "synat/support/diag.h"
+#include "synat/synl/ast.h"
+
+namespace synat::synl {
+
+/// Rewrites every call site in-place. Returns false (with diagnostics) on
+/// unknown callees, argument-count mismatches, calls in unsupported
+/// positions, or recursion. Run after parsing and before sema;
+/// parse_and_check does this automatically.
+bool inline_calls(Program& prog, DiagEngine& diags);
+
+}  // namespace synat::synl

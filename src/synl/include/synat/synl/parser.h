@@ -1,0 +1,68 @@
+// Recursive-descent parser for SYNL.
+//
+// Produces an unresolved AST; run sema (sema.h) afterwards to resolve names
+// and types. `parse_program` is the usual entry point; it never throws on
+// malformed input, it reports to the DiagEngine and recovers.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "synat/support/diag.h"
+#include "synat/synl/ast.h"
+#include "synat/synl/token.h"
+
+namespace synat::synl {
+
+class Parser {
+ public:
+  Parser(std::string_view source, DiagEngine& diags);
+
+  /// Parses a whole program (classes, globals, threadlocals, procedures).
+  Program parse_program();
+
+ private:
+  const Token& peek(size_t ahead = 0) const;
+  const Token& advance();
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind);
+  const Token& expect(Tok kind, std::string_view what);
+  void sync_to_decl();
+
+  Symbol intern(const Token& tok) { return prog_.syms().intern(tok.text); }
+
+  void parse_class();
+  void parse_global(VarKind kind);
+  void parse_proc();
+  TypeId parse_type();
+  bool looks_like_type() const;
+
+  StmtId parse_stmt();
+  StmtId parse_block();
+  /// Parses statements until RBrace, handling `local x := e;` whose scope
+  /// extends to the rest of the block.
+  std::vector<StmtId> parse_stmt_list();
+  StmtId parse_local(bool& consumed_rest, std::vector<StmtId>* rest_sink);
+  StmtId parse_if();
+  StmtId parse_loop(Symbol label);
+  StmtId parse_while(Symbol label);
+
+  ExprId parse_expr();
+  ExprId parse_binary(int min_prec);
+  ExprId parse_unary();
+  ExprId parse_postfix();
+  ExprId parse_primary();
+  ExprId require_location(ExprId e, std::string_view what);
+
+  Program prog_;
+  DiagEngine& diags_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse + sema in one call. Returns the program even on
+/// error (check diags.has_errors()).
+Program parse_and_check(std::string_view source, DiagEngine& diags);
+
+}  // namespace synat::synl

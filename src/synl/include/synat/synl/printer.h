@@ -1,0 +1,31 @@
+// Pretty-printer: renders the AST back to parseable SYNL concrete syntax.
+//
+// print(parse(print(p))) == print(p) is a tested invariant (the printer is a
+// fixpoint under re-parsing). Also provides single-expression/statement
+// rendering used by annotated listings and diagnostics.
+#pragma once
+
+#include <string>
+
+#include "synat/synl/ast.h"
+
+namespace synat::synl {
+
+struct PrintOptions {
+  int indent_width = 2;
+  /// Annotate each Local with its inferred type (`local x : T := e in`).
+  bool show_types = false;
+};
+
+std::string print_expr(const Program& prog, ExprId id);
+std::string print_stmt(const Program& prog, StmtId id,
+                       const PrintOptions& opts = {}, int indent = 0);
+std::string print_proc(const Program& prog, ProcId id,
+                       const PrintOptions& opts = {});
+std::string print_program(const Program& prog, const PrintOptions& opts = {});
+
+/// One-line rendering of a statement header (no nested bodies); used by the
+/// annotated atomicity listings, e.g. `local t := LL(Tail) in`.
+std::string stmt_head(const Program& prog, StmtId id);
+
+}  // namespace synat::synl

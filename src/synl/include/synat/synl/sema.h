@@ -1,0 +1,29 @@
+// Semantic analysis for SYNL: name resolution, loose type inference, and
+// control-flow sanity (break/continue target resolution).
+//
+// After run_sema succeeds:
+//  - every VarRef expression has `var` set to its declaration,
+//  - every Local statement has `var` set to a fresh VarId,
+//  - every Break/Continue has `jump_target` set to its enclosing Loop,
+//  - every expression has `type` set (TypeKind::Unknown only where the
+//    source had no annotation to propagate),
+//  - ProcInfo::locals lists every Local declaration in body order.
+//
+// Sema is deliberately forgiving: type disagreements are errors but the
+// fields are still filled in so downstream code can run on partially typed
+// programs in tests.
+#pragma once
+
+#include "synat/support/diag.h"
+#include "synat/synl/ast.h"
+
+namespace synat::synl {
+
+/// Resolves one procedure. Exposed for the variant generator, which creates
+/// new procedures after initial sema.
+void resolve_proc(Program& prog, ProcId proc, DiagEngine& diags);
+
+/// Resolves the whole program. Returns false if errors were reported.
+bool run_sema(Program& prog, DiagEngine& diags);
+
+}  // namespace synat::synl

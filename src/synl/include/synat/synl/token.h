@@ -1,0 +1,48 @@
+// Token stream for the SYNL concrete syntax.
+//
+// The concrete syntax is a C-flavoured rendering of the paper's Table 1:
+// braces for blocks, `:=` (or `=`) for assignment, `local x := e in s` for
+// scoped locals, `loop`/`while`/`break`/`continue` with optional labels,
+// `synchronized (e) s` for lock blocks, and the non-blocking primitives
+// LL / SC / VL / CAS as builtin calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "synat/support/source_loc.h"
+
+namespace synat::synl {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwGlobal, KwThreadLocal, KwClass, KwProc,
+  KwLocal, KwIn, KwLoop, KwWhile, KwIf, KwElse,
+  KwReturn, KwBreak, KwContinue, KwSkip,
+  KwSynchronized, KwNew, KwTrue, KwFalse, KwNull,
+  KwLL, KwSC, KwVL, KwCAS, KwAssume, KwAssert,
+  KwInt, KwBool,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Colon,
+  Assign,        // := or =
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  AndAnd, OrOr, Not,
+  PlusPlus, MinusMinus,  // sugar: x++ => x := x + 1
+};
+
+std::string_view to_string(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string_view text;  // view into the source buffer
+  int64_t int_value = 0;  // valid when kind == IntLit
+};
+
+}  // namespace synat::synl

@@ -1,0 +1,89 @@
+#include "synat/synl/ast.h"
+
+namespace synat::synl {
+
+std::string_view to_string(UnOp op) {
+  switch (op) {
+    case UnOp::Not: return "!";
+    case UnOp::Neg: return "-";
+  }
+  return "?";
+}
+
+std::string_view to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+std::string_view to_string(StmtKind k) {
+  switch (k) {
+    case StmtKind::Assign: return "assign";
+    case StmtKind::ExprStmt: return "expr";
+    case StmtKind::Block: return "block";
+    case StmtKind::If: return "if";
+    case StmtKind::Local: return "local";
+    case StmtKind::Loop: return "loop";
+    case StmtKind::Return: return "return";
+    case StmtKind::Break: return "break";
+    case StmtKind::Continue: return "continue";
+    case StmtKind::Skip: return "skip";
+    case StmtKind::Synchronized: return "synchronized";
+    case StmtKind::Assume: return "assume";
+    case StmtKind::Assert: return "assert";
+  }
+  return "?";
+}
+
+std::string_view to_string(VarKind k) {
+  switch (k) {
+    case VarKind::Global: return "global";
+    case VarKind::ThreadLocal: return "threadlocal";
+    case VarKind::Param: return "param";
+    case VarKind::Local: return "local";
+  }
+  return "?";
+}
+
+TypeId Program::ref_type(ClassId c) {
+  for (size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].kind == TypeKind::Ref && types_[i].cls == c)
+      return TypeId(static_cast<uint32_t>(i));
+  return add_type({TypeKind::Ref, c, {}});
+}
+
+TypeId Program::array_type(TypeId elem) {
+  for (size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].kind == TypeKind::Array && types_[i].elem == elem)
+      return TypeId(static_cast<uint32_t>(i));
+  return add_type({TypeKind::Array, {}, elem});
+}
+
+std::string Program::type_str(TypeId t) const {
+  if (!t.valid()) return "<none>";
+  const TypeNode& n = type(t);
+  switch (n.kind) {
+    case TypeKind::Unknown: return "?";
+    case TypeKind::Int: return "int";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Null: return "null";
+    case TypeKind::Ref: return std::string(syms_.name(cls(n.cls).name));
+    case TypeKind::Array: return type_str(n.elem) + "[]";
+  }
+  return "?";
+}
+
+}  // namespace synat::synl

@@ -1,0 +1,359 @@
+#include "synat/synl/inline.h"
+
+#include <string>
+#include <vector>
+
+namespace synat::synl {
+
+// ---------------------------------------------------------------------------
+// Deep cloning (shared with the variant generator's private copy; kept here
+// so the inliner owns its own arena discipline).
+
+namespace {
+
+ExprId clone_expr_deep(Program& prog, ExprId id) {
+  if (!id.valid()) return id;
+  Expr e = prog.expr(id);
+  e.a = clone_expr_deep(prog, e.a);
+  e.b = clone_expr_deep(prog, e.b);
+  e.c = clone_expr_deep(prog, e.c);
+  for (ExprId& arg : e.args) arg = clone_expr_deep(prog, arg);
+  return prog.add_expr(std::move(e));
+}
+
+StmtId clone_stmt_deep(Program& prog, StmtId id) {
+  if (!id.valid()) return id;
+  Stmt s = prog.stmt(id);
+  s.e1 = clone_expr_deep(prog, s.e1);
+  s.e2 = clone_expr_deep(prog, s.e2);
+  s.s1 = clone_stmt_deep(prog, s.s1);
+  s.s2 = clone_stmt_deep(prog, s.s2);
+  for (StmtId& child : s.stmts) child = clone_stmt_deep(prog, child);
+  return prog.add_stmt(std::move(s));
+}
+
+class Inliner {
+ public:
+  Inliner(Program& prog, DiagEngine& diags) : prog_(prog), diags_(diags) {}
+
+  bool run() {
+    size_t num_procs = prog_.num_procs();  // expansions add no procedures
+    for (size_t i = 0; i < num_procs; ++i) {
+      ProcId pid(static_cast<uint32_t>(i));
+      std::vector<ProcId> stack{pid};
+      rewrite_stmt(prog_.proc(pid).body, stack);
+    }
+    // Any surviving call is in an unsupported position.
+    for (size_t i = 0; i < num_procs; ++i) {
+      ProcId pid(static_cast<uint32_t>(i));
+      for_each_expr_in_stmt(prog_, prog_.proc(pid).body, [&](ExprId e) {
+        if (prog_.expr(e).kind == ExprKind::Call) {
+          error(prog_.expr(e).loc,
+                "procedure calls are only supported as statements or as the "
+                "entire right-hand side of an assignment/initializer");
+        }
+      });
+    }
+    return ok_;
+  }
+
+ private:
+  void error(SourceLoc loc, const std::string& msg) {
+    diags_.error(loc, msg);
+    ok_ = false;
+  }
+
+  Symbol fresh(const std::string& base) {
+    return prog_.syms().intern("__" + base + std::to_string(counter_));
+  }
+
+  ExprId make_var(Symbol name, SourceLoc loc) {
+    Expr e;
+    e.kind = ExprKind::VarRef;
+    e.name = name;
+    e.loc = loc;
+    return prog_.add_expr(std::move(e));
+  }
+
+  ExprId default_for(TypeId ret, SourceLoc loc) {
+    Expr e;
+    e.loc = loc;
+    if (ret.valid() && (prog_.type(ret).kind == TypeKind::Ref ||
+                        prog_.type(ret).kind == TypeKind::Null ||
+                        prog_.type(ret).kind == TypeKind::Array)) {
+      e.kind = ExprKind::NullLit;
+    } else if (ret.valid() && prog_.type(ret).kind == TypeKind::Bool) {
+      e.kind = ExprKind::BoolLit;
+      e.bool_value = false;
+    } else {
+      e.kind = ExprKind::IntLit;
+      e.int_value = 0;
+    }
+    return prog_.add_expr(std::move(e));
+  }
+
+  StmtId make_stmt(Stmt s) { return prog_.add_stmt(std::move(s)); }
+
+  /// Replaces every `return [e]` in the cloned callee body with
+  /// `{ __ret := e; break __inl; }` (the assignment only when a value is
+  /// returned and wanted).
+  void lower_returns(StmtId id, Symbol ret_name, Symbol label) {
+    if (!id.valid()) return;
+    Stmt& s = prog_.stmt(id);
+    if (s.kind == StmtKind::Return) {
+      ExprId value = s.e1;
+      SourceLoc loc = s.loc;
+      std::vector<StmtId> seq;
+      if (value.valid() && ret_name.valid()) {
+        Stmt assign;
+        assign.kind = StmtKind::Assign;
+        assign.loc = loc;
+        assign.e1 = make_var(ret_name, loc);
+        assign.e2 = value;
+        seq.push_back(make_stmt(std::move(assign)));
+      }
+      Stmt brk;
+      brk.kind = StmtKind::Break;
+      brk.loc = loc;
+      brk.label = label;
+      seq.push_back(make_stmt(std::move(brk)));
+      Stmt& self = prog_.stmt(id);  // re-fetch: arena may have grown
+      self.kind = StmtKind::Block;
+      self.e1 = ExprId();
+      self.stmts = std::move(seq);
+      return;
+    }
+    StmtId s1 = s.s1, s2 = s.s2;
+    std::vector<StmtId> children = s.stmts;
+    lower_returns(s1, ret_name, label);
+    lower_returns(s2, ret_name, label);
+    for (StmtId c : children) lower_returns(c, ret_name, label);
+  }
+
+  /// Builds the expansion statement for `dst := callee(args)`.
+  /// `dst` is a location expression (invalid for statement calls).
+  // `args` by value: the expansion grows the expression arena, which would
+  // invalidate a reference into an Expr node's argument list.
+  StmtId expand(ProcId callee, std::vector<ExprId> args, ExprId dst,
+                SourceLoc loc, std::vector<ProcId>& stack) {
+    const ProcInfo& info = prog_.proc(callee);
+    if (args.size() != info.params.size()) {
+      error(loc, "call to '" + std::string(prog_.syms().name(info.name)) +
+                     "' with " + std::to_string(args.size()) +
+                     " argument(s); expected " +
+                     std::to_string(info.params.size()));
+      return make_stmt(Stmt{});  // skip
+    }
+    for (ProcId p : stack) {
+      if (p == callee) {
+        error(loc, "recursive call to '" +
+                       std::string(prog_.syms().name(info.name)) +
+                       "' (SYNL does not support recursion)");
+        return make_stmt(Stmt{});
+      }
+    }
+
+    ++counter_;
+    Symbol label = fresh("inl");
+    Symbol ret_name = dst.valid() ? fresh("ret") : Symbol();
+    std::vector<Symbol> arg_names;
+    for (size_t i = 0; i < args.size(); ++i)
+      arg_names.push_back(fresh("arg" + std::to_string(i) + "_"));
+
+    // Callee body with returns lowered.
+    StmtId body = clone_stmt_deep(prog_, info.body);
+    lower_returns(body, ret_name, label);
+
+    // Bind the callee's parameters to the argument temporaries.
+    StmtId inner = body;
+    for (size_t i = args.size(); i-- > 0;) {
+      Stmt bind;
+      bind.kind = StmtKind::Local;
+      bind.loc = loc;
+      bind.name = prog_.var(info.params[i]).name;
+      bind.declared_type = prog_.var(info.params[i]).type;
+      bind.e1 = make_var(arg_names[i], loc);
+      bind.s1 = inner;
+      inner = make_stmt(std::move(bind));
+    }
+
+    // The single-iteration labeled loop `return` breaks out of.
+    Stmt trailing_break;
+    trailing_break.kind = StmtKind::Break;
+    trailing_break.loc = loc;
+    trailing_break.label = label;
+    Stmt loop_body;
+    loop_body.kind = StmtKind::Block;
+    loop_body.loc = loc;
+    loop_body.stmts = {inner, make_stmt(std::move(trailing_break))};
+    Stmt loop;
+    loop.kind = StmtKind::Loop;
+    loop.loc = loc;
+    loop.label = label;
+    loop.s1 = make_stmt(std::move(loop_body));
+    StmtId loop_id = make_stmt(std::move(loop));
+
+    // loop; dst := __ret
+    std::vector<StmtId> core{loop_id};
+    if (dst.valid()) {
+      Stmt assign;
+      assign.kind = StmtKind::Assign;
+      assign.loc = loc;
+      assign.e1 = dst;
+      assign.e2 = make_var(ret_name, loc);
+      core.push_back(make_stmt(std::move(assign)));
+    }
+    Stmt core_block;
+    core_block.kind = StmtKind::Block;
+    core_block.loc = loc;
+    core_block.stmts = std::move(core);
+    StmtId result = make_stmt(std::move(core_block));
+
+    // Wrap in __ret and argument temporaries (arguments evaluate first, in
+    // the caller's scope, so no callee name can capture them).
+    if (dst.valid()) {
+      Stmt ret_local;
+      ret_local.kind = StmtKind::Local;
+      ret_local.loc = loc;
+      ret_local.name = ret_name;
+      ret_local.declared_type = info.ret_type;
+      ret_local.e1 = default_for(info.ret_type, loc);
+      ret_local.s1 = result;
+      result = make_stmt(std::move(ret_local));
+    }
+    for (size_t i = args.size(); i-- > 0;) {
+      Stmt arg_local;
+      arg_local.kind = StmtKind::Local;
+      arg_local.loc = loc;
+      arg_local.name = arg_names[i];
+      arg_local.declared_type = prog_.var(info.params[i]).type;
+      arg_local.e1 = args[i];
+      arg_local.s1 = result;
+      result = make_stmt(std::move(arg_local));
+    }
+
+    // The callee body itself may contain calls.
+    stack.push_back(callee);
+    rewrite_stmt(result, stack);
+    stack.pop_back();
+    return result;
+  }
+
+  /// If `e` is a Call, resolves its callee; returns true when handled.
+  bool callee_of(ExprId e, ProcId& out) {
+    const Expr& expr = prog_.expr(e);
+    if (expr.kind != ExprKind::Call) return false;
+    for (size_t i = 0; i < prog_.num_procs(); ++i) {
+      ProcId pid(static_cast<uint32_t>(i));
+      if (prog_.proc(pid).name == expr.name) {
+        out = pid;
+        return true;
+      }
+    }
+    error(expr.loc, "call to unknown procedure '" +
+                        std::string(prog_.syms().name(expr.name)) + "'");
+    out = ProcId();
+    return true;
+  }
+
+  /// Overwrites statement `id` with `replacement`'s contents (keeping the
+  /// original StmtId valid for the parent).
+  void replace_with(StmtId id, StmtId replacement) {
+    prog_.stmt(id) = prog_.stmt(replacement);
+  }
+
+  void rewrite_stmt(StmtId id, std::vector<ProcId>& stack) {
+    if (!id.valid()) return;
+    const Stmt snapshot = prog_.stmt(id);
+    switch (snapshot.kind) {
+      case StmtKind::ExprStmt: {
+        ProcId callee;
+        if (callee_of(snapshot.e1, callee)) {
+          if (!callee.valid()) return;
+          StmtId exp = expand(callee, prog_.expr(snapshot.e1).args, ExprId(),
+                              snapshot.loc, stack);
+          replace_with(id, exp);
+        }
+        return;
+      }
+      case StmtKind::Assign: {
+        ProcId callee;
+        if (callee_of(snapshot.e2, callee)) {
+          if (!callee.valid()) return;
+          StmtId exp = expand(callee, prog_.expr(snapshot.e2).args,
+                              snapshot.e1, snapshot.loc, stack);
+          replace_with(id, exp);
+        }
+        return;
+      }
+      case StmtKind::Local: {
+        ProcId callee;
+        if (callee_of(snapshot.e1, callee)) {
+          if (!callee.valid()) return;
+          // Guard against the initializer's arguments referring to an
+          // outer variable this local is about to shadow.
+          for (ExprId arg : prog_.expr(snapshot.e1).args) {
+            bool shadows = false;
+            for_each_subexpr(prog_, arg, [&](ExprId sub) {
+              if (prog_.expr(sub).kind == ExprKind::VarRef &&
+                  prog_.expr(sub).name == snapshot.name)
+                shadows = true;
+            });
+            if (shadows) {
+              error(snapshot.loc,
+                    "call argument refers to the variable the initializer "
+                    "declares; rename one of them");
+              return;
+            }
+          }
+          TypeId ret = prog_.proc(callee).ret_type;
+          ExprId dst = make_var(snapshot.name, snapshot.loc);
+          StmtId exp = expand(callee, prog_.expr(snapshot.e1).args, dst,
+                              snapshot.loc, stack);
+          Stmt seq;
+          seq.kind = StmtKind::Block;
+          seq.loc = snapshot.loc;
+          seq.stmts = {exp, snapshot.s1};
+          // Materialize all new nodes BEFORE taking a reference into the
+          // arena (make_stmt/default_for may reallocate it).
+          ExprId def = default_for(ret, snapshot.loc);
+          StmtId seq_id = make_stmt(std::move(seq));
+          Stmt& self = prog_.stmt(id);
+          self.e1 = def;
+          self.declared_type = ret;
+          self.s1 = seq_id;
+          rewrite_stmt(snapshot.s1, stack);
+          return;
+        }
+        rewrite_stmt(snapshot.s1, stack);
+        return;
+      }
+      case StmtKind::Block:
+        for (StmtId child : snapshot.stmts) rewrite_stmt(child, stack);
+        return;
+      case StmtKind::If:
+        rewrite_stmt(snapshot.s1, stack);
+        rewrite_stmt(snapshot.s2, stack);
+        return;
+      case StmtKind::Loop:
+      case StmtKind::Synchronized:
+        rewrite_stmt(snapshot.s1, stack);
+        return;
+      default:
+        return;
+    }
+  }
+
+  Program& prog_;
+  DiagEngine& diags_;
+  int counter_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool inline_calls(Program& prog, DiagEngine& diags) {
+  return Inliner(prog, diags).run();
+}
+
+}  // namespace synat::synl

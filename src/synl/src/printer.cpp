@@ -1,0 +1,356 @@
+#include "synat/synl/printer.h"
+
+#include <string>
+
+namespace synat::synl {
+
+namespace {
+
+int binop_prec(BinOp op) {
+  switch (op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Eq:
+    case BinOp::Ne: return 3;
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 4;
+    case BinOp::Add:
+    case BinOp::Sub: return 5;
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Mod: return 6;
+  }
+  return 0;
+}
+
+void print_expr_prec(const Program& prog, ExprId id, int parent_prec,
+                     std::string& out) {
+  const Expr& e = prog.expr(id);
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(e.int_value);
+      break;
+    case ExprKind::BoolLit:
+      out += e.bool_value ? "true" : "false";
+      break;
+    case ExprKind::NullLit:
+      out += "null";
+      break;
+    case ExprKind::VarRef:
+      out += prog.syms().name(e.name);
+      break;
+    case ExprKind::Field:
+      print_expr_prec(prog, e.a, 100, out);
+      out += '.';
+      out += prog.syms().name(e.name);
+      break;
+    case ExprKind::Index:
+      print_expr_prec(prog, e.a, 100, out);
+      out += '[';
+      print_expr_prec(prog, e.b, 0, out);
+      out += ']';
+      break;
+    case ExprKind::Unary:
+      out += to_string(e.un_op);
+      print_expr_prec(prog, e.a, 99, out);
+      break;
+    case ExprKind::Binary: {
+      int prec = binop_prec(e.bin_op);
+      bool parens = prec < parent_prec;
+      if (parens) out += '(';
+      print_expr_prec(prog, e.a, prec, out);
+      out += ' ';
+      out += to_string(e.bin_op);
+      out += ' ';
+      print_expr_prec(prog, e.b, prec + 1, out);
+      if (parens) out += ')';
+      break;
+    }
+    case ExprKind::LL:
+      out += "LL(";
+      print_expr_prec(prog, e.a, 0, out);
+      out += ')';
+      break;
+    case ExprKind::VL:
+      out += "VL(";
+      print_expr_prec(prog, e.a, 0, out);
+      out += ')';
+      break;
+    case ExprKind::SC:
+      out += "SC(";
+      print_expr_prec(prog, e.a, 0, out);
+      out += ", ";
+      print_expr_prec(prog, e.b, 0, out);
+      out += ')';
+      break;
+    case ExprKind::CAS:
+      out += "CAS(";
+      print_expr_prec(prog, e.a, 0, out);
+      out += ", ";
+      print_expr_prec(prog, e.b, 0, out);
+      out += ", ";
+      print_expr_prec(prog, e.c, 0, out);
+      out += ')';
+      break;
+    case ExprKind::New:
+      out += "new ";
+      out += prog.syms().name(e.name);
+      break;
+    case ExprKind::Call:
+      out += prog.syms().name(e.name);
+      out += '(';
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        print_expr_prec(prog, e.args[i], 0, out);
+      }
+      out += ')';
+      break;
+  }
+}
+
+struct StmtPrinter {
+  const Program& prog;
+  const PrintOptions& opts;
+  std::string out;
+
+  void pad(int indent) { out.append(static_cast<size_t>(indent), ' '); }
+
+  void print(StmtId id, int indent) {
+    const Stmt& s = prog.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign:
+        pad(indent);
+        out += print_expr(prog, s.e1);
+        out += " := ";
+        out += print_expr(prog, s.e2);
+        out += ";\n";
+        break;
+      case StmtKind::ExprStmt:
+        pad(indent);
+        out += print_expr(prog, s.e1);
+        out += ";\n";
+        break;
+      case StmtKind::Block:
+        pad(indent);
+        out += "{\n";
+        for (StmtId child : s.stmts) print(child, indent + opts.indent_width);
+        pad(indent);
+        out += "}\n";
+        break;
+      case StmtKind::If:
+        pad(indent);
+        out += "if (";
+        out += print_expr(prog, s.e1);
+        out += ")\n";
+        print_indented(s.s1, indent);
+        if (s.s2.valid()) {
+          pad(indent);
+          out += "else\n";
+          print_indented(s.s2, indent);
+        }
+        break;
+      case StmtKind::Local:
+        pad(indent);
+        out += "local ";
+        out += prog.syms().name(s.name);
+        if (opts.show_types && s.var.valid()) {
+          out += " : ";
+          out += prog.type_str(prog.var(s.var).type);
+        }
+        out += " := ";
+        out += print_expr(prog, s.e1);
+        out += " in\n";
+        print_indented(s.s1, indent);
+        break;
+      case StmtKind::Loop:
+        pad(indent);
+        if (s.label.valid()) {
+          out += prog.syms().name(s.label);
+          out += ": ";
+        }
+        out += "loop\n";
+        print_indented(s.s1, indent);
+        break;
+      case StmtKind::Return:
+        pad(indent);
+        out += "return";
+        if (s.e1.valid()) {
+          out += ' ';
+          out += print_expr(prog, s.e1);
+        }
+        out += ";\n";
+        break;
+      case StmtKind::Break:
+        pad(indent);
+        out += "break";
+        if (s.label.valid()) {
+          out += ' ';
+          out += prog.syms().name(s.label);
+        }
+        out += ";\n";
+        break;
+      case StmtKind::Continue:
+        pad(indent);
+        out += "continue";
+        if (s.label.valid()) {
+          out += ' ';
+          out += prog.syms().name(s.label);
+        }
+        out += ";\n";
+        break;
+      case StmtKind::Skip:
+        pad(indent);
+        out += "skip;\n";
+        break;
+      case StmtKind::Synchronized:
+        pad(indent);
+        out += "synchronized (";
+        out += print_expr(prog, s.e1);
+        out += ")\n";
+        print_indented(s.s1, indent);
+        break;
+      case StmtKind::Assume:
+        pad(indent);
+        out += "TRUE(";
+        out += print_expr(prog, s.e1);
+        out += ");\n";
+        break;
+      case StmtKind::Assert:
+        pad(indent);
+        out += "assert(";
+        out += print_expr(prog, s.e1);
+        out += ");\n";
+        break;
+    }
+  }
+
+  /// Child statements always print as indented sub-lines; blocks keep their
+  /// own braces at the parent's indent so re-parsing is unambiguous.
+  void print_indented(StmtId id, int indent) {
+    if (prog.stmt(id).kind == StmtKind::Block) {
+      print(id, indent);
+    } else {
+      print(id, indent + opts.indent_width);
+    }
+  }
+};
+
+}  // namespace
+
+std::string print_expr(const Program& prog, ExprId id) {
+  if (!id.valid()) return "<none>";
+  std::string out;
+  print_expr_prec(prog, id, 0, out);
+  return out;
+}
+
+std::string print_stmt(const Program& prog, StmtId id, const PrintOptions& opts,
+                       int indent) {
+  if (!id.valid()) return "";
+  StmtPrinter p{prog, opts, {}};
+  p.print(id, indent);
+  return std::move(p.out);
+}
+
+std::string print_proc(const Program& prog, ProcId id, const PrintOptions& opts) {
+  const ProcInfo& p = prog.proc(id);
+  std::string out = "proc ";
+  if (p.ret_type.valid()) {
+    std::string rt = prog.type_str(p.ret_type);
+    if (rt != "?") {
+      out += rt;
+      out += ' ';
+    }
+  }
+  out += prog.syms().name(p.name);
+  out += '(';
+  for (size_t i = 0; i < p.params.size(); ++i) {
+    if (i) out += ", ";
+    const VarInfo& v = prog.var(p.params[i]);
+    std::string ty = prog.type_str(v.type);
+    if (ty != "?") {
+      out += ty;
+      out += ' ';
+    }
+    out += prog.syms().name(v.name);
+  }
+  out += ")\n";
+  out += print_stmt(prog, p.body, opts, 0);
+  return out;
+}
+
+std::string print_program(const Program& prog, const PrintOptions& opts) {
+  std::string out;
+  for (size_t i = 0; i < prog.num_classes(); ++i) {
+    const ClassInfo& c = prog.cls(ClassId(static_cast<uint32_t>(i)));
+    if (!c.defined) continue;  // forward-reference stub
+    out += "class ";
+    out += prog.syms().name(c.name);
+    out += " {\n";
+    for (const FieldInfo& f : c.fields) {
+      out += "  ";
+      out += prog.type_str(f.type);
+      out += ' ';
+      out += prog.syms().name(f.name);
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  for (VarId v : prog.globals()) {
+    out += "global ";
+    out += prog.type_str(prog.var(v).type);
+    out += ' ';
+    out += prog.syms().name(prog.var(v).name);
+    out += ";\n";
+  }
+  for (VarId v : prog.threadlocals()) {
+    out += "threadlocal ";
+    out += prog.type_str(prog.var(v).type);
+    out += ' ';
+    out += prog.syms().name(prog.var(v).name);
+    out += ";\n";
+  }
+  for (size_t i = 0; i < prog.num_procs(); ++i) {
+    out += '\n';
+    out += print_proc(prog, ProcId(static_cast<uint32_t>(i)), opts);
+  }
+  return out;
+}
+
+std::string stmt_head(const Program& prog, StmtId id) {
+  const Stmt& s = prog.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Assign:
+      return print_expr(prog, s.e1) + " := " + print_expr(prog, s.e2);
+    case StmtKind::ExprStmt:
+      return print_expr(prog, s.e1);
+    case StmtKind::Block:
+      return "{...}";
+    case StmtKind::If:
+      return "if (" + print_expr(prog, s.e1) + ")";
+    case StmtKind::Local:
+      return "local " + std::string(prog.syms().name(s.name)) + " := " +
+             print_expr(prog, s.e1) + " in";
+    case StmtKind::Loop:
+      return "loop";
+    case StmtKind::Return:
+      return s.e1.valid() ? "return " + print_expr(prog, s.e1) : "return";
+    case StmtKind::Break:
+      return "break";
+    case StmtKind::Continue:
+      return "continue";
+    case StmtKind::Skip:
+      return "skip";
+    case StmtKind::Synchronized:
+      return "synchronized (" + print_expr(prog, s.e1) + ")";
+    case StmtKind::Assume:
+      return "TRUE(" + print_expr(prog, s.e1) + ")";
+    case StmtKind::Assert:
+      return "assert(" + print_expr(prog, s.e1) + ")";
+  }
+  return "?";
+}
+
+}  // namespace synat::synl

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "synat/analysis/expr_util.h"
+#include "synat/synl/parser.h"
+
+namespace synat::analysis {
+namespace {
+
+using synl::Program;
+
+struct Fixture {
+  DiagEngine diags;
+  Program prog;
+
+  explicit Fixture(std::string_view src)
+      : prog(synl::parse_and_check(src, diags)) {
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  }
+
+  synl::VarId var(std::string_view name) const {
+    Symbol s = prog.syms().lookup(name);
+    for (size_t i = 0; i < prog.num_vars(); ++i) {
+      synl::VarId v(static_cast<uint32_t>(i));
+      if (prog.var(v).name == s) return v;
+    }
+    return {};
+  }
+
+  /// The RHS expression of the first assignment in procedure F.
+  synl::ExprId first_rhs() const {
+    synl::ExprId out;
+    synl::for_each_stmt(prog, prog.proc(prog.find_proc("F")).body,
+                        [&](synl::StmtId sid) {
+                          const synl::Stmt& s = prog.stmt(sid);
+                          if (s.kind == synl::StmtKind::Assign && !out.valid())
+                            out = s.e2;
+                        });
+    return out;
+  }
+
+  AccessPath path(std::string_view root, std::string_view field = {}) const {
+    AccessPath p;
+    p.root = var(root);
+    if (!field.empty())
+      p.sels.push_back({cfg::Selector::Field, prog.syms().lookup(field)});
+    return p;
+  }
+};
+
+TEST(MentionsAsValue, DirectReference) {
+  Fixture f(R"(
+    class Node { int v; }
+    global Node G;
+    proc F() {
+      local n := new Node in {
+        G := n;
+      }
+    }
+  )");
+  EXPECT_TRUE(mentions_as_value(f.prog, f.first_rhs(), f.var("n")));
+}
+
+TEST(MentionsAsValue, BasePointerDoesNotCount) {
+  Fixture f(R"(
+    class Node { int v; }
+    global int G;
+    proc F() {
+      local n := new Node in {
+        G := n.v;
+      }
+    }
+  )");
+  // Reading n.v dereferences n but does not let the reference escape.
+  EXPECT_FALSE(mentions_as_value(f.prog, f.first_rhs(), f.var("n")));
+}
+
+TEST(MentionsAsValue, ComparisonDoesNotCount) {
+  Fixture f(R"(
+    class Node { int v; }
+    global bool G;
+    proc F() {
+      local n := new Node in {
+        G := n == null;
+      }
+    }
+  )");
+  EXPECT_FALSE(mentions_as_value(f.prog, f.first_rhs(), f.var("n")));
+}
+
+TEST(MayAlias, PlainVariables) {
+  Fixture f("global int A; global int B; proc F() { A := B; }");
+  EXPECT_TRUE(may_alias(f.prog, f.path("A"), f.path("A")));
+  EXPECT_FALSE(may_alias(f.prog, f.path("A"), f.path("B")));
+}
+
+TEST(MayAlias, SameClassSameField) {
+  Fixture f(R"(
+    class Node { int v; Node next; }
+    proc F(Node a, Node b) { a.v := b.v; }
+  )");
+  EXPECT_TRUE(may_alias(f.prog, f.path("a", "v"), f.path("b", "v")));
+  EXPECT_FALSE(may_alias(f.prog, f.path("a", "v"), f.path("b", "next")));
+}
+
+TEST(MayAlias, DifferentClassesSameFieldName) {
+  Fixture f(R"(
+    class A { int v; }
+    class B { int v; }
+    proc F(A a, B b) { a.v := b.v; }
+  )");
+  EXPECT_FALSE(may_alias(f.prog, f.path("a", "v"), f.path("b", "v")));
+}
+
+TEST(MayAlias, VariableNeverAliasesHeap) {
+  Fixture f(R"(
+    class Node { Node Next; }
+    global Node Tail;
+    proc F(Node t) { Tail := t.Next; }
+  )");
+  EXPECT_FALSE(may_alias(f.prog, f.path("Tail"), f.path("t", "Next")));
+}
+
+TEST(MayAlias, ArrayElements) {
+  Fixture f(R"(
+    class Obj { int[] data; int[] version; }
+    proc F(Obj a, Obj b) { a.data[0] := b.data[1]; }
+  )");
+  AccessPath ad = f.path("a", "data");
+  ad.sels.push_back({cfg::Selector::Index, {}});
+  AccessPath bd = f.path("b", "data");
+  bd.sels.push_back({cfg::Selector::Index, {}});
+  // Same element type: may alias (indices are abstracted).
+  EXPECT_TRUE(may_alias(f.prog, ad, bd));
+  // Field access never aliases an element access.
+  EXPECT_FALSE(may_alias(f.prog, ad, f.path("a", "data")));
+}
+
+TEST(PathTypes, WalksSelectors) {
+  Fixture f(R"(
+    class Node { int v; Node next; }
+    proc F(Node a) { a.v := 0; }
+  )");
+  AccessPath av = f.path("a", "v");
+  synl::TypeId holder = path_prefix_type(f.prog, av);
+  ASSERT_TRUE(holder.valid());
+  EXPECT_EQ(f.prog.type(holder).kind, synl::TypeKind::Ref);
+  synl::TypeId leaf = path_type(f.prog, av);
+  ASSERT_TRUE(leaf.valid());
+  EXPECT_EQ(f.prog.type(leaf).kind, synl::TypeKind::Int);
+}
+
+TEST(ReadsExactly, MatchesLocationAndLL) {
+  Fixture f(R"(
+    global int X;
+    global int Y;
+    proc F() {
+      local a := X in {
+        local b := LL(X) in { skip; }
+      }
+    }
+  )");
+  AccessPath x = f.path("X");
+  AccessPath y = f.path("Y");
+  // Find the two initializer expressions.
+  std::vector<synl::ExprId> inits;
+  synl::for_each_stmt(f.prog, f.prog.proc(f.prog.find_proc("F")).body,
+                      [&](synl::StmtId sid) {
+                        if (f.prog.stmt(sid).kind == synl::StmtKind::Local)
+                          inits.push_back(f.prog.stmt(sid).e1);
+                      });
+  ASSERT_EQ(inits.size(), 2u);
+  EXPECT_TRUE(reads_exactly(f.prog, inits[0], x));
+  EXPECT_TRUE(reads_exactly(f.prog, inits[1], x));  // LL(X) counts
+  EXPECT_FALSE(reads_exactly(f.prog, inits[0], y));
+}
+
+}  // namespace
+}  // namespace synat::analysis

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "synat/cfg/liveness.h"
+#include "synat/synl/parser.h"
+
+namespace synat::cfg {
+namespace {
+
+using synl::Program;
+
+struct Fixture {
+  Program prog;
+  Cfg cfg;
+};
+
+Fixture make(std::string_view src) {
+  DiagEngine diags;
+  Program p = synl::parse_and_check(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  Cfg cfg = build_cfg(p, synl::ProcId(0));
+  return {std::move(p), std::move(cfg)};
+}
+
+AccessPath var_path(const Program& p, std::string_view name) {
+  AccessPath path;
+  Symbol s = p.syms().lookup(name);
+  for (size_t i = 0; i < p.num_vars(); ++i) {
+    if (p.var(synl::VarId(static_cast<uint32_t>(i))).name == s)
+      path.root = synl::VarId(static_cast<uint32_t>(i));
+  }
+  return path;
+}
+
+EventId loop_head(const Cfg& cfg, size_t index = 0) {
+  return cfg.loops().at(index).head;
+}
+
+TEST(Liveness, DeadWhenRewrittenEachIteration) {
+  auto s = make(R"(
+    global int X;
+    proc F() {
+      loop {
+        local t := X in {
+          if (t > 0) { return; }
+        }
+      }
+    }
+  )");
+  // `t` is rewritten at the top of every iteration: dead at the loop head.
+  EXPECT_FALSE(live_after(s.prog, s.cfg, loop_head(s.cfg), var_path(s.prog, "t")));
+}
+
+TEST(Liveness, LiveWhenReadNextIteration) {
+  auto s = make(R"(
+    global int X;
+    proc F() {
+      local i := 0 in {
+        loop {
+          if (i > 3) { return; }
+          i := i + 1;
+        }
+      }
+    }
+  )");
+  // `i` is read at the top of the next iteration before being written.
+  EXPECT_TRUE(live_after(s.prog, s.cfg, loop_head(s.cfg), var_path(s.prog, "i")));
+}
+
+TEST(Liveness, ThreadLocalLiveAtExit) {
+  auto s = make(R"(
+    threadlocal int T;
+    global int X;
+    proc F() {
+      loop {
+        if (X > 0) { T := 1; }
+        return;
+      }
+    }
+  )");
+  // The False branch reaches Exit without touching T; since T survives the
+  // call (thread-local), that path counts as a use.
+  EXPECT_TRUE(live_after(s.prog, s.cfg, loop_head(s.cfg), var_path(s.prog, "T")));
+}
+
+TEST(Liveness, ThreadLocalDeadWhenWriteDominatesExit) {
+  auto s = make(R"(
+    threadlocal int T;
+    proc F() {
+      loop {
+        T := 1;
+        return;
+      }
+    }
+  )");
+  // Every path from the loop head rewrites T first: dead even though T is
+  // thread-local.
+  EXPECT_FALSE(live_after(s.prog, s.cfg, loop_head(s.cfg), var_path(s.prog, "T")));
+}
+
+TEST(Liveness, ProcLocalDeadAtExit) {
+  auto s = make(R"(
+    proc F() {
+      local t := 0 in {
+        loop {
+          t := 1;
+          return;
+        }
+      }
+    }
+  )");
+  EXPECT_FALSE(live_after(s.prog, s.cfg, loop_head(s.cfg), var_path(s.prog, "t")));
+}
+
+TEST(Liveness, FieldPathThroughUniquePointer) {
+  auto s = make(R"(
+    class Node { int data; }
+    global Node Q;
+    threadlocal Node prv;
+    proc F() {
+      loop {
+        local m := LL(Q) in {
+          prv.data := m.data;
+          if (!VL(Q)) { continue; }
+          if (SC(Q, prv)) { prv := m; return; }
+        }
+      }
+    }
+  )");
+  AccessPath prv_data = var_path(s.prog, "prv");
+  prv_data.sels.push_back({Selector::Field, s.prog.syms().lookup("data")});
+  // prv.data is rewritten by the copy at the top of every path from the
+  // loop head before any value read: dead (this is what makes the Herlihy
+  // loop pure).
+  EXPECT_FALSE(live_after(s.prog, s.cfg, loop_head(s.cfg), prv_data));
+}
+
+TEST(Liveness, ValueReadOfPrefixIsUse) {
+  auto s = make(R"(
+    class Node { int data; }
+    global Node Q;
+    threadlocal Node prv;
+    proc F() {
+      loop {
+        SC(Q, prv);          // value-read of prv: lets prv.data escape
+        prv.data := 0;
+        return;
+      }
+    }
+  )");
+  AccessPath prv_data = var_path(s.prog, "prv");
+  prv_data.sels.push_back({Selector::Field, s.prog.syms().lookup("data")});
+  EXPECT_TRUE(live_after(s.prog, s.cfg, loop_head(s.cfg), prv_data));
+}
+
+TEST(AccessEffect, BaseReadIsNotUse) {
+  Event ev;
+  ev.kind = EventKind::Read;
+  ev.is_base = true;
+  ev.path.root = synl::VarId(3);
+  AccessPath q;
+  q.root = synl::VarId(3);
+  EXPECT_EQ(access_effect(ev, q), AccessEffect::None);
+  ev.is_base = false;
+  EXPECT_EQ(access_effect(ev, q), AccessEffect::Use);
+}
+
+TEST(AccessEffect, WriteToPrefixKills) {
+  Event ev;
+  ev.kind = EventKind::Write;
+  ev.path.root = synl::VarId(3);  // write of the pointer itself
+  AccessPath q;
+  q.root = synl::VarId(3);
+  q.sels.push_back({Selector::Field, {}});
+  EXPECT_EQ(access_effect(ev, q), AccessEffect::Kill);
+}
+
+TEST(AccessEffect, ScIsUseNotKill) {
+  Event ev;
+  ev.kind = EventKind::SC;
+  ev.path.root = synl::VarId(3);
+  AccessPath q;
+  q.root = synl::VarId(3);
+  EXPECT_EQ(access_effect(ev, q), AccessEffect::Use);
+}
+
+TEST(AccessEffect, DifferentRootsIgnored) {
+  Event ev;
+  ev.kind = EventKind::Write;
+  ev.path.root = synl::VarId(3);
+  AccessPath q;
+  q.root = synl::VarId(4);
+  EXPECT_EQ(access_effect(ev, q), AccessEffect::None);
+}
+
+}  // namespace
+}  // namespace synat::cfg

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "synat/analysis/proc_analysis.h"
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+
+namespace synat::analysis {
+namespace {
+
+using synl::Program;
+
+struct Fixture {
+  DiagEngine diags;
+  Program prog;
+  std::unique_ptr<ProcAnalysis> pa;
+
+  explicit Fixture(std::string_view src, std::string_view proc)
+      : prog(synl::parse_and_check(src, diags)) {
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    pa = std::make_unique<ProcAnalysis>(prog, prog.find_proc(proc));
+  }
+
+  std::vector<cfg::EventId> events(cfg::EventKind kind) const {
+    std::vector<cfg::EventId> out;
+    const cfg::Cfg& cfg = pa->cfg();
+    for (uint32_t i = 0; i < cfg.num_nodes(); ++i)
+      if (cfg.node(cfg::EventId(i)).kind == kind) out.push_back(cfg::EventId(i));
+    return out;
+  }
+};
+
+TEST(Matching, StraightLineScFindsItsLl) {
+  Fixture s(R"(
+    global int X;
+    proc F() {
+      local a := LL(X) in {
+        TRUE(SC(X, a + 1));
+      }
+    }
+  )", "F");
+  auto scs = s.events(cfg::EventKind::SC);
+  auto lls = s.events(cfg::EventKind::LL);
+  ASSERT_EQ(scs.size(), 1u);
+  ASSERT_EQ(lls.size(), 1u);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->complete);
+  ASSERT_EQ(mi->matches.size(), 1u);
+  EXPECT_EQ(mi->matches[0], lls[0]);
+}
+
+TEST(Matching, BothBranchesCanMatch) {
+  Fixture s(R"(
+    global int X;
+    proc F(int c) {
+      local a := 0 in {
+        if (c > 0) { a := LL(X); } else { a := LL(X); }
+        TRUE(SC(X, a));
+      }
+    }
+  )", "F");
+  auto scs = s.events(cfg::EventKind::SC);
+  ASSERT_EQ(scs.size(), 1u);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->complete);
+  EXPECT_EQ(mi->matches.size(), 2u);
+}
+
+TEST(Matching, NewerLlShadowsOlder) {
+  Fixture s(R"(
+    global int X;
+    proc F() {
+      local a := LL(X) in {
+        local b := LL(X) in {
+          TRUE(SC(X, b));
+        }
+      }
+    }
+  )", "F");
+  auto scs = s.events(cfg::EventKind::SC);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  // Only the most recent LL(X) matches; the search stops at it.
+  EXPECT_EQ(mi->matches.size(), 1u);
+}
+
+TEST(Matching, ScWithNoLlIsIncomplete) {
+  Fixture s(R"(
+    global int X;
+    proc F() {
+      SC(X, 1);
+    }
+  )", "F");
+  auto scs = s.events(cfg::EventKind::SC);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_FALSE(mi->complete);
+  EXPECT_TRUE(mi->matches.empty());
+}
+
+TEST(Matching, DifferentVariableDoesNotMatch) {
+  Fixture s(R"(
+    global int X;
+    global int Y;
+    proc F() {
+      local a := LL(Y) in {
+        TRUE(SC(X, a));
+      }
+    }
+  )", "F");
+  auto scs = s.events(cfg::EventKind::SC);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->matches.empty());
+}
+
+TEST(Matching, LoopLlMatchesAcrossBackEdge) {
+  Fixture s(corpus::get("nfq_prime").source, "AddNode");
+  // In AddNode, the SC(t.Next, node) matches the LL(t.Next).
+  auto scs = s.events(cfg::EventKind::SC);
+  ASSERT_EQ(scs.size(), 1u);
+  const MatchInfo* mi = s.pa->matching().info(scs[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->complete);
+  ASSERT_EQ(mi->matches.size(), 1u);
+  EXPECT_EQ(s.pa->cfg().node(mi->matches[0]).kind, cfg::EventKind::LL);
+}
+
+TEST(Matching, VlHasMatchingLl) {
+  Fixture s(corpus::get("nfq_prime").source, "UpdateTail");
+  auto vls = s.events(cfg::EventKind::VL);
+  ASSERT_EQ(vls.size(), 1u);
+  const MatchInfo* mi = s.pa->matching().info(vls[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->complete);
+  EXPECT_EQ(mi->matches.size(), 1u);
+}
+
+TEST(Matching, CasMatchingRead) {
+  Fixture s(R"(
+    global int X;
+    proc F() {
+      local old := X in {
+        TRUE(CAS(X, old, old + 1));
+      }
+    }
+  )", "F");
+  auto cass = s.events(cfg::EventKind::CAS);
+  ASSERT_EQ(cass.size(), 1u);
+  const MatchInfo* mi = s.pa->matching().info(cass[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_TRUE(mi->complete);
+  ASSERT_EQ(mi->matches.size(), 1u);
+  const cfg::Event& read = s.pa->cfg().node(mi->matches[0]);
+  EXPECT_EQ(read.kind, cfg::EventKind::Read);
+  EXPECT_TRUE(read.path.is_plain_var());
+}
+
+TEST(Matching, CasExpectedFromElsewhereIncomplete) {
+  Fixture s(R"(
+    global int X;
+    proc F(int guess) {
+      TRUE(CAS(X, guess, guess + 1));
+    }
+  )", "F");
+  auto cass = s.events(cfg::EventKind::CAS);
+  const MatchInfo* mi = s.pa->matching().info(cass[0]);
+  ASSERT_NE(mi, nullptr);
+  EXPECT_FALSE(mi->complete);
+}
+
+TEST(Matching, MatchedByInverseLookup) {
+  Fixture s(R"(
+    global int X;
+    proc F() {
+      local a := LL(X) in {
+        if (VL(X)) {
+          TRUE(SC(X, a));
+        }
+      }
+    }
+  )", "F");
+  auto lls = s.events(cfg::EventKind::LL);
+  ASSERT_EQ(lls.size(), 1u);
+  // The LL matches both the VL and the SC.
+  EXPECT_EQ(s.pa->matching().matched_by(lls[0]).size(), 2u);
+}
+
+}  // namespace
+}  // namespace synat::analysis

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "synat/analysis/proc_analysis.h"
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+
+namespace synat::analysis {
+namespace {
+
+using synl::Program;
+
+struct Fixture {
+  DiagEngine diags;
+  Program prog;
+  std::unique_ptr<ProcAnalysis> pa;
+
+  explicit Fixture(std::string_view src, std::string_view proc)
+      : prog(synl::parse_and_check(src, diags)) {
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    pa = std::make_unique<ProcAnalysis>(prog, prog.find_proc(proc));
+  }
+
+  synl::VarId var(std::string_view name) const {
+    Symbol s = prog.syms().lookup(name);
+    for (size_t i = 0; i < prog.num_vars(); ++i) {
+      synl::VarId v(static_cast<uint32_t>(i));
+      if (prog.var(v).name == s) return v;
+    }
+    return {};
+  }
+};
+
+TEST(Unique, HerlihyWorkingCopyRecognized) {
+  Fixture s(corpus::get("herlihy_small").source, "Apply");
+  EXPECT_TRUE(s.pa->unique().is_working_copy(s.var("prv")));
+}
+
+TEST(Unique, GaoHesselinkWorkingCopyRecognized) {
+  Fixture s(corpus::get("gh_large_v3").source, "Apply");
+  EXPECT_TRUE(s.pa->unique().is_working_copy(s.var("prvObj")));
+}
+
+TEST(Unique, DerefBeforeRetirementDisqualifies) {
+  Fixture s(R"(
+    class Node { int data; }
+    global Node Q;
+    threadlocal Node prv;
+    proc Apply() {
+      loop {
+        local m := LL(Q) in {
+          if (SC(Q, prv)) {
+            prv.data := 1;   // deref of the now-shared object
+            prv := m;
+            return;
+          }
+        }
+      }
+    }
+  )", "Apply");
+  EXPECT_FALSE(s.pa->unique().is_working_copy(s.var("prv")));
+}
+
+TEST(Unique, MissingRetirementDisqualifies) {
+  Fixture s(R"(
+    class Node { int data; }
+    global Node Q;
+    threadlocal Node prv;
+    proc Apply() {
+      loop {
+        local m := LL(Q) in {
+          if (SC(Q, prv)) {
+            return;   // prv still points at the published object
+          }
+        }
+      }
+    }
+  )", "Apply");
+  EXPECT_FALSE(s.pa->unique().is_working_copy(s.var("prv")));
+}
+
+TEST(Unique, FailurePathNeedsNoRetirement) {
+  // GH's `else prvObj.version[g] := 0` executes after a FAILED SC; that is
+  // a deref of the still-private object and must be allowed.
+  Fixture s(R"(
+    class Obj { int[] version; }
+    global Obj SharedObj;
+    threadlocal Obj prvObj;
+    proc Apply(int g) {
+      loop {
+        local m := LL(SharedObj) in {
+          prvObj.version[g] := 1;
+          if (SC(SharedObj, prvObj)) {
+            prvObj := m;
+            return;
+          } else {
+            prvObj.version[g] := 0;
+          }
+        }
+      }
+    }
+  )", "Apply");
+  EXPECT_TRUE(s.pa->unique().is_working_copy(s.var("prvObj")));
+}
+
+TEST(Unique, PlainStoreToGlobalDisqualifies) {
+  Fixture s(R"(
+    class Node { int data; }
+    global Node Q;
+    threadlocal Node prv;
+    proc Apply() {
+      Q := prv;
+      prv := new Node;
+    }
+  )", "Apply");
+  EXPECT_FALSE(s.pa->unique().is_working_copy(s.var("prv")));
+}
+
+TEST(Unique, ReturningTheReferenceDisqualifies) {
+  Fixture s(R"(
+    class Node { int data; }
+    threadlocal Node prv;
+    proc Node Apply() {
+      return prv;
+    }
+  )", "Apply");
+  EXPECT_FALSE(s.pa->unique().is_working_copy(s.var("prv")));
+}
+
+TEST(Unique, NonRefVarsIgnored) {
+  Fixture s(R"(
+    threadlocal int counter;
+    proc Apply() {
+      counter := counter + 1;
+    }
+  )", "Apply");
+  EXPECT_FALSE(s.pa->unique().is_working_copy(s.var("counter")));
+}
+
+}  // namespace
+}  // namespace synat::analysis

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "synat/atomicity/infer.h"
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+
+namespace synat::atomicity {
+namespace {
+
+using synl::Program;
+
+struct Fixture {
+  DiagEngine diags;
+  Program prog;
+  AtomicityResult result;
+
+  explicit Fixture(std::string_view corpus_name) {
+    const corpus::Entry& e = corpus::get(corpus_name);
+    prog = synl::parse_and_check(e.source, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    InferOptions opts;
+    for (auto c : e.counted_cas) opts.counted_cas.emplace_back(c);
+    result = infer_atomicity(prog, diags, opts);
+  }
+
+  Fixture(std::string_view corpus_name, const InferOptions& opts) {
+    prog = synl::parse_and_check(corpus::get(corpus_name).source, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    InferOptions o = opts;
+    for (auto c : corpus::get(corpus_name).counted_cas)
+      o.counted_cas.emplace_back(c);
+    result = infer_atomicity(prog, diags, o);
+  }
+
+  const ProcResult& proc(std::string_view name) const {
+    const ProcResult* r = result.result_for(prog.find_proc(name));
+    EXPECT_NE(r, nullptr);
+    return *r;
+  }
+
+  /// The "aN:T" line prefixes of a variant listing, e.g. {"a1:B", "a2:R"}.
+  std::vector<std::string> line_types(std::string_view proc_name,
+                                      size_t variant) const {
+    const VariantResult& v = proc(proc_name).variants.at(variant);
+    std::string listing = result.listing(prog, v);
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while ((pos = listing.find('\n', pos)) != std::string::npos) {
+      ++pos;
+      size_t colon = listing.find(':', pos);
+      if (colon == std::string::npos || colon > listing.find('\n', pos)) break;
+      out.push_back(listing.substr(pos, colon - pos + 2));
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// E1: exact reproduction of the paper's Figure 3 line atomicities.
+
+TEST(Figure3, AddNodeLineTypes) {
+  Fixture s("nfq_prime");
+  std::vector<std::string> expect = {"a1:B", "a2:B", "a3:B", "a4:R", "a5:R",
+                                     "a6:B", "a7:B", "a8:L", "a9:B"};
+  EXPECT_EQ(s.line_types("AddNode", 0), expect);
+}
+
+TEST(Figure3, UpdateTailLineTypes) {
+  Fixture s("nfq_prime");
+  std::vector<std::string> expect = {"a1:R", "a2:R", "a3:B",
+                                     "a4:B", "a5:L", "a6:B"};
+  EXPECT_EQ(s.line_types("UpdateTail", 0), expect);
+}
+
+TEST(Figure3, DeqVariant1LineTypes) {
+  Fixture s("nfq_prime");
+  // Paper: c1:R c2:A c3:L c4:B c5:B.
+  std::vector<std::string> expect = {"a1:R", "a2:A", "a3:L", "a4:B", "a5:B"};
+  EXPECT_EQ(s.line_types("Deq", 0), expect);
+}
+
+TEST(Figure3, DeqVariant2LineTypes) {
+  Fixture s("nfq_prime");
+  // Paper: d1:R d2:R d3:B d4:B d5:A d6:B d7:L d8:B.
+  std::vector<std::string> expect = {"a1:R", "a2:R", "a3:B", "a4:B",
+                                     "a5:A", "a6:B", "a7:L", "a8:B"};
+  EXPECT_EQ(s.line_types("Deq", 1), expect);
+}
+
+TEST(Figure3, AllNfqPrimeProceduresAtomic) {
+  Fixture s("nfq_prime");
+  EXPECT_TRUE(s.proc("AddNode").atomic);
+  EXPECT_TRUE(s.proc("UpdateTail").atomic);
+  EXPECT_TRUE(s.proc("Deq").atomic);
+  EXPECT_TRUE(s.result.all_atomic());
+}
+
+// ---------------------------------------------------------------------------
+// E3: Figure 4 (Herlihy).
+
+TEST(Figure4, HerlihyLineTypes) {
+  Fixture s("herlihy_small");
+  // Paper: a1:R a2:B a3:B a4:B a5:L a6:B (a7 break is consumed by slicing).
+  std::vector<std::string> expect = {"a1:R", "a2:B", "a3:B",
+                                     "a4:B", "a5:L", "a6:B"};
+  EXPECT_EQ(s.line_types("Apply", 0), expect);
+  EXPECT_TRUE(s.proc("Apply").atomic);
+}
+
+// ---------------------------------------------------------------------------
+// E4: Gao-Hesselink.
+
+TEST(GaoHesselink, Program1Atomic) {
+  Fixture s("gh_large_v1");
+  EXPECT_TRUE(s.proc("Apply").atomic);
+}
+
+TEST(GaoHesselink, Programs2And3NotDirectlyProvable) {
+  // Matches the paper: the analysis cannot directly show 2 and 3 atomic.
+  Fixture s2("gh_large_v2");
+  EXPECT_FALSE(s2.proc("Apply").atomic);
+  Fixture s3("gh_large_v3");
+  EXPECT_FALSE(s3.proc("Apply").atomic);
+}
+
+// ---------------------------------------------------------------------------
+// Other corpus verdicts.
+
+TEST(Verdicts, OriginalNfqNotProvable) {
+  Fixture s("nfq");
+  EXPECT_FALSE(s.proc("Enq").atomic);
+  EXPECT_FALSE(s.proc("Deq").atomic);
+}
+
+TEST(Verdicts, SemaphoreAtomic) {
+  Fixture s("semaphore_down");
+  EXPECT_TRUE(s.proc("Down").atomic);
+  EXPECT_TRUE(s.proc("Up").atomic);
+}
+
+TEST(Verdicts, TreiberStackAtomicWithCountedCas) {
+  Fixture s("treiber_stack");
+  EXPECT_TRUE(s.proc("Push").atomic);
+  EXPECT_TRUE(s.proc("Pop").atomic);
+}
+
+TEST(Verdicts, TreiberStackNotProvableWithoutCounters) {
+  // Without the ABA counters, the CAS analogue of Theorem 5.3 must not
+  // fire and Push/Pop stay unproven.
+  DiagEngine diags;
+  Program prog =
+      synl::parse_and_check(corpus::get("treiber_stack").source, diags);
+  ASSERT_FALSE(diags.has_errors());
+  InferOptions opts;  // counted_cas left empty
+  AtomicityResult r = infer_atomicity(prog, diags, opts);
+  EXPECT_FALSE(r.result_for(prog.find_proc("Push"))->atomic);
+  EXPECT_FALSE(r.result_for(prog.find_proc("Pop"))->atomic);
+}
+
+TEST(Verdicts, LockedCounterAtomic) {
+  Fixture s("locked_counter");
+  EXPECT_TRUE(s.proc("Inc").atomic);
+  EXPECT_TRUE(s.proc("Get").atomic);
+}
+
+TEST(Verdicts, RacyCounterRejected) {
+  Fixture s("racy_counter");
+  EXPECT_FALSE(s.proc("Inc").atomic);
+}
+
+TEST(Verdicts, SpinlockAtomic) {
+  Fixture s("spinlock");
+  EXPECT_TRUE(s.proc("Acquire").atomic);
+  EXPECT_TRUE(s.proc("Release").atomic);
+}
+
+TEST(Verdicts, CasQueueNotProvableLikeNfq) {
+  // The CAS flavor of the MS queue helps-update Tail inside its loops,
+  // which keeps them impure — the same reason Figure 1's NFQ needs the
+  // NFQ' restructuring.
+  Fixture s("nfq_cas");
+  EXPECT_FALSE(s.proc("Enq").atomic);
+  EXPECT_FALSE(s.proc("Deq").atomic);
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md E8): each analysis feature is load-bearing.
+
+TEST(Ablation, WithoutVariantsNothingNonTrivialProved) {
+  InferOptions opts;
+  opts.variant_opts.disable = true;
+  Fixture s("nfq_prime", opts);
+  EXPECT_FALSE(s.proc("AddNode").atomic);
+  EXPECT_FALSE(s.proc("Deq").atomic);
+}
+
+TEST(Ablation, WithoutWindowRuleDeqVariant2Degrades) {
+  InferOptions opts;
+  opts.use_window_rule = false;
+  Fixture s("nfq_prime", opts);
+  // d3 (TRUE(VL(Head))) relied on the Theorem 5.4 window to become B; it
+  // falls back to L, which still composes: check the overall still-atomic
+  // claim separately from the line change.
+  auto lines = s.line_types("Deq", 1);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "a3:L");
+}
+
+TEST(Ablation, WithoutWindowRuleDeqFails) {
+  InferOptions opts;
+  opts.use_window_rule = false;
+  Fixture s("nfq_prime", opts);
+  // d3 degrades from B to L, leaving Deq'2 with L before d5's A: N overall.
+  EXPECT_FALSE(s.proc("Deq").atomic);
+}
+
+TEST(Ablation, WithoutWindowRuleHerlihyStillAtomic) {
+  // Our uniqueness analysis already makes the working-copy writes local
+  // actions, so Herlihy's procedure survives without Theorem 5.4 (the
+  // paper's argument used 5.4; ours is subsumed by Theorem 3.1 + escape).
+  InferOptions opts;
+  opts.use_window_rule = false;
+  Fixture s("herlihy_small", opts);
+  EXPECT_TRUE(s.proc("Apply").atomic);
+}
+
+TEST(Ablation, WithoutLocalConditionsDeqFails) {
+  InferOptions opts;
+  opts.use_local_conditions = false;
+  Fixture s("nfq_prime", opts);
+  // d2's right-mover status is exactly Theorem 5.5 (paper Section 6.1);
+  // without it Deq'2 has two non-movers and composes to N.
+  EXPECT_FALSE(s.proc("Deq").atomic);
+  // AddNode/UpdateTail survive: their 5.5-upgraded events still compose
+  // within the single R*;A;L* budget.
+  EXPECT_TRUE(s.proc("AddNode").atomic);
+  EXPECT_TRUE(s.proc("UpdateTail").atomic);
+}
+
+TEST(Ablation, LockAnalysisIndependentOfNonBlockingFeatures) {
+  InferOptions opts;
+  opts.use_window_rule = false;
+  opts.use_local_conditions = false;
+  Fixture s("locked_counter", opts);
+  EXPECT_TRUE(s.proc("Inc").atomic);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-corpus smoke: inference never crashes, listings render.
+
+class InferAll : public ::testing::TestWithParam<corpus::Entry> {};
+
+TEST_P(InferAll, RunsAndRendersListing) {
+  DiagEngine diags;
+  Program prog = synl::parse_and_check(GetParam().source, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  InferOptions opts;
+  for (auto c : GetParam().counted_cas) opts.counted_cas.emplace_back(c);
+  AtomicityResult r = infer_atomicity(prog, diags, opts);
+  EXPECT_FALSE(r.procs().empty());
+  EXPECT_FALSE(r.full_listing(prog).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, InferAll, ::testing::ValuesIn(corpus::all()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace synat::atomicity

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "synat/atomicity/types.h"
+
+namespace synat::atomicity {
+namespace {
+
+using enum Atomicity;
+
+const Atomicity kAll[] = {B, R, L, A, N};
+
+// --- exact table values (paper Section 3.3) --------------------------------
+
+TEST(Seq, PaperTableRows) {
+  // B row: identity.
+  EXPECT_EQ(seq(B, B), B);
+  EXPECT_EQ(seq(B, R), R);
+  EXPECT_EQ(seq(B, L), L);
+  EXPECT_EQ(seq(B, A), A);
+  EXPECT_EQ(seq(B, N), N);
+  // R row.
+  EXPECT_EQ(seq(R, B), R);
+  EXPECT_EQ(seq(R, R), R);
+  EXPECT_EQ(seq(R, L), A);
+  EXPECT_EQ(seq(R, A), A);
+  EXPECT_EQ(seq(R, N), N);
+  // L row.
+  EXPECT_EQ(seq(L, B), L);
+  EXPECT_EQ(seq(L, R), N);
+  EXPECT_EQ(seq(L, L), L);
+  EXPECT_EQ(seq(L, A), N);
+  EXPECT_EQ(seq(L, N), N);
+  // A row (A;A = N, see the comment in types.h).
+  EXPECT_EQ(seq(A, B), A);
+  EXPECT_EQ(seq(A, R), N);
+  EXPECT_EQ(seq(A, L), A);
+  EXPECT_EQ(seq(A, A), N);
+  EXPECT_EQ(seq(A, N), N);
+  // N row: absorbing.
+  for (Atomicity x : kAll) EXPECT_EQ(seq(N, x), N);
+}
+
+TEST(Iter, Closure) {
+  EXPECT_EQ(iter(B), B);
+  EXPECT_EQ(iter(R), R);
+  EXPECT_EQ(iter(L), L);
+  EXPECT_EQ(iter(A), N);
+  EXPECT_EQ(iter(N), N);
+}
+
+// --- lattice laws, swept over all elements ---------------------------------
+
+class Pairs : public ::testing::TestWithParam<std::pair<Atomicity, Atomicity>> {};
+
+TEST_P(Pairs, JoinIsLub) {
+  auto [a, b] = GetParam();
+  Atomicity j = join(a, b);
+  EXPECT_TRUE(leq(a, j));
+  EXPECT_TRUE(leq(b, j));
+  // Least: any other upper bound is above j.
+  for (Atomicity u : kAll) {
+    if (leq(a, u) && leq(b, u)) {
+      EXPECT_TRUE(leq(j, u));
+    }
+  }
+}
+
+TEST_P(Pairs, MeetIsGlb) {
+  auto [a, b] = GetParam();
+  Atomicity m = meet(a, b);
+  EXPECT_TRUE(leq(m, a));
+  EXPECT_TRUE(leq(m, b));
+  for (Atomicity l : kAll) {
+    if (leq(l, a) && leq(l, b)) {
+      EXPECT_TRUE(leq(l, m));
+    }
+  }
+}
+
+TEST_P(Pairs, JoinCommutes) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(join(a, b), join(b, a));
+  EXPECT_EQ(meet(a, b), meet(b, a));
+}
+
+TEST_P(Pairs, LeqAntisymmetric) {
+  auto [a, b] = GetParam();
+  if (leq(a, b) && leq(b, a)) {
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(Pairs, SeqMonotoneInBothArguments) {
+  auto [a, b] = GetParam();
+  for (Atomicity c : kAll) {
+    if (leq(a, b)) {
+      EXPECT_TRUE(leq(seq(a, c), seq(b, c)))
+          << to_string(a) << " " << to_string(b) << " " << to_string(c);
+      EXPECT_TRUE(leq(seq(c, a), seq(c, b)))
+          << to_string(a) << " " << to_string(b) << " " << to_string(c);
+    }
+  }
+}
+
+TEST_P(Pairs, SeqUpperBoundsJoinWhenOrdered) {
+  // seq(a, b) is always at least as imprecise as both args unless one is B.
+  auto [a, b] = GetParam();
+  EXPECT_TRUE(leq(a, seq(a, b)) || seq(a, b) == join(a, b) ||
+              leq(join(a, b), seq(a, b)));
+}
+
+std::vector<std::pair<Atomicity, Atomicity>> all_pairs() {
+  std::vector<std::pair<Atomicity, Atomicity>> out;
+  for (Atomicity a : kAll)
+    for (Atomicity b : kAll) out.emplace_back(a, b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, Pairs, ::testing::ValuesIn(all_pairs()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param.first)) +
+                                  "_" +
+                                  std::string(to_string(info.param.second));
+                         });
+
+TEST(Lattice, BIsBottomNIsTop) {
+  for (Atomicity a : kAll) {
+    EXPECT_TRUE(leq(B, a));
+    EXPECT_TRUE(leq(a, N));
+  }
+}
+
+TEST(Lattice, LAndRIncomparable) {
+  EXPECT_FALSE(leq(L, R));
+  EXPECT_FALSE(leq(R, L));
+  EXPECT_EQ(join(L, R), A);
+  EXPECT_EQ(meet(L, R), B);
+}
+
+TEST(Seq, BIsIdentity) {
+  for (Atomicity a : kAll) {
+    EXPECT_EQ(seq(B, a), a);
+    EXPECT_EQ(seq(a, B), a);
+  }
+}
+
+TEST(Seq, ReductionPatternRStarALStar) {
+  // The canonical reducible pattern composes to exactly A.
+  EXPECT_EQ(seq(seq(seq(seq(R, R), A), L), L), A);
+}
+
+TEST(Iter, Idempotent) {
+  for (Atomicity a : kAll) EXPECT_EQ(iter(iter(a)), iter(a));
+}
+
+}  // namespace
+}  // namespace synat::atomicity

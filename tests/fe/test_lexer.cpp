@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "synat/synl/lexer.h"
+
+namespace synat::synl {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagEngine diags;
+  auto toks = Lexer::tokenize(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return toks;
+}
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex_ok(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+TEST(Lexer, Keywords) {
+  auto k = kinds("global threadlocal proc local in loop if else return");
+  std::vector<Tok> expect = {Tok::KwGlobal, Tok::KwThreadLocal, Tok::KwProc,
+                             Tok::KwLocal,  Tok::KwIn,          Tok::KwLoop,
+                             Tok::KwIf,     Tok::KwElse,        Tok::KwReturn,
+                             Tok::End};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, Primitives) {
+  auto k = kinds("LL SC VL CAS TRUE assume");
+  std::vector<Tok> expect = {Tok::KwLL,     Tok::KwSC,     Tok::KwVL,
+                             Tok::KwCAS,    Tok::KwAssume, Tok::KwAssume,
+                             Tok::End};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, IdentifiersWithPrimes) {
+  // Variant names like Deq'2 lex as single identifiers.
+  auto toks = lex_ok("Deq'2 next");
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "Deq'2");
+  EXPECT_EQ(toks[1].text, "next");
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = lex_ok("0 42 123456");
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 123456);
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto k = kinds(":= == != <= >= && || ++ -- < > = !");
+  std::vector<Tok> expect = {Tok::Assign, Tok::EqEq,      Tok::NotEq,
+                             Tok::Le,     Tok::Ge,        Tok::AndAnd,
+                             Tok::OrOr,   Tok::PlusPlus,  Tok::MinusMinus,
+                             Tok::Lt,     Tok::Gt,        Tok::Assign,
+                             Tok::Not,    Tok::End};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto k = kinds("x // comment until eol\n y");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Ident, Tok::End};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto toks = lex_ok("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, UnknownCharacterReportsError) {
+  DiagEngine diags;
+  auto toks = Lexer::tokenize("a @ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+  // Lexing recovers: both identifiers still come through.
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BracketsAndPunctuation) {
+  auto k = kinds("( ) { } [ ] ; , . :");
+  std::vector<Tok> expect = {Tok::LParen,   Tok::RParen, Tok::LBrace,
+                             Tok::RBrace,   Tok::LBracket, Tok::RBracket,
+                             Tok::Semi,     Tok::Comma,  Tok::Dot,
+                             Tok::Colon,    Tok::End};
+  EXPECT_EQ(k, expect);
+}
+
+}  // namespace
+}  // namespace synat::synl

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "synat/corpus/corpus.h"
+#include "synat/synl/parser.h"
+#include "synat/synl/printer.h"
+
+namespace synat::synl {
+namespace {
+
+Program parse_ok(std::string_view src) {
+  DiagEngine diags;
+  Program p = parse_and_check(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.dump();
+  return p;
+}
+
+TEST(Parser, MinimalProcedure) {
+  Program p = parse_ok("proc F() { skip; }");
+  ASSERT_EQ(p.num_procs(), 1u);
+  EXPECT_TRUE(p.find_proc("F").valid());
+}
+
+TEST(Parser, GlobalsAndThreadLocals) {
+  Program p = parse_ok(R"(
+    global int X;
+    threadlocal int Y;
+    proc F() { skip; }
+  )");
+  EXPECT_EQ(p.globals().size(), 1u);
+  EXPECT_EQ(p.threadlocals().size(), 1u);
+  EXPECT_EQ(p.var(p.globals()[0]).kind, VarKind::Global);
+  EXPECT_EQ(p.var(p.threadlocals()[0]).kind, VarKind::ThreadLocal);
+}
+
+TEST(Parser, ClassWithSelfReference) {
+  Program p = parse_ok("class Node { int v; Node next; } proc F() { skip; }");
+  ClassId c = p.find_class(p.syms().lookup("Node"));
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(p.cls(c).fields.size(), 2u);
+  // The self-typed field points back at the same class.
+  const TypeNode& ft = p.type(p.cls(c).fields[1].type);
+  EXPECT_EQ(ft.kind, TypeKind::Ref);
+  EXPECT_EQ(ft.cls, c);
+}
+
+TEST(Parser, ForwardClassReference) {
+  Program p = parse_ok("class A { B b; } class B { int x; } proc F() { skip; }");
+  ClassId b = p.find_class(p.syms().lookup("B"));
+  ASSERT_TRUE(b.valid());
+  EXPECT_TRUE(p.cls(b).defined);
+}
+
+TEST(Parser, DuplicateClassIsError) {
+  DiagEngine diags;
+  parse_and_check("class A { int x; } class A { int y; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, LocalWithInAndSemicolonForms) {
+  // The `;` form scopes the local over the rest of the block.
+  Program p = parse_ok(R"(
+    proc F() {
+      local x := 1;
+      local y := x + 1 in {
+        skip;
+      }
+      return x;
+    }
+  )");
+  const ProcInfo& f = p.proc(p.find_proc("F"));
+  EXPECT_EQ(f.locals.size(), 2u);
+}
+
+TEST(Parser, WhileDesugarsToLoop) {
+  Program p = parse_ok("proc F() { while (true) { skip; } }");
+  bool found_loop = false;
+  for_each_stmt(p, p.proc(p.find_proc("F")).body, [&](StmtId s) {
+    if (p.stmt(s).kind == StmtKind::Loop) found_loop = true;
+    EXPECT_NE(p.stmt(s).kind, StmtKind::Assign);
+  });
+  EXPECT_TRUE(found_loop);
+}
+
+TEST(Parser, LabeledLoopAndContinue) {
+  Program p = parse_ok(R"(
+    proc F() {
+      outer: loop {
+        loop {
+          continue outer;
+        }
+      }
+    }
+  )");
+  StmtId outer;
+  for_each_stmt(p, p.proc(p.find_proc("F")).body, [&](StmtId s) {
+    if (p.stmt(s).kind == StmtKind::Loop && p.stmt(s).label.valid()) outer = s;
+  });
+  ASSERT_TRUE(outer.valid());
+  for_each_stmt(p, p.proc(p.find_proc("F")).body, [&](StmtId s) {
+    if (p.stmt(s).kind == StmtKind::Continue) {
+      EXPECT_EQ(p.stmt(s).jump_target, outer);
+    }
+  });
+}
+
+TEST(Parser, IncrementDesugarsToAssignment) {
+  Program p = parse_ok("global int X; proc F() { X++; }");
+  bool found = false;
+  for_each_stmt(p, p.proc(p.find_proc("F")).body, [&](StmtId s) {
+    if (p.stmt(s).kind == StmtKind::Assign) {
+      found = true;
+      EXPECT_EQ(p.expr(p.stmt(s).e2).kind, ExprKind::Binary);
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(Parser, NonBlockingPrimitives) {
+  Program p = parse_ok(R"(
+    global int X;
+    proc F() {
+      local a := LL(X) in {
+        if (VL(X)) {
+          if (SC(X, a + 1)) { return; }
+        }
+        if (CAS(X, a, a + 2)) { return; }
+      }
+    }
+  )");
+  int lls = 0, scs = 0, vls = 0, cass = 0;
+  for (size_t i = 0; i < p.num_exprs(); ++i) {
+    switch (p.expr(ExprId(static_cast<uint32_t>(i))).kind) {
+      case ExprKind::LL: ++lls; break;
+      case ExprKind::SC: ++scs; break;
+      case ExprKind::VL: ++vls; break;
+      case ExprKind::CAS: ++cass; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(lls, 1);
+  EXPECT_EQ(scs, 1);
+  EXPECT_EQ(vls, 1);
+  EXPECT_EQ(cass, 1);
+}
+
+TEST(Parser, SCTargetMustBeLocation) {
+  DiagEngine diags;
+  parse_and_check("proc F() { SC(1 + 2, 3); }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, AssignTargetMustBeLocation) {
+  DiagEngine diags;
+  parse_and_check("proc F() { 1 + 2 := 3; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  Program p = parse_ok("proc int F(int a, int b, int c) { return a + b * c; }");
+  // Find the return expression: must be Add(a, Mul(b, c)).
+  for (size_t i = 0; i < p.num_stmts(); ++i) {
+    const Stmt& s = p.stmt(StmtId(static_cast<uint32_t>(i)));
+    if (s.kind != StmtKind::Return || !s.e1.valid()) continue;
+    const Expr& top = p.expr(s.e1);
+    ASSERT_EQ(top.kind, ExprKind::Binary);
+    EXPECT_EQ(top.bin_op, BinOp::Add);
+    EXPECT_EQ(p.expr(top.b).bin_op, BinOp::Mul);
+  }
+}
+
+TEST(Parser, SynchronizedStatement) {
+  Program p = parse_ok(R"(
+    class L { int d; }
+    global L M;
+    global int C;
+    proc F() { synchronized (M) { C := C + 1; } }
+  )");
+  bool found = false;
+  for_each_stmt(p, p.proc(p.find_proc("F")).body, [&](StmtId s) {
+    if (p.stmt(s).kind == StmtKind::Synchronized) found = true;
+  });
+  EXPECT_TRUE(found);
+}
+
+// --- Round-trip property: print(parse(print(p))) == print(p) -------------
+
+class RoundTrip : public ::testing::TestWithParam<corpus::Entry> {};
+
+TEST_P(RoundTrip, PrinterIsReparseFixpoint) {
+  DiagEngine d1;
+  Program p1 = parse_and_check(GetParam().source, d1);
+  ASSERT_FALSE(d1.has_errors()) << d1.dump();
+  std::string printed1 = print_program(p1);
+
+  DiagEngine d2;
+  Program p2 = parse_and_check(printed1, d2);
+  ASSERT_FALSE(d2.has_errors()) << d2.dump() << "\n--- printed ---\n" << printed1;
+  std::string printed2 = print_program(p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST_P(RoundTrip, ReparsePreservesShape) {
+  DiagEngine d1, d2;
+  Program p1 = parse_and_check(GetParam().source, d1);
+  Program p2 = parse_and_check(print_program(p1), d2);
+  ASSERT_FALSE(d2.has_errors()) << d2.dump();
+  EXPECT_EQ(p1.num_procs(), p2.num_procs());
+  EXPECT_EQ(p1.globals().size(), p2.globals().size());
+  EXPECT_EQ(p1.threadlocals().size(), p2.threadlocals().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RoundTrip,
+                         ::testing::ValuesIn(corpus::all()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace synat::synl

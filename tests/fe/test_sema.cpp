@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "synat/synl/parser.h"
+
+namespace synat::synl {
+namespace {
+
+DiagEngine check(std::string_view src) {
+  DiagEngine diags;
+  parse_and_check(src, diags);
+  return diags;
+}
+
+TEST(Sema, UndeclaredVariable) {
+  EXPECT_TRUE(check("proc F() { x := 1; }").has_errors());
+}
+
+TEST(Sema, GlobalResolvesEverywhere) {
+  EXPECT_FALSE(check("global int X; proc F() { X := 1; }").has_errors());
+}
+
+TEST(Sema, ParamResolution) {
+  EXPECT_FALSE(check("proc F(int a) { return; }").has_errors());
+  EXPECT_FALSE(check("proc int F(int a) { return a; }").has_errors());
+}
+
+TEST(Sema, LocalScopeEndsWithBlock) {
+  EXPECT_TRUE(check(R"(
+    proc F() {
+      if (true) {
+        local x := 1;
+        skip;
+      }
+      return x;
+    }
+  )").has_errors());
+}
+
+TEST(Sema, ShadowingInNestedScopesAllowed) {
+  EXPECT_FALSE(check(R"(
+    proc F() {
+      local x := 1 in {
+        local x := 2 in {
+          return x;
+        }
+      }
+    }
+  )").has_errors());
+}
+
+TEST(Sema, RedeclarationInSameScopeRejected) {
+  EXPECT_TRUE(check(R"(
+    proc F(int a, int a) { skip; }
+  )").has_errors());
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  EXPECT_TRUE(check("proc F() { break; }").has_errors());
+}
+
+TEST(Sema, ContinueToUnknownLabel) {
+  EXPECT_TRUE(check("proc F() { loop { continue missing; } }").has_errors());
+}
+
+TEST(Sema, UnknownField) {
+  EXPECT_TRUE(check(R"(
+    class Node { int v; }
+    global Node N;
+    proc F() { N.w := 1; }
+  )").has_errors());
+}
+
+TEST(Sema, FieldOnNonReference) {
+  EXPECT_TRUE(check("global int X; proc F() { X.f := 1; }").has_errors());
+}
+
+TEST(Sema, NullComparableWithRefs) {
+  EXPECT_FALSE(check(R"(
+    class Node { int v; }
+    global Node N;
+    proc F() { if (N == null) { return; } }
+  )").has_errors());
+}
+
+TEST(Sema, NullNotComparableWithInt) {
+  EXPECT_TRUE(check(R"(
+    global int X;
+    proc F() { if (X == null) { return; } }
+  )").has_errors());
+}
+
+TEST(Sema, SCValueTypeChecked) {
+  EXPECT_TRUE(check(R"(
+    class Node { int v; }
+    global int X;
+    proc F() { SC(X, new Node); }
+  )").has_errors());
+}
+
+TEST(Sema, LocalTypeInferredFromInit) {
+  DiagEngine diags;
+  Program p = parse_and_check(R"(
+    class Node { int v; }
+    global Node N;
+    proc F() {
+      local n := N in {
+        n.v := 1;
+      }
+    }
+  )", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  const ProcInfo& f = p.proc(p.find_proc("F"));
+  ASSERT_EQ(f.locals.size(), 1u);
+  EXPECT_EQ(p.type(p.var(f.locals[0]).type).kind, TypeKind::Ref);
+}
+
+TEST(Sema, LocalTypeFromLL) {
+  DiagEngine diags;
+  Program p = parse_and_check(R"(
+    class Node { Node next; }
+    global Node Head;
+    proc F() {
+      local h := LL(Head) in {
+        local n := h.next in { skip; }
+      }
+    }
+  )", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.dump();
+  // Both locals should be refs to Node, so h.next resolved.
+  const ProcInfo& f = p.proc(p.find_proc("F"));
+  ASSERT_EQ(f.locals.size(), 2u);
+  for (VarId v : f.locals)
+    EXPECT_EQ(p.type(p.var(v).type).kind, TypeKind::Ref);
+}
+
+TEST(Sema, DuplicateProcedures) {
+  EXPECT_TRUE(check("proc F() { skip; } proc F() { skip; }").has_errors());
+}
+
+TEST(Sema, DuplicateGlobals) {
+  EXPECT_TRUE(check("global int X; global int X; proc F() { skip; }").has_errors());
+}
+
+TEST(Sema, ArrayTypesAndIndexing) {
+  EXPECT_FALSE(check(R"(
+    class Obj { int[] data; }
+    global Obj O;
+    proc F(int i) { O.data[i] := O.data[i] + 1; }
+  )").has_errors());
+}
+
+TEST(Sema, BoolArrayIndexRejected) {
+  EXPECT_TRUE(check(R"(
+    class Obj { int[] data; }
+    global Obj O;
+    proc F() { O.data[true] := 1; }
+  )").has_errors());
+}
+
+}  // namespace
+}  // namespace synat::synl

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "synat/support/diag.h"
+#include "synat/support/hash.h"
+#include "synat/support/symbol.h"
+#include "synat/support/text.h"
+
+namespace synat {
+namespace {
+
+TEST(SymbolTable, InternReturnsStableIds) {
+  SymbolTable t;
+  Symbol a = t.intern("foo");
+  Symbol b = t.intern("bar");
+  Symbol a2 = t.intern("foo");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.name(a), "foo");
+  EXPECT_EQ(t.name(b), "bar");
+}
+
+TEST(SymbolTable, EmptyStringIsInvalid) {
+  SymbolTable t;
+  Symbol e = t.intern("");
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(SymbolTable, LookupWithoutIntern) {
+  SymbolTable t;
+  EXPECT_FALSE(t.lookup("missing").valid());
+  t.intern("present");
+  EXPECT_TRUE(t.lookup("present").valid());
+}
+
+TEST(SymbolTable, ManySymbolsSurviveRehash) {
+  SymbolTable t;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(t.intern("sym" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.name(syms[static_cast<size_t>(i)]), "sym" + std::to_string(i));
+    EXPECT_EQ(t.lookup("sym" + std::to_string(i)), syms[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Diag, CountsErrorsOnly) {
+  DiagEngine d;
+  d.warning({1, 1}, "w");
+  d.note({1, 2}, "n");
+  EXPECT_FALSE(d.has_errors());
+  d.error({2, 1}, "e");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.num_errors(), 1u);
+  EXPECT_EQ(d.diagnostics().size(), 3u);
+}
+
+TEST(Diag, DumpContainsLocations) {
+  DiagEngine d;
+  d.error({12, 7}, "boom");
+  EXPECT_NE(d.dump().find("12:7"), std::string::npos);
+  EXPECT_NE(d.dump().find("boom"), std::string::npos);
+}
+
+TEST(Diag, InternalErrorThrows) {
+  EXPECT_THROW(internal_error("f.cpp", 3, "bad"), InternalError);
+}
+
+TEST(Hash, Deterministic) {
+  Hasher h1, h2;
+  h1.mix(42).mix("abc");
+  h2.mix(42).mix("abc");
+  EXPECT_EQ(h1.value(), h2.value());
+}
+
+TEST(Hash, OrderSensitive) {
+  Hasher h1, h2;
+  h1.mix(1).mix(2);
+  h2.mix(2).mix(1);
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(Hash, LengthDisambiguation) {
+  // "ab" + "c" must differ from "a" + "bc" (mix includes lengths).
+  Hasher h1, h2;
+  h1.mix("ab").mix("c");
+  h2.mix("a").mix("bc");
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(Text, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Text, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(4069080), "4,069,080");
+}
+
+TEST(SourceLoc, OrderingAndPrinting) {
+  SourceLoc a{1, 5}, b{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.str(), "1:5");
+  EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+}
+
+}  // namespace
+}  // namespace synat

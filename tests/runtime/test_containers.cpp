@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "synat/runtime/allocator.h"
+#include "synat/runtime/gh_large.h"
+#include "synat/runtime/herlihy.h"
+#include "synat/runtime/msqueue.h"
+#include "synat/runtime/mutex_queue.h"
+#include "synat/runtime/treiber.h"
+
+namespace synat::runtime {
+namespace {
+
+TEST(MsQueue, FifoSingleThread) {
+  MSQueue<int> q;
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  q.enqueue(1);
+  q.enqueue(2);
+  q.enqueue(3);
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(MsQueue, ProducersConsumersConserveElements) {
+  MSQueue<int> q;
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 2000;
+  std::atomic<long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.enqueue(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.dequeue()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  long expected = 0;
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kPerProducer; ++i) expected += p * kPerProducer + i;
+  EXPECT_EQ(sum.load(), expected);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(MsQueue, PerProducerOrderPreserved) {
+  MSQueue<std::pair<int, int>> q;
+  constexpr int kProducers = 2, kPerProducer = 3000;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.enqueue({p, i});
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<int> last(kProducers, -1);
+  while (auto v = q.dequeue()) {
+    auto [p, i] = *v;
+    EXPECT_GT(i, last[static_cast<size_t>(p)]);  // FIFO per producer
+    last[static_cast<size_t>(p)] = i;
+  }
+  for (int p = 0; p < kProducers; ++p)
+    EXPECT_EQ(last[static_cast<size_t>(p)], kPerProducer - 1);
+}
+
+TEST(Treiber, LifoSingleThread) {
+  TreiberStack<int> s;
+  EXPECT_EQ(s.pop(), std::nullopt);
+  s.push(1);
+  s.push(2);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_EQ(s.pop(), 1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Treiber, ConcurrentPushPopConserves) {
+  TreiberStack<int> s;
+  constexpr int kThreads = 4, kOps = 2000;
+  std::atomic<long> pushed{0}, popped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        int v = t * kOps + i;
+        s.push(v);
+        pushed.fetch_add(v);
+        if (auto got = s.pop()) popped.fetch_add(*got);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  while (auto got = s.pop()) popped.fetch_add(*got);
+  EXPECT_EQ(pushed.load(), popped.load());
+}
+
+TEST(Herlihy, SequentialApply) {
+  HerlihyObject<int64_t> obj(0);
+  for (int i = 0; i < 10; ++i) {
+    obj.apply([](int64_t& v) { return ++v; });
+  }
+  EXPECT_EQ(obj.read(), 10);
+}
+
+TEST(Herlihy, ConcurrentIncrementsAllLand) {
+  HerlihyObject<int64_t> obj(0);
+  constexpr int kThreads = 4, kIncs = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncs; ++i)
+        obj.apply([](int64_t& v) { return ++v; });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(obj.read(), kThreads * kIncs);
+}
+
+TEST(Herlihy, CompositeStateStaysConsistent) {
+  // Invariant: both halves always move together; a torn copy would break it.
+  struct Pair {
+    int64_t a = 0, b = 0;
+  };
+  HerlihyObject<Pair> obj(Pair{});
+  constexpr int kThreads = 4, kOps = 800;
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        obj.apply([&](Pair& p) {
+          if (p.a != p.b) torn.store(true);
+          ++p.a;
+          ++p.b;
+          return 0;
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(torn.load());
+  Pair final = obj.read();
+  EXPECT_EQ(final.a, kThreads * kOps);
+  EXPECT_EQ(final.b, kThreads * kOps);
+}
+
+TEST(GhLarge, SequentialPerGroup) {
+  GHLargeObject<int64_t, 3> obj;
+  obj.apply(0, [](int64_t& v) { return v += 5; });
+  obj.apply(2, [](int64_t& v) { return v += 7; });
+  EXPECT_EQ(obj.read(0), 5);
+  EXPECT_EQ(obj.read(1), 0);
+  EXPECT_EQ(obj.read(2), 7);
+}
+
+TEST(GhLarge, ConcurrentGroupsAllLand) {
+  constexpr size_t kGroups = 3;
+  GHLargeObject<int64_t, kGroups> obj;
+  constexpr int kThreads = 3, kIncs = 700;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      size_t g = static_cast<size_t>(t) % kGroups;
+      for (int i = 0; i < kIncs; ++i)
+        obj.apply(g, [](int64_t& v) { return ++v; });
+    });
+  }
+  for (auto& th : threads) th.join();
+  int64_t total = 0;
+  for (size_t g = 0; g < kGroups; ++g) total += obj.read(g);
+  EXPECT_EQ(total, kThreads * kIncs);
+}
+
+TEST(GhLarge, CrossGroupUpdatesDoNotInterfere) {
+  GHLargeObject<int64_t, 2> obj;
+  constexpr int kOps = 1500;
+  std::thread t0([&] {
+    for (int i = 0; i < kOps; ++i) obj.apply(0, [](int64_t& v) { return ++v; });
+  });
+  std::thread t1([&] {
+    for (int i = 0; i < kOps; ++i) obj.apply(1, [](int64_t& v) { return ++v; });
+  });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(obj.read(0), kOps);
+  EXPECT_EQ(obj.read(1), kOps);
+}
+
+TEST(MutexQueue, Fifo) {
+  MutexQueue<int> q;
+  q.enqueue(1);
+  q.enqueue(2);
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(Allocator, MallocFreeRoundTrip) {
+  LockFreeAllocator alloc(32, 8);
+  void* a = alloc.malloc();
+  void* b = alloc.malloc();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAB, alloc.block_payload_size());
+  alloc.free(a);
+  alloc.free(b);
+}
+
+TEST(Allocator, ExhaustsThenGrowsSuperblocks) {
+  LockFreeAllocator alloc(16, 4);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 9; ++i) blocks.push_back(alloc.malloc());
+  EXPECT_GE(alloc.superblocks_allocated(), 3u);
+  for (void* p : blocks) alloc.free(p);
+}
+
+TEST(Allocator, ReusesFreedBlocks) {
+  LockFreeAllocator alloc(16, 4);
+  std::vector<void*> first;
+  for (int i = 0; i < 4; ++i) first.push_back(alloc.malloc());
+  for (void* p : first) alloc.free(p);
+  size_t sbs = alloc.superblocks_allocated();
+  std::vector<void*> second;
+  for (int i = 0; i < 4; ++i) second.push_back(alloc.malloc());
+  EXPECT_EQ(alloc.superblocks_allocated(), sbs);  // no growth needed
+  for (void* p : second) alloc.free(p);
+}
+
+TEST(Allocator, NoDoubleHandoutUnderContention) {
+  LockFreeAllocator alloc(sizeof(uint64_t), 32);
+  constexpr int kThreads = 4, kRounds = 800;
+  std::atomic<bool> corrupted{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<void*> mine;
+      for (int i = 0; i < kRounds; ++i) {
+        void* p = alloc.malloc();
+        *static_cast<uint64_t*>(p) = static_cast<uint64_t>(t);
+        mine.push_back(p);
+        if (mine.size() >= 8) {
+          for (void* q : mine) {
+            if (*static_cast<uint64_t*>(q) != static_cast<uint64_t>(t))
+              corrupted.store(true);
+            alloc.free(q);
+          }
+          mine.clear();
+        }
+      }
+      for (void* q : mine) {
+        if (*static_cast<uint64_t*>(q) != static_cast<uint64_t>(t))
+          corrupted.store(true);
+        alloc.free(q);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(corrupted.load());
+}
+
+}  // namespace
+}  // namespace synat::runtime

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "synat/runtime/lintest.h"
+#include "synat/runtime/msqueue.h"
+#include "synat/runtime/treiber.h"
+
+namespace synat::runtime {
+namespace {
+
+HistOp op(int tid, int code, int64_t arg, int64_t ret, uint64_t inv,
+          uint64_t resp) {
+  return {tid, code, arg, ret, inv, resp};
+}
+
+TEST(LinCheck, SequentialHistoryAccepted) {
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 2),
+      op(0, QueueSpec::kEnq, 2, 0, 3, 4),
+      op(0, QueueSpec::kDeq, 0, 1, 5, 6),
+      op(0, QueueSpec::kDeq, 0, 2, 7, 8),
+  };
+  EXPECT_TRUE(linearizable<QueueSpec>(h));
+}
+
+TEST(LinCheck, WrongFifoOrderRejected) {
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 2),
+      op(0, QueueSpec::kEnq, 2, 0, 3, 4),
+      op(0, QueueSpec::kDeq, 0, 2, 5, 6),  // 2 before 1: not FIFO
+  };
+  EXPECT_FALSE(linearizable<QueueSpec>(h));
+}
+
+TEST(LinCheck, OverlappingOpsMayReorder) {
+  // Two concurrent enqueues followed by dequeues in either order are fine.
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 10),
+      op(1, QueueSpec::kEnq, 2, 0, 2, 9),
+      op(0, QueueSpec::kDeq, 0, 2, 11, 12),
+      op(0, QueueSpec::kDeq, 0, 1, 13, 14),
+  };
+  EXPECT_TRUE(linearizable<QueueSpec>(h));
+}
+
+TEST(LinCheck, RealTimeOrderEnforced) {
+  // Enq(1) completes before Enq(2) begins, so Deq must yield 1 first.
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 2),
+      op(1, QueueSpec::kEnq, 2, 0, 3, 4),
+      op(0, QueueSpec::kDeq, 0, 2, 5, 6),
+  };
+  EXPECT_FALSE(linearizable<QueueSpec>(h));
+}
+
+TEST(LinCheck, EmptyResultOnlyWhenEmptyIsPossible) {
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 2),
+      op(1, QueueSpec::kDeq, 0, QueueSpec::kEmpty, 3, 4),  // after the enq!
+  };
+  EXPECT_FALSE(linearizable<QueueSpec>(h));
+  // But concurrent with the enqueue, EMPTY is legal.
+  std::vector<HistOp> h2 = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 5),
+      op(1, QueueSpec::kDeq, 0, QueueSpec::kEmpty, 2, 4),
+  };
+  EXPECT_TRUE(linearizable<QueueSpec>(h2));
+}
+
+TEST(LinCheck, LostValueRejected) {
+  // Deq claims a value that was never enqueued.
+  std::vector<HistOp> h = {
+      op(0, QueueSpec::kEnq, 1, 0, 1, 2),
+      op(0, QueueSpec::kDeq, 0, 99, 3, 4),
+  };
+  EXPECT_FALSE(linearizable<QueueSpec>(h));
+}
+
+TEST(LinCheck, StackSpecLifo) {
+  std::vector<HistOp> h = {
+      op(0, StackSpec::kPush, 1, 0, 1, 2),
+      op(0, StackSpec::kPush, 2, 0, 3, 4),
+      op(0, StackSpec::kPop, 0, 2, 5, 6),
+      op(0, StackSpec::kPop, 0, 1, 7, 8),
+  };
+  EXPECT_TRUE(linearizable<StackSpec>(h));
+  std::vector<HistOp> bad = {
+      op(0, StackSpec::kPush, 1, 0, 1, 2),
+      op(0, StackSpec::kPush, 2, 0, 3, 4),
+      op(0, StackSpec::kPop, 0, 1, 5, 6),  // LIFO violated
+  };
+  EXPECT_FALSE(linearizable<StackSpec>(bad));
+}
+
+// --- end-to-end: record real histories from the containers -----------------
+
+template <typename Queue>
+std::vector<HistOp> record_queue_history(int threads_n, int ops_per_thread) {
+  Queue q;
+  HistoryRecorder rec(threads_n);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < ops_per_thread; ++i) {
+        if (i % 2 == 0) {
+          int64_t v = t * 100 + i;
+          uint64_t inv = rec.invoke();
+          q.enqueue(static_cast<int>(v));
+          rec.respond(t, QueueSpec::kEnq, v, 0, inv);
+        } else {
+          uint64_t inv = rec.invoke();
+          auto got = q.dequeue();
+          rec.respond(t, QueueSpec::kDeq, 0,
+                      got ? *got : QueueSpec::kEmpty, inv);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return rec.history();
+}
+
+TEST(LinCheck, MsQueueHistoriesLinearizable) {
+  for (int round = 0; round < 10; ++round) {
+    auto h = record_queue_history<MSQueue<int>>(3, 4);
+    EXPECT_TRUE(linearizable<QueueSpec>(h)) << "round " << round;
+  }
+}
+
+TEST(LinCheck, TreiberHistoriesLinearizable) {
+  for (int round = 0; round < 10; ++round) {
+    TreiberStack<int> s;
+    HistoryRecorder rec(3);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 4; ++i) {
+          if (i % 2 == 0) {
+            int64_t v = t * 100 + i;
+            uint64_t inv = rec.invoke();
+            s.push(static_cast<int>(v));
+            rec.respond(t, StackSpec::kPush, v, 0, inv);
+          } else {
+            uint64_t inv = rec.invoke();
+            auto got = s.pop();
+            rec.respond(t, StackSpec::kPop, 0,
+                        got ? *got : StackSpec::kEmpty, inv);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_TRUE(linearizable<StackSpec>(rec.history())) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace synat::runtime

@@ -1,0 +1,256 @@
+// synat — command-line driver for the library.
+//
+//   synat corpus                          list the embedded corpus
+//   synat analyze  <prog> [options]      atomicity inference + listing
+//   synat variants <prog> [proc]         print exceptional variants
+//   synat blocks   <prog>                atomic-block partition
+//   synat cfg      <prog> <proc>         event-CFG dump
+//   synat dot      <prog> <proc>         event-CFG in Graphviz dot
+//   synat disasm   <prog>                bytecode disassembly
+//   synat mc       <prog> [mc options]   explicit-state model checking
+//
+// <prog> is a file path or `corpus:<name>` (see `synat corpus`).
+// analyze options: --no-variants --no-windows --no-conds --counted <k>
+// mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
+//             --por --atomic Proc (repeatable) --arrays N --max-states N
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "synat/corpus/corpus.h"
+#include "synat/mc/mc.h"
+#include "synat/synat.h"
+#include "synat/synl/printer.h"
+
+using namespace synat;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: synat <corpus|analyze|variants|blocks|cfg|dot|disasm|mc> "
+               "[args]\n(see the header of tools/synat_cli.cpp)\n");
+  return 2;
+}
+
+bool load_source(const std::string& spec, std::string& out) {
+  if (spec.rfind("corpus:", 0) == 0) {
+    for (const corpus::Entry& e : corpus::all()) {
+      if (e.name == spec.substr(7)) {
+        out = std::string(e.source);
+        return true;
+      }
+    }
+    std::fprintf(stderr, "unknown corpus entry '%s'\n", spec.c_str() + 7);
+    return false;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", spec.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+struct Parsed {
+  DiagEngine diags;
+  synl::Program prog;
+};
+
+bool parse(const std::string& spec, Parsed& p) {
+  std::string source;
+  if (!load_source(spec, source)) return false;
+  p.prog = synl::parse_and_check(source, p.diags);
+  if (p.diags.has_errors()) {
+    std::fprintf(stderr, "%s", p.diags.dump().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Counted-CAS defaults: if the program came from the corpus, use its
+/// annotation; --counted adds more.
+void default_counted(const std::string& spec,
+                     atomicity::InferOptions& opts) {
+  if (spec.rfind("corpus:", 0) != 0) return;
+  for (const corpus::Entry& e : corpus::all()) {
+    if (e.name == spec.substr(7)) {
+      for (auto c : e.counted_cas) opts.counted_cas.emplace_back(c);
+    }
+  }
+}
+
+int cmd_corpus() {
+  for (const corpus::Entry& e : corpus::all()) {
+    std::printf("%-18s %s\n", std::string(e.name).c_str(),
+                std::string(e.description).c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& spec, int argc, char** argv) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  atomicity::InferOptions opts;
+  default_counted(spec, opts);
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--no-variants") opts.variant_opts.disable = true;
+    else if (a == "--no-windows") opts.use_window_rule = false;
+    else if (a == "--no-conds") opts.use_local_conditions = false;
+    else if (a == "--counted" && i + 1 < argc) opts.counted_cas.emplace_back(argv[++i]);
+    else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return 2; }
+  }
+  auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
+  std::printf("%s", result.full_listing(p.prog).c_str());
+  return result.all_atomic() ? 0 : 1;
+}
+
+int cmd_variants(const std::string& spec, int argc, char** argv) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  atomicity::InferOptions opts;
+  default_counted(spec, opts);
+  auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
+  for (const atomicity::ProcResult& pr : result.procs()) {
+    std::string name(p.prog.syms().name(p.prog.proc(pr.proc).name));
+    if (argc > 0 && name != argv[0]) continue;
+    for (const atomicity::VariantResult& v : pr.variants) {
+      std::printf("%s", synl::print_proc(p.prog, v.variant).c_str());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_blocks(const std::string& spec) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  atomicity::InferOptions opts;
+  default_counted(spec, opts);
+  auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
+  atomicity::BlockSummary sum = atomicity::summarize_blocks(p.prog, result);
+  for (auto [pid, blocks] : sum.per_proc) {
+    std::printf("%-20s %zu block(s)%s\n",
+                std::string(p.prog.syms().name(p.prog.proc(pid).name)).c_str(),
+                blocks,
+                result.result_for(pid)->atomic ? " [atomic]" : "");
+  }
+  std::printf("total: %zu procedures, %zu blocks\n", sum.total_procs,
+              sum.total_blocks);
+  return 0;
+}
+
+int cmd_cfg(const std::string& spec, const char* proc_name, bool dot) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  synl::ProcId pid = p.prog.find_proc(proc_name);
+  if (!pid.valid()) {
+    std::fprintf(stderr, "no procedure '%s'\n", proc_name);
+    return 1;
+  }
+  cfg::Cfg g = cfg::build_cfg(p.prog, pid);
+  if (!dot) {
+    std::printf("%s", g.dump(p.prog).c_str());
+    return 0;
+  }
+  std::printf("digraph \"%s\" {\n  node [shape=box,fontname=monospace];\n",
+              proc_name);
+  for (uint32_t i = 0; i < g.num_nodes(); ++i) {
+    const cfg::Event& ev = g.node(cfg::EventId(i));
+    std::string label(to_string(ev.kind));
+    if (ev.path.root.valid()) label += " " + ev.path.str(p.prog);
+    if (ev.must_succeed) label += "!";
+    std::printf("  n%u [label=\"%s\"];\n", i, label.c_str());
+    for (const cfg::Edge& e : g.succs(cfg::EventId(i))) {
+      const char* style = "";
+      if (e.kind == cfg::EdgeKind::True) style = " [label=T,color=darkgreen]";
+      if (e.kind == cfg::EdgeKind::False) style = " [label=F,color=red]";
+      std::printf("  n%u -> n%u%s;\n", i, e.to.idx, style);
+    }
+  }
+  std::printf("}\n");
+  return 0;
+}
+
+int cmd_disasm(const std::string& spec) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  interp::CompiledProgram cp = interp::compile_program(p.prog, p.diags);
+  for (const interp::CompiledProc& proc : cp.procs)
+    std::printf("%s\n", interp::disassemble(proc).c_str());
+  return 0;
+}
+
+int cmd_mc(const std::string& spec, int argc, char** argv) {
+  Parsed p;
+  if (!parse(spec, p)) return 1;
+  mc::Options opts;
+  mc::RunSpec run;
+  std::string tinit;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--run") {
+      std::string s = next();
+      mc::ThreadPlan plan;
+      size_t colon = s.find(':');
+      plan.proc = s.substr(0, colon == std::string::npos ? s.size() : colon);
+      if (colon != std::string::npos)
+        plan.args.push_back(mc::Value::of_int(std::atoll(s.c_str() + colon + 1)));
+      run.threads.push_back(std::move(plan));
+    } else if (a == "--init") {
+      run.global_init = next();
+    } else if (a == "--tinit") {
+      tinit = next();
+    } else if (a == "--por") {
+      opts.por = true;
+    } else if (a == "--atomic") {
+      opts.atomic_procs.emplace_back(next());
+    } else if (a == "--arrays") {
+      opts.array_size = std::atoi(next());
+    } else if (a == "--max-states") {
+      opts.max_states = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown mc option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (run.threads.empty()) {
+    std::fprintf(stderr, "mc needs at least one --run Proc[:arg]\n");
+    return 2;
+  }
+  for (mc::ThreadPlan& plan : run.threads) plan.init_proc = tinit;
+  interp::CompiledProgram cp = interp::compile_program(p.prog, p.diags);
+  mc::ModelChecker checker(cp, opts);
+  mc::Result r = checker.run(run);
+  std::printf("%s\n", r.summary().c_str());
+  return r.error_found ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd == "corpus") return cmd_corpus();
+  if (argc < 3) return usage();
+  std::string spec = argv[2];
+  if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);
+  if (cmd == "variants")
+    return cmd_variants(spec, argc - 3, argv + 3);
+  if (cmd == "blocks") return cmd_blocks(spec);
+  if (cmd == "cfg" && argc >= 4) return cmd_cfg(spec, argv[3], false);
+  if (cmd == "dot" && argc >= 4) return cmd_cfg(spec, argv[3], true);
+  if (cmd == "disasm") return cmd_disasm(spec);
+  if (cmd == "mc") return cmd_mc(spec, argc - 3, argv + 3);
+  return usage();
+}
