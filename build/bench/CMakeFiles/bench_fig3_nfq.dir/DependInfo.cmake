@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_nfq.cpp" "bench/CMakeFiles/bench_fig3_nfq.dir/bench_fig3_nfq.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_nfq.dir/bench_fig3_nfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atomicity/CMakeFiles/synat_atomicity.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/synat_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/synat_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/synat_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nfq.dir/bench_fig3_nfq.cpp.o"
+  "CMakeFiles/bench_fig3_nfq.dir/bench_fig3_nfq.cpp.o.d"
+  "bench_fig3_nfq"
+  "bench_fig3_nfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

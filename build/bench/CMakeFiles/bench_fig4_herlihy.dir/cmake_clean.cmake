@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_herlihy.dir/bench_fig4_herlihy.cpp.o"
+  "CMakeFiles/bench_fig4_herlihy.dir/bench_fig4_herlihy.cpp.o.d"
+  "bench_fig4_herlihy"
+  "bench_fig4_herlihy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_herlihy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

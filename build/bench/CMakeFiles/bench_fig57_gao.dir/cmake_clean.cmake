@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig57_gao.dir/bench_fig57_gao.cpp.o"
+  "CMakeFiles/bench_fig57_gao.dir/bench_fig57_gao.cpp.o.d"
+  "bench_fig57_gao"
+  "bench_fig57_gao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig57_gao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

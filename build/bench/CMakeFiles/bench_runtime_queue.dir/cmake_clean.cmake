@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_queue.dir/bench_runtime_queue.cpp.o"
+  "CMakeFiles/bench_runtime_queue.dir/bench_runtime_queue.cpp.o.d"
+  "bench_runtime_queue"
+  "bench_runtime_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_spin.dir/bench_sec63_spin.cpp.o"
+  "CMakeFiles/bench_sec63_spin.dir/bench_sec63_spin.cpp.o.d"
+  "bench_sec63_spin"
+  "bench_sec63_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

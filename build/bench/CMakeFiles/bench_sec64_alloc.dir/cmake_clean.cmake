@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_alloc.dir/bench_sec64_alloc.cpp.o"
+  "CMakeFiles/bench_sec64_alloc.dir/bench_sec64_alloc.cpp.o.d"
+  "bench_sec64_alloc"
+  "bench_sec64_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

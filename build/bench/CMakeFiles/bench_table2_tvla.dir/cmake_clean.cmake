@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tvla.dir/bench_table2_tvla.cpp.o"
+  "CMakeFiles/bench_table2_tvla.dir/bench_table2_tvla.cpp.o.d"
+  "bench_table2_tvla"
+  "bench_table2_tvla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tvla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_allocator.dir/annotate_allocator.cpp.o"
+  "CMakeFiles/annotate_allocator.dir/annotate_allocator.cpp.o.d"
+  "annotate_allocator"
+  "annotate_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

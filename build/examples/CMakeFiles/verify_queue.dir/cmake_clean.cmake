@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_queue.dir/verify_queue.cpp.o"
+  "CMakeFiles/verify_queue.dir/verify_queue.cpp.o.d"
+  "verify_queue"
+  "verify_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

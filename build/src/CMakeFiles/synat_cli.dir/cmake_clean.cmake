@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_cli.dir/__/tools/synat_cli.cpp.o"
+  "CMakeFiles/synat_cli.dir/__/tools/synat_cli.cpp.o.d"
+  "synat"
+  "synat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/escape.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/escape.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/escape.cpp.o.d"
+  "/root/repo/src/analysis/src/expr_util.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/expr_util.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/expr_util.cpp.o.d"
+  "/root/repo/src/analysis/src/localcond.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/localcond.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/localcond.cpp.o.d"
+  "/root/repo/src/analysis/src/matching.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/matching.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/matching.cpp.o.d"
+  "/root/repo/src/analysis/src/purity.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/purity.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/purity.cpp.o.d"
+  "/root/repo/src/analysis/src/unique.cpp" "src/analysis/CMakeFiles/synat_analysis.dir/src/unique.cpp.o" "gcc" "src/analysis/CMakeFiles/synat_analysis.dir/src/unique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/synat_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_analysis.dir/src/escape.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/escape.cpp.o.d"
+  "CMakeFiles/synat_analysis.dir/src/expr_util.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/expr_util.cpp.o.d"
+  "CMakeFiles/synat_analysis.dir/src/localcond.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/localcond.cpp.o.d"
+  "CMakeFiles/synat_analysis.dir/src/matching.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/matching.cpp.o.d"
+  "CMakeFiles/synat_analysis.dir/src/purity.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/purity.cpp.o.d"
+  "CMakeFiles/synat_analysis.dir/src/unique.cpp.o"
+  "CMakeFiles/synat_analysis.dir/src/unique.cpp.o.d"
+  "libsynat_analysis.a"
+  "libsynat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

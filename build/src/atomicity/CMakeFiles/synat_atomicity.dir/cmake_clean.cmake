@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_atomicity.dir/src/blocks.cpp.o"
+  "CMakeFiles/synat_atomicity.dir/src/blocks.cpp.o.d"
+  "CMakeFiles/synat_atomicity.dir/src/infer.cpp.o"
+  "CMakeFiles/synat_atomicity.dir/src/infer.cpp.o.d"
+  "CMakeFiles/synat_atomicity.dir/src/variants.cpp.o"
+  "CMakeFiles/synat_atomicity.dir/src/variants.cpp.o.d"
+  "libsynat_atomicity.a"
+  "libsynat_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/src/cfg.cpp" "src/cfg/CMakeFiles/synat_cfg.dir/src/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/synat_cfg.dir/src/cfg.cpp.o.d"
+  "/root/repo/src/cfg/src/liveness.cpp" "src/cfg/CMakeFiles/synat_cfg.dir/src/liveness.cpp.o" "gcc" "src/cfg/CMakeFiles/synat_cfg.dir/src/liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_cfg.dir/src/cfg.cpp.o"
+  "CMakeFiles/synat_cfg.dir/src/cfg.cpp.o.d"
+  "CMakeFiles/synat_cfg.dir/src/liveness.cpp.o"
+  "CMakeFiles/synat_cfg.dir/src/liveness.cpp.o.d"
+  "libsynat_cfg.a"
+  "libsynat_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_corpus.dir/src/corpus.cpp.o"
+  "CMakeFiles/synat_corpus.dir/src/corpus.cpp.o.d"
+  "libsynat_corpus.a"
+  "libsynat_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

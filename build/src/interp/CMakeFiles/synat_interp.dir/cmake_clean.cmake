@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_interp.dir/src/compile.cpp.o"
+  "CMakeFiles/synat_interp.dir/src/compile.cpp.o.d"
+  "CMakeFiles/synat_interp.dir/src/interp.cpp.o"
+  "CMakeFiles/synat_interp.dir/src/interp.cpp.o.d"
+  "libsynat_interp.a"
+  "libsynat_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/src/mc.cpp" "src/mc/CMakeFiles/synat_mc.dir/src/mc.cpp.o" "gcc" "src/mc/CMakeFiles/synat_mc.dir/src/mc.cpp.o.d"
+  "/root/repo/src/mc/src/props.cpp" "src/mc/CMakeFiles/synat_mc.dir/src/props.cpp.o" "gcc" "src/mc/CMakeFiles/synat_mc.dir/src/props.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/synat_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

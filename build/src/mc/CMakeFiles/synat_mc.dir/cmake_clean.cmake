@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_mc.dir/src/mc.cpp.o"
+  "CMakeFiles/synat_mc.dir/src/mc.cpp.o.d"
+  "CMakeFiles/synat_mc.dir/src/props.cpp.o"
+  "CMakeFiles/synat_mc.dir/src/props.cpp.o.d"
+  "libsynat_mc.a"
+  "libsynat_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_support.dir/src/diag.cpp.o"
+  "CMakeFiles/synat_support.dir/src/diag.cpp.o.d"
+  "CMakeFiles/synat_support.dir/src/symbol.cpp.o"
+  "CMakeFiles/synat_support.dir/src/symbol.cpp.o.d"
+  "CMakeFiles/synat_support.dir/src/text.cpp.o"
+  "CMakeFiles/synat_support.dir/src/text.cpp.o.d"
+  "libsynat_support.a"
+  "libsynat_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

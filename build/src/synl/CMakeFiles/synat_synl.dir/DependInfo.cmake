@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synl/src/ast.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/ast.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/ast.cpp.o.d"
+  "/root/repo/src/synl/src/inline.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/inline.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/inline.cpp.o.d"
+  "/root/repo/src/synl/src/lexer.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/lexer.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/lexer.cpp.o.d"
+  "/root/repo/src/synl/src/parser.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/parser.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/parser.cpp.o.d"
+  "/root/repo/src/synl/src/printer.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/printer.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/printer.cpp.o.d"
+  "/root/repo/src/synl/src/sema.cpp" "src/synl/CMakeFiles/synat_synl.dir/src/sema.cpp.o" "gcc" "src/synl/CMakeFiles/synat_synl.dir/src/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

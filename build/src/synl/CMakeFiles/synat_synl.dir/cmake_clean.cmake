@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_synl.dir/src/ast.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/ast.cpp.o.d"
+  "CMakeFiles/synat_synl.dir/src/inline.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/inline.cpp.o.d"
+  "CMakeFiles/synat_synl.dir/src/lexer.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/lexer.cpp.o.d"
+  "CMakeFiles/synat_synl.dir/src/parser.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/parser.cpp.o.d"
+  "CMakeFiles/synat_synl.dir/src/printer.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/printer.cpp.o.d"
+  "CMakeFiles/synat_synl.dir/src/sema.cpp.o"
+  "CMakeFiles/synat_synl.dir/src/sema.cpp.o.d"
+  "libsynat_synl.a"
+  "libsynat_synl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_synl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for synat_synl.
+# This may be replaced when dependencies are built.

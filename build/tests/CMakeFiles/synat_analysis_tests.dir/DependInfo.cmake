@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_cfg.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_cfg.cpp.o.d"
+  "/root/repo/tests/analysis/test_escape.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_escape.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_escape.cpp.o.d"
+  "/root/repo/tests/analysis/test_expr_util.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_expr_util.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_expr_util.cpp.o.d"
+  "/root/repo/tests/analysis/test_liveness.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_liveness.cpp.o.d"
+  "/root/repo/tests/analysis/test_localcond.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_localcond.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_localcond.cpp.o.d"
+  "/root/repo/tests/analysis/test_matching.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_matching.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_matching.cpp.o.d"
+  "/root/repo/tests/analysis/test_purity.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_purity.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_purity.cpp.o.d"
+  "/root/repo/tests/analysis/test_unique.cpp" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_unique.cpp.o" "gcc" "tests/CMakeFiles/synat_analysis_tests.dir/analysis/test_unique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/synat_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/atomicity/CMakeFiles/synat_atomicity.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/synat_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/synat_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

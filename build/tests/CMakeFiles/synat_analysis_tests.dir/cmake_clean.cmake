@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_cfg.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_cfg.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_escape.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_escape.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_expr_util.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_expr_util.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_liveness.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_liveness.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_localcond.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_localcond.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_matching.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_matching.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_purity.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_purity.cpp.o.d"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_unique.cpp.o"
+  "CMakeFiles/synat_analysis_tests.dir/analysis/test_unique.cpp.o.d"
+  "synat_analysis_tests"
+  "synat_analysis_tests.pdb"
+  "synat_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

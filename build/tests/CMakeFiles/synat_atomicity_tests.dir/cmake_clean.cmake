@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_blocks.cpp.o"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_blocks.cpp.o.d"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_infer.cpp.o"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_infer.cpp.o.d"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_types.cpp.o"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_types.cpp.o.d"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_variants.cpp.o"
+  "CMakeFiles/synat_atomicity_tests.dir/atomicity/test_variants.cpp.o.d"
+  "synat_atomicity_tests"
+  "synat_atomicity_tests.pdb"
+  "synat_atomicity_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_atomicity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fe/test_inline.cpp" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_inline.cpp.o" "gcc" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_inline.cpp.o.d"
+  "/root/repo/tests/fe/test_lexer.cpp" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_lexer.cpp.o.d"
+  "/root/repo/tests/fe/test_parser.cpp" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_parser.cpp.o" "gcc" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_parser.cpp.o.d"
+  "/root/repo/tests/fe/test_sema.cpp" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_sema.cpp.o" "gcc" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_sema.cpp.o.d"
+  "/root/repo/tests/fe/test_support.cpp" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_support.cpp.o" "gcc" "tests/CMakeFiles/synat_fe_tests.dir/fe/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/synat_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/synat_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

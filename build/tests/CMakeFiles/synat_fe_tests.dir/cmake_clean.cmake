@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_fe_tests.dir/fe/test_inline.cpp.o"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_inline.cpp.o.d"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_lexer.cpp.o"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_lexer.cpp.o.d"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_parser.cpp.o"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_parser.cpp.o.d"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_sema.cpp.o"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_sema.cpp.o.d"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_support.cpp.o"
+  "CMakeFiles/synat_fe_tests.dir/fe/test_support.cpp.o.d"
+  "synat_fe_tests"
+  "synat_fe_tests.pdb"
+  "synat_fe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_fe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp/test_interp.cpp" "tests/CMakeFiles/synat_interp_tests.dir/interp/test_interp.cpp.o" "gcc" "tests/CMakeFiles/synat_interp_tests.dir/interp/test_interp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/synat_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/synat_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/synl/CMakeFiles/synat_synl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_interp_tests.dir/interp/test_interp.cpp.o"
+  "CMakeFiles/synat_interp_tests.dir/interp/test_interp.cpp.o.d"
+  "synat_interp_tests"
+  "synat_interp_tests.pdb"
+  "synat_interp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_interp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

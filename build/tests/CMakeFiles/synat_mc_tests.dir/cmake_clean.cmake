@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_mc_tests.dir/mc/test_mc.cpp.o"
+  "CMakeFiles/synat_mc_tests.dir/mc/test_mc.cpp.o.d"
+  "CMakeFiles/synat_mc_tests.dir/mc/test_soundness.cpp.o"
+  "CMakeFiles/synat_mc_tests.dir/mc/test_soundness.cpp.o.d"
+  "synat_mc_tests"
+  "synat_mc_tests.pdb"
+  "synat_mc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_mc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

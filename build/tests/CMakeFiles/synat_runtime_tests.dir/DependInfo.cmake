@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_containers.cpp" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_containers.cpp.o" "gcc" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_containers.cpp.o.d"
+  "/root/repo/tests/runtime/test_lintest.cpp" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_lintest.cpp.o" "gcc" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_lintest.cpp.o.d"
+  "/root/repo/tests/runtime/test_primitives.cpp" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_primitives.cpp.o" "gcc" "tests/CMakeFiles/synat_runtime_tests.dir/runtime/test_primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/synat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_containers.cpp.o"
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_containers.cpp.o.d"
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_lintest.cpp.o"
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_lintest.cpp.o.d"
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_primitives.cpp.o"
+  "CMakeFiles/synat_runtime_tests.dir/runtime/test_primitives.cpp.o.d"
+  "synat_runtime_tests"
+  "synat_runtime_tests.pdb"
+  "synat_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synat_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

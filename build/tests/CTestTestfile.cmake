@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/synat_fe_tests[1]_include.cmake")
+include("/root/repo/build/tests/synat_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/synat_atomicity_tests[1]_include.cmake")
+include("/root/repo/build/tests/synat_interp_tests[1]_include.cmake")
+include("/root/repo/build/tests/synat_mc_tests[1]_include.cmake")
+include("/root/repo/build/tests/synat_runtime_tests[1]_include.cmake")
+add_test(cli_corpus "/root/repo/build/src/synat" "corpus")
+set_tests_properties(cli_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/src/synat" "analyze" "corpus:nfq_prime")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_variants "/root/repo/build/src/synat" "variants" "corpus:nfq_prime" "Deq")
+set_tests_properties(cli_variants PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_blocks "/root/repo/build/src/synat" "blocks" "corpus:michael_malloc")
+set_tests_properties(cli_blocks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_cfg "/root/repo/build/src/synat" "cfg" "corpus:semaphore_down" "Down")
+set_tests_properties(cli_cfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/src/synat" "dot" "corpus:semaphore_down" "Down")
+set_tests_properties(cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_disasm "/root/repo/build/src/synat" "disasm" "corpus:semaphore_down")
+set_tests_properties(cli_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_mc "/root/repo/build/src/synat" "mc" "corpus:nfq_prime_mc" "--run" "AddNode:1" "--run" "UpdateTail" "--init" "Init" "--atomic" "AddNode" "--atomic" "UpdateTail")
+set_tests_properties(cli_mc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_analyze_not_atomic "/root/repo/build/src/synat" "analyze" "corpus:racy_counter")
+set_tests_properties(cli_analyze_not_atomic PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
