@@ -1,15 +1,35 @@
 // E9 — performance of the analysis pipeline itself ("suitable for
-// automation"): parse / analyze / model-check throughput over the corpus.
+// automation"): parse / analyze / model-check throughput over the corpus,
+// plus the batch-driver speedup measurements (serial vs. parallel vs. warm
+// cache) recorded machine-readably in BENCH_driver.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "synat/atomicity/infer.h"
 #include "synat/corpus/corpus.h"
+#include "synat/driver/driver.h"
 #include "synat/interp/interp.h"
 #include "synat/synl/parser.h"
 
 using namespace synat;
 
 namespace {
+
+std::vector<driver::ProgramInput> corpus_inputs() {
+  std::vector<driver::ProgramInput> inputs;
+  for (const corpus::Entry& e : corpus::all()) {
+    driver::ProgramInput in;
+    in.name = "corpus:" + std::string(e.name);
+    in.source = std::string(e.source);
+    for (auto c : e.counted_cas) in.opts.counted_cas.emplace_back(c);
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
 
 void BM_ParseCorpus(benchmark::State& state) {
   size_t bytes = 0;
@@ -54,6 +74,34 @@ void BM_InferWholeCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_InferWholeCorpus);
 
+void BM_DriverCorpus(benchmark::State& state) {
+  std::vector<driver::ProgramInput> inputs = corpus_inputs();
+  driver::DriverOptions opts;
+  opts.jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    driver::BatchDriver drv(opts);
+    driver::BatchReport r = drv.run(inputs);
+    benchmark::DoNotOptimize(r.metrics.procedures);
+  }
+}
+BENCHMARK(BM_DriverCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DriverCorpusWarmCache(benchmark::State& state) {
+  std::vector<driver::ProgramInput> inputs = corpus_inputs();
+  driver::DriverOptions opts;
+  opts.jobs = static_cast<unsigned>(state.range(0));
+  opts.use_cache = true;
+  driver::ResultCache cache;
+  driver::BatchDriver warmup(opts, &cache);
+  warmup.run(inputs);
+  for (auto _ : state) {
+    driver::BatchDriver drv(opts, &cache);
+    driver::BatchReport r = drv.run(inputs);
+    benchmark::DoNotOptimize(r.metrics.cache_hits);
+  }
+}
+BENCHMARK(BM_DriverCorpusWarmCache)->Arg(1)->Arg(8);
+
 void BM_CompileBytecode(benchmark::State& state) {
   DiagEngine diags;
   synl::Program p =
@@ -82,6 +130,99 @@ void BM_InterpreterSteps(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterSteps);
 
+/// Wall-clock of one driver sweep over `inputs`, best of `reps`.
+double sweep_ms(const driver::DriverOptions& opts,
+                const std::vector<driver::ProgramInput>& inputs,
+                driver::ResultCache* cache, int reps,
+                driver::BatchReport* last = nullptr) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    driver::BatchDriver drv(opts, cache);
+    driver::BatchReport r = drv.run(inputs);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+    if (last) *last = std::move(r);
+  }
+  return best;
+}
+
+/// Measures the driver speedups the roadmap tracks (serial vs. --jobs 8,
+/// cold vs. warm cache) and records them in BENCH_driver.json so future
+/// changes have a perf trajectory to compare against.
+void emit_driver_json(const char* path) {
+  std::vector<driver::ProgramInput> inputs = corpus_inputs();
+  constexpr int kReps = 3;
+  constexpr unsigned kJobs = 8;
+
+  driver::DriverOptions serial;
+  driver::BatchReport report;
+  double serial_ms = sweep_ms(serial, inputs, nullptr, kReps, &report);
+
+  driver::DriverOptions parallel = serial;
+  parallel.jobs = kJobs;
+  double parallel_ms = sweep_ms(parallel, inputs, nullptr, kReps);
+
+  driver::DriverOptions cached = serial;
+  cached.use_cache = true;
+  driver::ResultCache cache;
+  double cold_ms = sweep_ms(cached, inputs, &cache, 1);
+  size_t h0 = cache.hits(), m0 = cache.misses();
+  double warm_ms = sweep_ms(cached, inputs, &cache, 1);
+  size_t warm_hits = cache.hits() - h0;
+  size_t warm_total = warm_hits + (cache.misses() - m0);
+
+  double procs = static_cast<double>(report.metrics.procedures);
+  double hit_rate =
+      warm_total == 0 ? 0.0
+                      : static_cast<double>(warm_hits) /
+                            static_cast<double>(warm_total);
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"driver_corpus_sweep\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"programs\": %zu,\n"
+               "  \"procedures\": %zu,\n"
+               "  \"variants\": %zu,\n"
+               "  \"reps_best_of\": %d,\n"
+               "  \"jobs\": %u,\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"parallel_ms\": %.3f,\n"
+               "  \"parallel_speedup\": %.3f,\n"
+               "  \"procs_per_sec_serial\": %.1f,\n"
+               "  \"procs_per_sec_parallel\": %.1f,\n"
+               "  \"cache_cold_ms\": %.3f,\n"
+               "  \"cache_warm_ms\": %.3f,\n"
+               "  \"cache_warm_speedup\": %.3f,\n"
+               "  \"cache_warm_hit_rate\": %.3f\n"
+               "}\n",
+               std::thread::hardware_concurrency(), report.metrics.programs,
+               report.metrics.procedures, report.metrics.variants, kReps,
+               kJobs, serial_ms, parallel_ms,
+               parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+               serial_ms > 0 ? procs * 1000.0 / serial_ms : 0.0,
+               parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0, cold_ms,
+               warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_rate);
+  std::fclose(f);
+  std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, warm cache %.1fms, "
+              "hit rate %.0f%%)\n",
+              path, serial_ms, kJobs, parallel_ms, warm_ms, hit_rate * 100);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out = std::getenv("SYNAT_BENCH_OUT");
+  emit_driver_json(out ? out : "BENCH_driver.json");
+  return 0;
+}

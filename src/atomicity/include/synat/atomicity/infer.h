@@ -42,6 +42,12 @@ struct InferOptions {
   /// discipline for the algorithms of Section 6.4; list the protected
   /// locations as "Var" (global) or "Class.field" strings, or "*" for all.
   std::vector<std::string> counted_cas;
+  /// When non-empty, only the named procedures are classified and reported
+  /// (steps 1-7). Every procedure still contributes its variants to the
+  /// cross-thread conflict universe, so the results for the selected
+  /// procedures are identical to a whole-program run. Used by the batch
+  /// driver to parallelize at procedure granularity.
+  std::vector<std::string> only_procs;
 };
 
 struct VariantResult {

@@ -610,9 +610,21 @@ AtomicityResult InferEngine::run() {
   for (const VariantSet& vs : sets)
     for (ProcId v : vs.variants) build_variant_ctx(v);
 
+  // Classification restriction (InferOptions::only_procs): every variant
+  // above still entered the conflict universe, so restricted results match
+  // the whole-program run exactly.
+  auto selected = [&](ProcId p) {
+    if (opts_.only_procs.empty()) return true;
+    std::string_view n = prog_.syms().name(prog_.proc(p).name);
+    for (const std::string& s : opts_.only_procs)
+      if (s == n) return true;
+    return false;
+  };
+
   // Steps 1-6 per variant; step 7 per original procedure.
   std::unordered_map<uint32_t, VariantResult*> by_variant;
   for (const VariantSet& vs : sets) {
+    if (!selected(vs.original)) continue;
     ProcResult pr;
     pr.proc = vs.original;
     pr.bailed_out = vs.bailed_out;

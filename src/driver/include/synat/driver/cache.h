@@ -1,0 +1,63 @@
+// Content-addressed memoization cache for per-procedure analysis results.
+//
+// The key is an FNV-1a hash of (pretty-printed whole program, analysis
+// option fingerprint, procedure name). The whole program — not just the one
+// procedure — must be part of the address because the atomicity of a
+// procedure depends on the conflicting accesses of every other procedure's
+// variants (paper step 4, the cross-thread conflict universe); two textually
+// identical procedures in different programs can legitimately get different
+// verdicts. The printer is a fixpoint under re-parsing, so the printed form
+// is a canonical content address: formatting differences in the input do not
+// cause spurious misses.
+//
+// Sharded to keep lock hold times negligible next to an analysis run.
+// Entries are immutable shared_ptrs, so hits alias the cached report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "synat/driver/report.h"
+
+namespace synat::driver {
+
+class ResultCache {
+ public:
+  std::shared_ptr<const ProcReport> lookup(uint64_t key);
+
+  /// First writer wins; returns the resident entry (the argument, or the
+  /// earlier one if a concurrent task already published the same key).
+  std::shared_ptr<const ProcReport> insert(
+      uint64_t key, std::shared_ptr<const ProcReport> report);
+
+  void clear();
+  size_t size() const;
+
+  /// Persistence for warm starts across processes (`synat batch
+  /// --cache-file`). The format is a versioned binary snapshot; a missing
+  /// or malformed file loads as an empty cache (load returns false), never
+  /// an error — the cache is an accelerator, not a source of truth.
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+  /// Lifetime counters (not reset by clear()).
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<const ProcReport>> map;
+  };
+  Shard& shard(uint64_t key) { return shards_[key % kShards]; }
+
+  Shard shards_[kShards];
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+};
+
+}  // namespace synat::driver

@@ -1,0 +1,83 @@
+// Batch analysis driver: runs the full per-procedure pipeline (sema →
+// CFG/liveness → purity/matching/local-conditions → variant enumeration →
+// mover assignment → type propagation → block partitioning) over many
+// programs on a fixed-size thread pool, with optional content-addressed
+// memoization of per-procedure results.
+//
+// Concurrency model: every task parses its own Program from source, so no
+// AST is ever shared between threads (infer_atomicity appends variants to
+// the Program it analyzes and must own it). At Procedure granularity the
+// driver schedules one analysis task per original procedure — each task
+// restricts classification to its target via InferOptions::only_procs while
+// still building the whole-program conflict universe, so results are
+// bit-identical to a whole-program run but long programs no longer
+// serialize a worker. Output assembly is index-addressed, which makes the
+// rendered documents byte-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synat/atomicity/infer.h"
+#include "synat/driver/cache.h"
+#include "synat/driver/report.h"
+#include "synat/driver/thread_pool.h"
+
+namespace synat::driver {
+
+/// One program to analyze.
+struct ProgramInput {
+  std::string name;    ///< display name (file path or corpus:<name>)
+  std::string source;  ///< SYNL source text
+  atomicity::InferOptions opts;
+};
+
+enum class Granularity : uint8_t {
+  Program,    ///< one task per program
+  Procedure,  ///< one parse task per program + one analysis task per proc
+};
+
+struct DriverOptions {
+  /// Worker threads; 0 or 1 runs inline on the calling thread.
+  unsigned jobs = 1;
+  /// Memoize per-procedure reports in `cache` (or an internal cache).
+  bool use_cache = false;
+  Granularity granularity = Granularity::Procedure;
+  /// Record per-stage wall times (adds clock calls on the hot path).
+  bool collect_timings = false;
+};
+
+/// Fingerprint of the analysis options that affect results; part of every
+/// cache key.
+uint64_t options_fingerprint(const atomicity::InferOptions& opts);
+
+class BatchDriver {
+ public:
+  /// `cache` may be null; when `opts.use_cache` is set and no cache is
+  /// given, the driver uses a private one (warm within a single run() —
+  /// pass an external cache to keep it warm across runs).
+  explicit BatchDriver(DriverOptions opts, ResultCache* cache = nullptr);
+  ~BatchDriver();
+
+  BatchDriver(const BatchDriver&) = delete;
+  BatchDriver& operator=(const BatchDriver&) = delete;
+
+  /// Analyzes every input and returns the aggregated report. Safe to call
+  /// repeatedly; the cache persists across calls.
+  BatchReport run(const std::vector<ProgramInput>& inputs);
+
+  ResultCache& cache() { return *cache_; }
+
+ private:
+  struct Job;  // per-program scheduling state
+
+  void run_program_task(const ProgramInput& input, size_t index,
+                        ReportSink& sink, ThreadPool& pool);
+
+  DriverOptions opts_;
+  ResultCache* cache_;
+  ResultCache owned_cache_;
+};
+
+}  // namespace synat::driver

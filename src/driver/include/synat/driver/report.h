@@ -1,0 +1,154 @@
+// Report model for the batch driver: plain-data summaries of one analysis
+// run, aggregated by a ReportSink into deterministic JSON / SARIF / text.
+//
+// Everything here is decoupled from the AST so reports outlive the Program
+// they were computed from (Programs are per-task and per-thread; reports are
+// cached across tasks and runs). All ordering is by task/procedure index,
+// never by pointer or hash order, so documents are byte-stable across
+// --jobs settings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synat::driver {
+
+/// One annotated source line of a variant listing: the statement head with
+/// its inferred atomicity type (the paper's Figure 3 presentation).
+struct LineReport {
+  uint32_t line = 0;     ///< 1-based source line (0 if synthesized)
+  std::string atom;      ///< "B" "R" "L" "A" "N"
+  std::string text;      ///< one-line statement head
+};
+
+/// One maximal atomic block of a variant body (paper Section 6.4).
+struct BlockReport {
+  std::string atom;      ///< composed atomicity of the block
+  size_t units = 0;      ///< flattened statements merged into the block
+};
+
+/// One exceptional variant of a procedure.
+struct VariantReport {
+  std::string tag;       ///< "Deq'2", or the proc name for the sole variant
+  std::string atomicity; ///< of the variant body
+  std::vector<LineReport> lines;
+  std::vector<BlockReport> blocks;
+};
+
+/// Per-procedure verdict; the unit stored in the memoization cache.
+struct ProcReport {
+  std::string name;
+  uint32_t line = 0;  ///< 1-based source line of the declaration
+  bool atomic = false;
+  std::string atomicity;   ///< join over variant bodies
+  bool no_variants = false;
+  bool bailed_out = false;
+  uint64_t key = 0;        ///< content-address this report is cached under
+  std::vector<VariantReport> variants;
+};
+
+struct DiagReport {
+  std::string severity;  ///< "error" "warning" "note"
+  uint32_t line = 0, column = 0;
+  std::string message;
+};
+
+enum class ProgramStatus : uint8_t {
+  Ok,             ///< parsed and analyzed
+  ParseError,     ///< front-end rejected the source
+  InternalError,  ///< an analysis stage threw (a synat bug)
+};
+
+std::string_view to_string(ProgramStatus s);
+
+struct ProgramReport {
+  std::string name;        ///< file path or corpus:<name> spec
+  std::string fingerprint; ///< hex FNV-1a of printed program + options
+  ProgramStatus status = ProgramStatus::Ok;
+  std::vector<DiagReport> diagnostics;
+  /// One entry per original procedure, in declaration order. Entries are
+  /// shared with the cache (immutable once published).
+  std::vector<std::shared_ptr<const ProcReport>> procs;
+
+  bool all_atomic() const;
+};
+
+/// Power-of-two latency histogram: bucket i counts durations in
+/// [2^i, 2^(i+1)) nanoseconds. Fixed 40 buckets cover ~18 minutes.
+struct LatencyHistogram {
+  static constexpr size_t kBuckets = 40;
+  uint64_t count[kBuckets] = {};
+  uint64_t total_ns = 0;
+  uint64_t samples = 0;
+
+  void record(uint64_t ns);
+  void merge(const LatencyHistogram& other);
+};
+
+/// Names the pipeline stages the driver times.
+enum class Stage : uint8_t { Parse, Analyze, Report, COUNT };
+std::string_view to_string(Stage s);
+
+struct Metrics {
+  size_t programs = 0;
+  size_t procedures = 0;
+  size_t variants = 0;
+  size_t parse_errors = 0;
+  size_t internal_errors = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t jobs = 0;
+  LatencyHistogram stage[static_cast<size_t>(Stage::COUNT)];
+};
+
+struct BatchReport {
+  std::vector<ProgramReport> programs;
+  Metrics metrics;
+
+  size_t procs_not_atomic() const;
+  /// Driver exit-code convention: 0 ok, 1 some procedure not atomic,
+  /// 3 parse errors, 4 internal errors (the worst wins).
+  int exit_code() const;
+};
+
+struct RenderOptions {
+  /// Include the per-stage wall-time histograms in the metrics block.
+  /// Off by default so default output is byte-deterministic across runs.
+  bool timings = false;
+};
+
+/// Deterministic renderers (pure functions of the report).
+std::string to_json(const BatchReport& report, const RenderOptions& opts = {});
+std::string to_sarif(const BatchReport& report);
+std::string to_text(const BatchReport& report);
+
+/// Thread-safe collector: workers publish per-program and per-procedure
+/// results by index; finish() assembles the deterministic BatchReport.
+class ReportSink {
+ public:
+  explicit ReportSink(size_t num_programs);
+
+  /// Declares program `i`'s identity and procedure count (parse stage).
+  void open_program(size_t i, std::string name, std::string fingerprint,
+                    size_t num_procs);
+  /// Publishes a failed program (parse or internal error).
+  void fail_program(size_t i, std::string name, ProgramStatus status,
+                    std::vector<DiagReport> diags);
+  /// Publishes procedure `p` of program `i` (analysis stage).
+  void set_proc(size_t i, size_t p, std::shared_ptr<const ProcReport> report);
+  void add_stage_time(Stage s, uint64_t ns);
+
+  /// Assembles the final report. Call after the pool is idle.
+  BatchReport finish(size_t cache_hits, size_t cache_misses, size_t jobs);
+
+ private:
+  std::mutex mu_;
+  std::vector<ProgramReport> programs_;
+  Metrics metrics_;
+};
+
+}  // namespace synat::driver

@@ -1,0 +1,185 @@
+#include "synat/driver/cache.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace synat::driver {
+
+namespace {
+
+// Snapshot format: magic, version, entry count, then (key, ProcReport)
+// pairs with length-prefixed strings. Entries are written in key order so
+// snapshots of equal caches are byte-identical.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '1'};
+
+void put_u64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (i * 8)) & 0xff);
+  out.write(buf, 8);
+}
+
+void put_str(std::ostream& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_u64(std::istream& in, uint64_t& v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i])) << (i * 8);
+  return true;
+}
+
+bool get_str(std::istream& in, std::string& s) {
+  uint64_t n = 0;
+  if (!get_u64(in, n)) return false;
+  if (n > (uint64_t{1} << 32)) return false;  // corrupt length
+  s.resize(n);
+  return static_cast<bool>(in.read(s.data(), static_cast<std::streamsize>(n)));
+}
+
+void put_report(std::ostream& out, const ProcReport& r) {
+  put_str(out, r.name);
+  put_u64(out, r.line);
+  put_u64(out, static_cast<uint64_t>(r.atomic));
+  put_str(out, r.atomicity);
+  put_u64(out, static_cast<uint64_t>(r.no_variants));
+  put_u64(out, static_cast<uint64_t>(r.bailed_out));
+  put_u64(out, r.key);
+  put_u64(out, r.variants.size());
+  for (const VariantReport& v : r.variants) {
+    put_str(out, v.tag);
+    put_str(out, v.atomicity);
+    put_u64(out, v.lines.size());
+    for (const LineReport& l : v.lines) {
+      put_u64(out, l.line);
+      put_str(out, l.atom);
+      put_str(out, l.text);
+    }
+    put_u64(out, v.blocks.size());
+    for (const BlockReport& b : v.blocks) {
+      put_str(out, b.atom);
+      put_u64(out, b.units);
+    }
+  }
+}
+
+bool get_report(std::istream& in, ProcReport& r) {
+  uint64_t u = 0;
+  if (!get_str(in, r.name) || !get_u64(in, u)) return false;
+  r.line = static_cast<uint32_t>(u);
+  if (!get_u64(in, u)) return false;
+  r.atomic = u != 0;
+  if (!get_str(in, r.atomicity)) return false;
+  if (!get_u64(in, u)) return false;
+  r.no_variants = u != 0;
+  if (!get_u64(in, u)) return false;
+  r.bailed_out = u != 0;
+  if (!get_u64(in, r.key)) return false;
+  uint64_t nv = 0;
+  if (!get_u64(in, nv) || nv > (1 << 20)) return false;
+  r.variants.resize(nv);
+  for (VariantReport& v : r.variants) {
+    if (!get_str(in, v.tag) || !get_str(in, v.atomicity)) return false;
+    uint64_t nl = 0;
+    if (!get_u64(in, nl) || nl > (1 << 24)) return false;
+    v.lines.resize(nl);
+    for (LineReport& l : v.lines) {
+      if (!get_u64(in, u)) return false;
+      l.line = static_cast<uint32_t>(u);
+      if (!get_str(in, l.atom) || !get_str(in, l.text)) return false;
+    }
+    uint64_t nb = 0;
+    if (!get_u64(in, nb) || nb > (1 << 24)) return false;
+    v.blocks.resize(nb);
+    for (BlockReport& b : v.blocks) {
+      if (!get_str(in, b.atom) || !get_u64(in, u)) return false;
+      b.units = static_cast<size_t>(u);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const ProcReport> ResultCache::lookup(uint64_t key) {
+  Shard& s = shard(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const ProcReport> ResultCache::insert(
+    uint64_t key, std::shared_ptr<const ProcReport> report) {
+  Shard& s = shard(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto [it, inserted] = s.map.emplace(key, std::move(report));
+  return it->second;
+}
+
+void ResultCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+bool ResultCache::save(const std::string& path) const {
+  std::map<uint64_t, std::shared_ptr<const ProcReport>> sorted;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    sorted.insert(s.map.begin(), s.map.end());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof kMagic);
+  put_u64(out, sorted.size());
+  for (const auto& [key, report] : sorted) {
+    put_u64(out, key);
+    put_report(out, *report);
+  }
+  return static_cast<bool>(out);
+}
+
+bool ResultCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof kMagic];
+  if (!in.read(magic, sizeof magic) ||
+      std::string_view(magic, sizeof magic) !=
+          std::string_view(kMagic, sizeof kMagic))
+    return false;
+  uint64_t count = 0;
+  if (!get_u64(in, count) || count > (uint64_t{1} << 32)) return false;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const ProcReport>>> loaded;
+  loaded.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    auto report = std::make_shared<ProcReport>();
+    if (!get_u64(in, key) || !get_report(in, *report)) return false;
+    loaded.emplace_back(key, std::move(report));
+  }
+  // Only publish once the whole file decoded cleanly.
+  for (auto& [key, report] : loaded) insert(key, std::move(report));
+  return true;
+}
+
+}  // namespace synat::driver

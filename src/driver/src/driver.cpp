@@ -1,0 +1,260 @@
+#include "synat/driver/driver.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "synat/atomicity/blocks.h"
+#include "synat/support/hash.h"
+#include "synat/synl/parser.h"
+#include "synat/synl/printer.h"
+
+namespace synat::driver {
+
+namespace {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII stage timer; no clock calls unless timing collection is on.
+class StageTimer {
+ public:
+  StageTimer(ReportSink& sink, Stage stage, bool enabled)
+      : sink_(sink), stage_(stage), enabled_(enabled),
+        start_(enabled ? now_ns() : 0) {}
+  ~StageTimer() {
+    if (enabled_) sink_.add_stage_time(stage_, now_ns() - start_);
+  }
+
+ private:
+  ReportSink& sink_;
+  Stage stage_;
+  bool enabled_;
+  uint64_t start_;
+};
+
+std::string hex64(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[static_cast<size_t>(i)] = digits[v & 0xf];
+  return s;
+}
+
+std::vector<DiagReport> diag_reports(const DiagEngine& diags) {
+  std::vector<DiagReport> out;
+  for (const Diagnostic& d : diags.diagnostics())
+    out.push_back({std::string(to_string(d.severity)), d.loc.line,
+                   d.loc.column, d.message});
+  return out;
+}
+
+/// Pre-order walk of a variant body producing one LineReport per statement,
+/// mirroring AtomicityResult::listing but as structured data.
+void collect_lines(const synl::Program& prog,
+                   const atomicity::VariantResult& v, synl::StmtId s,
+                   std::vector<LineReport>& out) {
+  if (!s.valid()) return;
+  const synl::Stmt& st = prog.stmt(s);
+  if (st.kind == synl::StmtKind::Block) {
+    for (synl::StmtId c : st.stmts) collect_lines(prog, v, c, out);
+    return;
+  }
+  LineReport line;
+  line.line = st.loc.line;
+  auto it = v.stmt_atom.find(s.idx);
+  line.atom = it == v.stmt_atom.end()
+                  ? std::string("-")
+                  : std::string(to_string(it->second));
+  line.text = synl::stmt_head(prog, s);
+  out.push_back(std::move(line));
+  switch (st.kind) {
+    case synl::StmtKind::Local:
+    case synl::StmtKind::Loop:
+    case synl::StmtKind::Synchronized:
+      collect_lines(prog, v, st.s1, out);
+      break;
+    case synl::StmtKind::If:
+      collect_lines(prog, v, st.s1, out);
+      collect_lines(prog, v, st.s2, out);
+      break;
+    default:
+      break;
+  }
+}
+
+std::shared_ptr<const ProcReport> make_proc_report(
+    const synl::Program& prog, const atomicity::ProcResult& pr,
+    uint64_t key) {
+  auto report = std::make_shared<ProcReport>();
+  report->name = std::string(prog.syms().name(prog.proc(pr.proc).name));
+  report->line = prog.proc(pr.proc).loc.line;
+  report->atomic = pr.atomic;
+  report->atomicity = std::string(to_string(pr.atomicity));
+  report->no_variants = pr.no_variants;
+  report->bailed_out = pr.bailed_out;
+  report->key = key;
+  for (const atomicity::VariantResult& v : pr.variants) {
+    VariantReport vr;
+    const synl::ProcInfo& vp = prog.proc(v.variant);
+    vr.tag = vp.variant_tag.empty()
+                 ? std::string(prog.syms().name(vp.name))
+                 : vp.variant_tag;
+    vr.atomicity = std::string(to_string(v.atomicity));
+    collect_lines(prog, v, vp.body, vr.lines);
+    atomicity::BlockPartition part = atomicity::partition_blocks(prog, v);
+    for (const atomicity::AtomicBlock& b : part.blocks)
+      vr.blocks.push_back(
+          {std::string(to_string(b.atom)), b.units.size()});
+    report->variants.push_back(std::move(vr));
+  }
+  return report;
+}
+
+}  // namespace
+
+uint64_t options_fingerprint(const atomicity::InferOptions& opts) {
+  // only_procs is deliberately excluded: it restricts which procedures are
+  // classified, never what any classification is, and the driver sets it
+  // per task.
+  Hasher h;
+  h.mix(static_cast<uint64_t>(opts.variant_opts.disable));
+  h.mix(static_cast<uint64_t>(opts.variant_opts.max_paths));
+  h.mix(static_cast<uint64_t>(opts.use_window_rule));
+  h.mix(static_cast<uint64_t>(opts.use_local_conditions));
+  std::vector<std::string> counted = opts.counted_cas;
+  std::sort(counted.begin(), counted.end());
+  counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
+  for (const std::string& c : counted) h.mix(c);
+  return h.value();
+}
+
+BatchDriver::BatchDriver(DriverOptions opts, ResultCache* cache)
+    : opts_(opts), cache_(cache ? cache : &owned_cache_) {}
+
+BatchDriver::~BatchDriver() = default;
+
+void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
+                                   ReportSink& sink, ThreadPool& pool) {
+  DiagEngine diags;
+  synl::Program prog = [&] {
+    StageTimer t(sink, Stage::Parse, opts_.collect_timings);
+    return synl::parse_and_check(input.source, diags);
+  }();
+  if (diags.has_errors()) {
+    sink.fail_program(index, input.name, ProgramStatus::ParseError,
+                      diag_reports(diags));
+    return;
+  }
+  uint64_t program_fp = Hasher()
+                            .mix(synl::print_program(prog))
+                            .mix(options_fingerprint(input.opts))
+                            .value();
+  size_t num_procs = prog.num_procs();
+  sink.open_program(index, input.name, hex64(program_fp), num_procs);
+
+  // Program granularity (and the single-procedure fast path): analyze in
+  // this task, reusing the Program we just parsed.
+  if (opts_.granularity == Granularity::Program || num_procs <= 1) {
+    std::vector<uint64_t> keys(num_procs);
+    bool all_hit = opts_.use_cache;
+    std::vector<std::shared_ptr<const ProcReport>> hits(num_procs);
+    for (size_t p = 0; p < num_procs; ++p) {
+      synl::ProcId pid(static_cast<uint32_t>(p));
+      keys[p] = Hasher()
+                    .mix(program_fp)
+                    .mix(prog.syms().name(prog.proc(pid).name))
+                    .value();
+      if (opts_.use_cache) {
+        hits[p] = cache_->lookup(keys[p]);
+        all_hit = all_hit && hits[p] != nullptr;
+      }
+    }
+    if (opts_.use_cache && all_hit) {
+      for (size_t p = 0; p < num_procs; ++p) sink.set_proc(index, p, hits[p]);
+      return;
+    }
+    atomicity::AtomicityResult result = [&] {
+      StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
+      return atomicity::infer_atomicity(prog, diags, input.opts);
+    }();
+    StageTimer tr(sink, Stage::Report, opts_.collect_timings);
+    for (size_t p = 0; p < num_procs; ++p) {
+      const atomicity::ProcResult* pr =
+          result.result_for(synl::ProcId(static_cast<uint32_t>(p)));
+      SYNAT_ASSERT(pr != nullptr, "missing procedure result");
+      std::shared_ptr<const ProcReport> report =
+          make_proc_report(prog, *pr, keys[p]);
+      if (opts_.use_cache) report = cache_->insert(keys[p], report);
+      sink.set_proc(index, p, report);
+    }
+    return;
+  }
+
+  // Procedure granularity: one analysis task per procedure. Each task
+  // re-parses its own Program (ASTs are never shared across threads) and
+  // classifies only its target; the conflict universe is still whole-
+  // program, so the result equals the whole-program run.
+  for (size_t p = 0; p < num_procs; ++p) {
+    pool.submit([this, &input, index, p, program_fp, &sink] {
+      try {
+        DiagEngine d;
+        synl::Program prog = [&] {
+          StageTimer t(sink, Stage::Parse, opts_.collect_timings);
+          return synl::parse_and_check(input.source, d);
+        }();
+        SYNAT_ASSERT(!d.has_errors(), "reparse of a checked program failed");
+        synl::ProcId pid(static_cast<uint32_t>(p));
+        std::string name(prog.syms().name(prog.proc(pid).name));
+        uint64_t key = Hasher().mix(program_fp).mix(name).value();
+        if (opts_.use_cache) {
+          if (std::shared_ptr<const ProcReport> hit = cache_->lookup(key)) {
+            sink.set_proc(index, p, std::move(hit));
+            return;
+          }
+        }
+        atomicity::InferOptions opts = input.opts;
+        opts.only_procs = {name};
+        atomicity::AtomicityResult result = [&] {
+          StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
+          return atomicity::infer_atomicity(prog, d, opts);
+        }();
+        std::shared_ptr<const ProcReport> report;
+        {
+          StageTimer tr(sink, Stage::Report, opts_.collect_timings);
+          const atomicity::ProcResult* pr = result.result_for(pid);
+          SYNAT_ASSERT(pr != nullptr, "missing procedure result");
+          report = make_proc_report(prog, *pr, key);
+        }
+        if (opts_.use_cache) report = cache_->insert(key, report);
+        sink.set_proc(index, p, std::move(report));
+      } catch (const std::exception& e) {
+        sink.fail_program(index, input.name, ProgramStatus::InternalError,
+                          {{"error", 0, 0, e.what()}});
+      }
+    });
+  }
+}
+
+BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
+  ThreadPool pool(opts_.jobs <= 1 ? 0 : opts_.jobs);
+  ReportSink sink(inputs.size());
+  size_t hits0 = cache_->hits(), misses0 = cache_->misses();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    pool.submit([this, &inputs, i, &sink, &pool] {
+      try {
+        run_program_task(inputs[i], i, sink, pool);
+      } catch (const std::exception& e) {
+        sink.fail_program(i, inputs[i].name, ProgramStatus::InternalError,
+                          {{"error", 0, 0, e.what()}});
+      }
+    });
+  }
+  pool.wait_idle();
+  return sink.finish(cache_->hits() - hits0, cache_->misses() - misses0,
+                     opts_.jobs == 0 ? 1 : opts_.jobs);
+}
+
+}  // namespace synat::driver

@@ -1,0 +1,134 @@
+#include "synat/driver/json.h"
+
+#include <cstdio>
+
+namespace synat::driver {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_newline() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (has_item_[static_cast<size_t>(depth_)]) out_ += ',';
+  if (depth_ > 0) out_ += '\n';
+  indent();
+  has_item_[static_cast<size_t>(depth_)] = true;
+}
+
+void JsonWriter::indent() {
+  out_.append(static_cast<size_t>(depth_ * indent_width_), ' ');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_newline();
+  out_ += '{';
+  ++depth_;
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  bool had = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_newline();
+  out_ += '[';
+  ++depth_;
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  bool had = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_and_newline();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  comma_and_newline();
+  // Re-indent the fragment's continuation lines so a sub-document rendered
+  // at depth 0 in a worker nests correctly at the splice point.
+  std::string pad(static_cast<size_t>(depth_ * indent_width_), ' ');
+  for (char c : fragment) {
+    out_ += c;
+    if (c == '\n') out_ += pad;
+  }
+  return *this;
+}
+
+}  // namespace synat::driver

@@ -1,0 +1,427 @@
+#include "synat/driver/report.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "synat/driver/json.h"
+
+namespace synat::driver {
+
+std::string_view to_string(ProgramStatus s) {
+  switch (s) {
+    case ProgramStatus::Ok: return "ok";
+    case ProgramStatus::ParseError: return "parse_error";
+    case ProgramStatus::InternalError: return "internal_error";
+  }
+  return "?";
+}
+
+std::string_view to_string(Stage s) {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Analyze: return "analyze";
+    case Stage::Report: return "report";
+    case Stage::COUNT: break;
+  }
+  return "?";
+}
+
+bool ProgramReport::all_atomic() const {
+  if (status != ProgramStatus::Ok) return false;
+  for (const auto& p : procs)
+    if (!p || !p->atomic) return false;
+  return true;
+}
+
+void LatencyHistogram::record(uint64_t ns) {
+  size_t bucket = ns == 0 ? 0 : static_cast<size_t>(std::bit_width(ns) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  ++count[bucket];
+  total_ns += ns;
+  ++samples;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) count[i] += other.count[i];
+  total_ns += other.total_ns;
+  samples += other.samples;
+}
+
+size_t BatchReport::procs_not_atomic() const {
+  size_t n = 0;
+  for (const ProgramReport& prog : programs)
+    for (const auto& p : prog.procs)
+      if (p && !p->atomic) ++n;
+  return n;
+}
+
+int BatchReport::exit_code() const {
+  if (metrics.internal_errors > 0) return 4;
+  if (metrics.parse_errors > 0) return 3;
+  if (procs_not_atomic() > 0) return 1;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// ReportSink
+
+ReportSink::ReportSink(size_t num_programs) { programs_.resize(num_programs); }
+
+void ReportSink::open_program(size_t i, std::string name,
+                              std::string fingerprint, size_t num_procs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProgramReport& pr = programs_.at(i);
+  pr.name = std::move(name);
+  pr.fingerprint = std::move(fingerprint);
+  pr.procs.resize(num_procs);
+}
+
+void ReportSink::fail_program(size_t i, std::string name, ProgramStatus status,
+                              std::vector<DiagReport> diags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProgramReport& pr = programs_.at(i);
+  if (pr.name.empty()) pr.name = std::move(name);
+  // The worst status wins (InternalError > ParseError > Ok); a program can
+  // fail once per procedure task.
+  if (static_cast<uint8_t>(status) > static_cast<uint8_t>(pr.status))
+    pr.status = status;
+  for (DiagReport& d : diags) pr.diagnostics.push_back(std::move(d));
+}
+
+void ReportSink::set_proc(size_t i, size_t p,
+                          std::shared_ptr<const ProcReport> report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  programs_.at(i).procs.at(p) = std::move(report);
+}
+
+void ReportSink::add_stage_time(Stage s, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.stage[static_cast<size_t>(s)].record(ns);
+}
+
+BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
+                               size_t jobs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchReport out;
+  metrics_.programs = programs_.size();
+  metrics_.cache_hits = cache_hits;
+  metrics_.cache_misses = cache_misses;
+  metrics_.jobs = jobs;
+  for (ProgramReport& pr : programs_) {
+    if (pr.status == ProgramStatus::Ok) {
+      for (const auto& p : pr.procs) {
+        if (!p) {  // a worker died without reporting; surface it
+          pr.status = ProgramStatus::InternalError;
+          pr.diagnostics.push_back(
+              {"error", 0, 0, "procedure result missing"});
+          break;
+        }
+      }
+    }
+    if (pr.status != ProgramStatus::Ok) pr.procs.clear();
+    if (pr.status == ProgramStatus::ParseError) ++metrics_.parse_errors;
+    if (pr.status == ProgramStatus::InternalError) ++metrics_.internal_errors;
+    metrics_.procedures += pr.procs.size();
+    for (const auto& p : pr.procs) metrics_.variants += p->variants.size();
+  }
+  out.programs = std::move(programs_);
+  out.metrics = metrics_;
+  programs_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+
+namespace {
+
+void emit_histogram(JsonWriter& w, const LatencyHistogram& h) {
+  w.begin_object();
+  w.key("samples").value(h.samples);
+  w.key("total_ns").value(h.total_ns);
+  w.key("mean_ns").value(h.samples == 0 ? uint64_t{0} : h.total_ns / h.samples);
+  w.key("buckets").begin_array();
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.count[i] == 0) continue;
+    w.begin_object();
+    w.key("le_ns").value(uint64_t{1} << (i + 1));
+    w.key("count").value(h.count[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void emit_metrics(JsonWriter& w, const BatchReport& r,
+                  const RenderOptions& opts, size_t atomic_procs) {
+  w.key("summary").begin_object();
+  w.key("programs").value(r.metrics.programs);
+  w.key("procedures").value(r.metrics.procedures);
+  w.key("variants").value(r.metrics.variants);
+  w.key("atomic_procedures").value(atomic_procs);
+  w.key("non_atomic_procedures").value(r.metrics.procedures - atomic_procs);
+  w.key("parse_errors").value(r.metrics.parse_errors);
+  w.key("internal_errors").value(r.metrics.internal_errors);
+  w.end_object();
+  // The jobs count is deliberately not emitted: `synat batch --jobs N` is
+  // documented to produce byte-identical documents for every N.
+  w.key("metrics").begin_object();
+  w.key("cache_hits").value(r.metrics.cache_hits);
+  w.key("cache_misses").value(r.metrics.cache_misses);
+  if (opts.timings) {
+    w.key("stages").begin_object();
+    for (size_t s = 0; s < static_cast<size_t>(Stage::COUNT); ++s) {
+      w.key(to_string(static_cast<Stage>(s)));
+      emit_histogram(w, r.metrics.stage[s]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+size_t count_atomic(const BatchReport& r) {
+  size_t n = 0;
+  for (const ProgramReport& prog : r.programs)
+    for (const auto& p : prog.procs)
+      if (p && p->atomic) ++n;
+  return n;
+}
+
+std::string hex64_str(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4)
+    s[static_cast<size_t>(i)] = digits[v & 0xf];
+  return s;
+}
+
+}  // namespace
+
+std::string to_json(const BatchReport& report, const RenderOptions& opts) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("synat-batch-report");
+  w.key("version").value(1);
+  w.key("programs").begin_array();
+  for (const ProgramReport& prog : report.programs) {
+    w.begin_object();
+    w.key("name").value(prog.name);
+    w.key("fingerprint").value(prog.fingerprint);
+    w.key("status").value(to_string(prog.status));
+    if (!prog.diagnostics.empty()) {
+      w.key("diagnostics").begin_array();
+      for (const DiagReport& d : prog.diagnostics) {
+        w.begin_object();
+        w.key("severity").value(d.severity);
+        w.key("line").value(d.line);
+        w.key("column").value(d.column);
+        w.key("message").value(d.message);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.key("procedures").begin_array();
+    for (const auto& p : prog.procs) {
+      w.begin_object();
+      w.key("name").value(p->name);
+      w.key("line").value(p->line);
+      w.key("atomic").value(p->atomic);
+      w.key("atomicity").value(p->atomicity);
+      w.key("no_variants").value(p->no_variants);
+      w.key("bailed_out").value(p->bailed_out);
+      w.key("cache_key").value(hex64_str(p->key));
+      w.key("variants").begin_array();
+      for (const VariantReport& v : p->variants) {
+        w.begin_object();
+        w.key("tag").value(v.tag);
+        w.key("atomicity").value(v.atomicity);
+        w.key("lines").begin_array();
+        for (const LineReport& l : v.lines) {
+          w.begin_object();
+          w.key("line").value(l.line);
+          w.key("atom").value(l.atom);
+          w.key("text").value(l.text);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("blocks").begin_array();
+        for (const BlockReport& b : v.blocks) {
+          w.begin_object();
+          w.key("atomicity").value(b.atom);
+          w.key("units").value(b.units);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  emit_metrics(w, report, opts, count_atomic(report));
+  w.end_object();
+  std::string out = std::move(w).str();
+  out += '\n';
+  return out;
+}
+
+std::string to_sarif(const BatchReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("$schema")
+      .value("https://json.schemastore.org/sarif-2.1.0.json");
+  w.key("version").value("2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.key("name").value("synat");
+  w.key("informationUri")
+      .value("https://doi.org/10.1145/1065944.1065955");
+  w.key("rules").begin_array();
+  struct Rule { const char* id; const char* name; const char* text; };
+  const Rule rules[] = {
+      {"SYNAT001", "NonAtomicProcedure",
+       "Procedure could not be proven atomic (Lipton reduction over the "
+       "Flanagan-Qadeer calculus)."},
+      {"SYNAT002", "ParseError", "SYNL front end rejected the program."},
+      {"SYNAT003", "VariantBailout",
+       "Exceptional-variant enumeration exceeded the path cap; the verdict "
+       "is conservative."},
+      {"SYNAT004", "InternalError", "The analyzer failed on this program."},
+  };
+  for (const Rule& r : rules) {
+    w.begin_object();
+    w.key("id").value(r.id);
+    w.key("name").value(r.name);
+    w.key("shortDescription").begin_object();
+    w.key("text").value(r.text);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+  w.key("results").begin_array();
+  auto location = [&](const std::string& uri, uint32_t line) {
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.key("uri").value(uri);
+    w.end_object();
+    if (line > 0) {
+      w.key("region").begin_object();
+      w.key("startLine").value(line);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.end_array();
+  };
+  for (const ProgramReport& prog : report.programs) {
+    if (prog.status == ProgramStatus::ParseError ||
+        prog.status == ProgramStatus::InternalError) {
+      bool internal = prog.status == ProgramStatus::InternalError;
+      w.begin_object();
+      w.key("ruleId").value(internal ? "SYNAT004" : "SYNAT002");
+      w.key("level").value("error");
+      w.key("message").begin_object();
+      std::string text = prog.diagnostics.empty()
+                             ? std::string(to_string(prog.status))
+                             : prog.diagnostics.front().message;
+      w.key("text").value(text);
+      w.end_object();
+      uint32_t line =
+          prog.diagnostics.empty() ? 0 : prog.diagnostics.front().line;
+      location(prog.name, line);
+      w.end_object();
+      continue;
+    }
+    for (const auto& p : prog.procs) {
+      if (!p->atomic) {
+        w.begin_object();
+        w.key("ruleId").value("SYNAT001");
+        w.key("level").value("warning");
+        w.key("message").begin_object();
+        std::string text = "procedure '" + p->name + "' is not atomic (" +
+                           p->atomicity + ")";
+        if (!p->variants.empty() && !p->variants.front().blocks.empty()) {
+          size_t max_blocks = 0;
+          for (const VariantReport& v : p->variants)
+            max_blocks = std::max(max_blocks, v.blocks.size());
+          text += "; largest variant partitions into " +
+                  std::to_string(max_blocks) + " atomic block(s)";
+        }
+        w.key("text").value(text);
+        w.end_object();
+        location(prog.name, p->line);
+        w.end_object();
+      }
+      if (p->bailed_out) {
+        w.begin_object();
+        w.key("ruleId").value("SYNAT003");
+        w.key("level").value("note");
+        w.key("message").begin_object();
+        w.key("text").value("variant enumeration bailed out for '" + p->name +
+                            "'");
+        w.end_object();
+        location(prog.name, p->line);
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.end_object();  // run
+  w.end_array();
+  w.end_object();
+  std::string out = std::move(w).str();
+  out += '\n';
+  return out;
+}
+
+std::string to_text(const BatchReport& report) {
+  std::string out;
+  for (const ProgramReport& prog : report.programs) {
+    out += prog.name;
+    out += ": ";
+    out += to_string(prog.status);
+    out += '\n';
+    for (const DiagReport& d : prog.diagnostics) {
+      out += "  " + d.severity + " " + std::to_string(d.line) + ":" +
+             std::to_string(d.column) + ": " + d.message + "\n";
+    }
+    for (const auto& p : prog.procs) {
+      out += "  proc " + p->name + " : ";
+      out += p->atomic ? "atomic" : "NOT atomic";
+      out += " (" + p->atomicity + ")";
+      out += ", " + std::to_string(p->variants.size()) + " variant(s)";
+      size_t max_blocks = 0;
+      for (const VariantReport& v : p->variants)
+        max_blocks = std::max(max_blocks, v.blocks.size());
+      if (!p->atomic && max_blocks > 0)
+        out += ", " + std::to_string(max_blocks) + " atomic block(s)";
+      if (p->bailed_out) out += " [bailed out]";
+      out += '\n';
+    }
+  }
+  size_t atomic = count_atomic(report);
+  out += "summary: " + std::to_string(report.metrics.programs) +
+         " program(s), " + std::to_string(report.metrics.procedures) +
+         " procedure(s), " + std::to_string(atomic) + " atomic, " +
+         std::to_string(report.metrics.procedures - atomic) + " not atomic";
+  if (report.metrics.parse_errors > 0)
+    out += ", " + std::to_string(report.metrics.parse_errors) +
+           " parse error(s)";
+  if (report.metrics.internal_errors > 0)
+    out += ", " + std::to_string(report.metrics.internal_errors) +
+           " internal error(s)";
+  out += "\ncache: " + std::to_string(report.metrics.cache_hits) + " hit(s), " +
+         std::to_string(report.metrics.cache_misses) + " miss(es)\n";
+  return out;
+}
+
+}  // namespace synat::driver

@@ -1,0 +1,116 @@
+#include "synat/driver/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace synat::driver {
+namespace {
+
+std::shared_ptr<const ProcReport> make_report(const std::string& name,
+                                              uint64_t key) {
+  auto r = std::make_shared<ProcReport>();
+  r->name = name;
+  r->atomic = true;
+  r->atomicity = "A";
+  r->key = key;
+  VariantReport v;
+  v.tag = name;
+  v.atomicity = "A";
+  v.lines.push_back({3, "A", "x := CAS(c, t, t + 1)"});
+  v.blocks.push_back({"A", 2});
+  r->variants.push_back(std::move(v));
+  return r;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache;
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  auto r = make_report("P", 7);
+  cache.insert(7, r);
+  auto hit = cache.lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), r.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, FirstWriterWins) {
+  ResultCache cache;
+  auto a = make_report("A", 1);
+  auto b = make_report("B", 1);
+  EXPECT_EQ(cache.insert(1, a).get(), a.get());
+  EXPECT_EQ(cache.insert(1, b).get(), a.get());
+  EXPECT_EQ(cache.lookup(1)->name, "A");
+}
+
+TEST(ResultCache, ConcurrentInsertsAllResident) {
+  ResultCache cache;
+  constexpr int kThreads = 8, kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t key = static_cast<uint64_t>(i);  // all threads collide
+        cache.insert(key, make_report("P" + std::to_string(t), key));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kPerThread));
+  for (int i = 0; i < kPerThread; ++i)
+    EXPECT_NE(cache.lookup(static_cast<uint64_t>(i)), nullptr);
+}
+
+TEST(ResultCache, SaveLoadRoundTrips) {
+  std::string path = testing::TempDir() + "synat_cache_roundtrip.synatcache";
+  ResultCache cache;
+  cache.insert(11, make_report("Enq", 11));
+  cache.insert(22, make_report("Deq", 22));
+  ASSERT_TRUE(cache.save(path));
+
+  ResultCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 2u);
+  auto enq = loaded.lookup(11);
+  ASSERT_NE(enq, nullptr);
+  EXPECT_EQ(enq->name, "Enq");
+  EXPECT_TRUE(enq->atomic);
+  ASSERT_EQ(enq->variants.size(), 1u);
+  EXPECT_EQ(enq->variants[0].lines.size(), 1u);
+  EXPECT_EQ(enq->variants[0].lines[0].text, "x := CAS(c, t, t + 1)");
+  EXPECT_EQ(enq->variants[0].blocks.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadOfMissingOrCorruptFileIsEmpty) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.load(testing::TempDir() + "no_such_file.synatcache"));
+  EXPECT_EQ(cache.size(), 0u);
+
+  std::string path = testing::TempDir() + "synat_cache_corrupt.synatcache";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a cache snapshot", f);
+  std::fclose(f);
+  EXPECT_FALSE(cache.load(path));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, ClearKeepsLifetimeCounters) {
+  ResultCache cache;
+  cache.insert(5, make_report("P", 5));
+  cache.lookup(5);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.lookup(5), nullptr);
+}
+
+}  // namespace
+}  // namespace synat::driver

@@ -1,0 +1,179 @@
+// Integration tests for the batch driver: the determinism and cache
+// guarantees the CLI and benches rely on, checked over the whole corpus.
+#include "synat/driver/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "synat/corpus/corpus.h"
+
+namespace synat::driver {
+namespace {
+
+std::vector<ProgramInput> corpus_inputs() {
+  std::vector<ProgramInput> inputs;
+  for (const corpus::Entry& e : corpus::all()) {
+    ProgramInput in;
+    in.name = "corpus:" + std::string(e.name);
+    in.source = std::string(e.source);
+    for (auto c : e.counted_cas) in.opts.counted_cas.emplace_back(c);
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+std::string run_json(DriverOptions opts, ResultCache* cache = nullptr) {
+  BatchDriver drv(opts, cache);
+  return to_json(drv.run(corpus_inputs()));
+}
+
+TEST(BatchDriver, JsonDeterministicAcrossJobCounts) {
+  DriverOptions serial;
+  std::string baseline = run_json(serial);
+  for (unsigned jobs : {2u, 8u}) {
+    DriverOptions opts;
+    opts.jobs = jobs;
+    EXPECT_EQ(run_json(opts), baseline) << "--jobs " << jobs;
+  }
+}
+
+TEST(BatchDriver, ProcedureGranularityMatchesProgramGranularity) {
+  DriverOptions per_proc;
+  DriverOptions per_prog;
+  per_prog.granularity = Granularity::Program;
+  EXPECT_EQ(run_json(per_proc), run_json(per_prog));
+}
+
+// Everything up to the metrics block; the cache_hits/cache_misses counters
+// legitimately differ between a cold and a warm run.
+std::string analysis_part(const std::string& json) {
+  size_t cut = json.find("\"metrics\"");
+  EXPECT_NE(cut, std::string::npos);
+  return json.substr(0, cut);
+}
+
+TEST(BatchDriver, WarmCacheRunIsByteIdenticalAndAllHits) {
+  DriverOptions opts;
+  opts.use_cache = true;
+  ResultCache cache;
+  std::string cold = run_json(opts, &cache);
+  size_t cold_hits = cache.hits();
+  std::string warm = run_json(opts, &cache);
+  EXPECT_EQ(analysis_part(warm), analysis_part(cold));
+  size_t warm_hits = cache.hits() - cold_hits;
+  EXPECT_EQ(warm_hits, cache.misses());  // every cold miss is a warm hit
+  EXPECT_GT(warm_hits, 0u);
+
+  DriverOptions plain;
+  // Caching never changes verdicts.
+  EXPECT_EQ(analysis_part(run_json(plain)), analysis_part(cold));
+}
+
+TEST(BatchDriver, CachePersistedAcrossProcessesViaSnapshot) {
+  std::string path = testing::TempDir() + "synat_driver_test.synatcache";
+  DriverOptions opts;
+  opts.use_cache = true;
+  {
+    ResultCache cache;
+    run_json(opts, &cache);
+    ASSERT_TRUE(cache.save(path));
+  }
+  ResultCache reloaded;
+  ASSERT_TRUE(reloaded.load(path));
+  run_json(opts, &reloaded);
+  EXPECT_EQ(reloaded.misses(), 0u);  // snapshot served every procedure
+  std::remove(path.c_str());
+}
+
+TEST(BatchDriver, OptionFingerprintSeparatesConfigurations) {
+  atomicity::InferOptions a;
+  atomicity::InferOptions b = a;
+  b.use_window_rule = !b.use_window_rule;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  atomicity::InferOptions c = a;
+  c.counted_cas = {"c", "b"};
+  atomicity::InferOptions d = a;
+  d.counted_cas = {"b", "c", "b"};  // order/duplicates don't matter
+  EXPECT_EQ(options_fingerprint(c), options_fingerprint(d));
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(c));
+  // The proc restriction is scheduling detail, never part of the address.
+  atomicity::InferOptions e = a;
+  e.only_procs = {"Deq"};
+  EXPECT_EQ(options_fingerprint(a), options_fingerprint(e));
+}
+
+TEST(BatchDriver, ParseErrorReportedPerProgram) {
+  std::vector<ProgramInput> inputs;
+  inputs.push_back({"bad.synl", "proc P( {", {}});
+  ProgramInput good;
+  good.name = "good.synl";
+  good.source = std::string(corpus::get("nfq_prime").source);
+  inputs.push_back(std::move(good));
+
+  BatchDriver drv(DriverOptions{});
+  BatchReport report = drv.run(inputs);
+  ASSERT_EQ(report.programs.size(), 2u);
+  EXPECT_EQ(report.programs[0].status, ProgramStatus::ParseError);
+  EXPECT_TRUE(report.programs[0].procs.empty());
+  EXPECT_FALSE(report.programs[0].diagnostics.empty());
+  EXPECT_EQ(report.programs[1].status, ProgramStatus::Ok);
+  EXPECT_EQ(report.metrics.parse_errors, 1u);
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(BatchDriver, ExitCodeConvention) {
+  {
+    ProgramInput good;
+    good.name = "good";
+    good.source = std::string(corpus::get("nfq_prime").source);
+    BatchDriver drv(DriverOptions{});
+    BatchReport r = drv.run({good});
+    EXPECT_EQ(r.exit_code(), 0);
+  }
+  {
+    ProgramInput racy;
+    racy.name = "racy";
+    racy.source = std::string(corpus::get("racy_counter").source);
+    BatchDriver drv(DriverOptions{});
+    BatchReport r = drv.run({racy});
+    EXPECT_GT(r.procs_not_atomic(), 0u);
+    EXPECT_EQ(r.exit_code(), 1);
+  }
+}
+
+TEST(BatchDriver, SarifListsRulesAndNonAtomicResults) {
+  BatchDriver drv(DriverOptions{});
+  BatchReport report = drv.run(corpus_inputs());
+  std::string sarif = to_sarif(report);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("SYNAT001"), std::string::npos);  // non-atomic proc
+  EXPECT_NE(sarif.find("SYNAT002"), std::string::npos);  // parse error rule
+  EXPECT_NE(sarif.find("\"results\""), std::string::npos);
+  EXPECT_NE(sarif.find("racy_counter"), std::string::npos);
+}
+
+TEST(BatchDriver, MetricsCountCorpus) {
+  BatchDriver drv(DriverOptions{});
+  BatchReport report = drv.run(corpus_inputs());
+  EXPECT_EQ(report.metrics.programs, corpus::all().size());
+  EXPECT_GT(report.metrics.procedures, report.metrics.programs);
+  EXPECT_GE(report.metrics.variants, report.metrics.procedures);
+  EXPECT_EQ(report.metrics.parse_errors, 0u);
+  EXPECT_EQ(report.metrics.internal_errors, 0u);
+}
+
+TEST(BatchDriver, TimingsRenderOnlyWhenRequested) {
+  DriverOptions opts;
+  opts.collect_timings = true;
+  BatchDriver drv(opts);
+  BatchReport report = drv.run(corpus_inputs());
+  EXPECT_GT(report.metrics.stage[0].samples, 0u);
+  std::string plain = to_json(report);
+  EXPECT_EQ(plain.find("\"stages\""), std::string::npos);
+  RenderOptions ropts;
+  ropts.timings = true;
+  std::string timed = to_json(report, ropts);
+  EXPECT_NE(timed.find("\"stages\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace synat::driver

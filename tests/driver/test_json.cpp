@@ -1,0 +1,74 @@
+#include "synat/driver/json.h"
+
+#include <gtest/gtest.h>
+
+namespace synat::driver {
+namespace {
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(std::move(w).str(), "{}");
+}
+
+TEST(JsonWriter, NestedStructure) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x");
+  w.key("n").value(3);
+  w.key("ok").value(true);
+  w.key("items").begin_array();
+  w.value(uint64_t{1});
+  w.begin_object();
+  w.key("inner").value("y");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\n"
+            "  \"name\": \"x\",\n"
+            "  \"n\": 3,\n"
+            "  \"ok\": true,\n"
+            "  \"items\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"inner\": \"y\"\n"
+            "    }\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriter, EmptyArrayStaysOnOneLine) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\n  \"xs\": []\n}");
+}
+
+TEST(JsonWriter, RawReindentsFragment) {
+  JsonWriter inner;
+  inner.begin_object();
+  inner.key("a").value(1);
+  inner.end_object();
+  JsonWriter w;
+  w.begin_object();
+  w.key("frag").raw(inner.str());
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\n  \"frag\": {\n    \"a\": 1\n  }\n}");
+}
+
+}  // namespace
+}  // namespace synat::driver

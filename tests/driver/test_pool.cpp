@@ -1,0 +1,54 @@
+#include "synat/driver/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace synat::driver {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineModeRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id runner;
+  pool.submit([&runner] { runner = std::this_thread::get_id(); });
+  pool.wait_idle();
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 5; ++j)
+        pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10 + 10 * 5);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace synat::driver

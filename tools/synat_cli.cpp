@@ -2,6 +2,7 @@
 //
 //   synat corpus                          list the embedded corpus
 //   synat analyze  <prog> [options]      atomicity inference + listing
+//   synat batch    [options] <progs...>  parallel batch analysis + report
 //   synat variants <prog> [proc]         print exceptional variants
 //   synat blocks   <prog>                atomic-block partition
 //   synat cfg      <prog> <proc>         event-CFG dump
@@ -11,8 +12,15 @@
 //
 // <prog> is a file path or `corpus:<name>` (see `synat corpus`).
 // analyze options: --no-variants --no-windows --no-conds --counted <k>
+// batch options: --all (whole corpus) --jobs N --cache --cache-file FILE
+//                --format json|sarif|text --timings --per-program -o FILE
 // mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
 //             --por --atomic Proc (repeatable) --arrays N --max-states N
+//
+// Exit codes (all commands): 0 success / all atomic; 1 analysis found a
+// non-atomic procedure (or mc found an error); 2 usage error; 3 the input
+// failed to load or parse; 4 internal analyzer error.
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "synat/corpus/corpus.h"
+#include "synat/driver/driver.h"
 #include "synat/mc/mc.h"
 #include "synat/synat.h"
 #include "synat/synl/printer.h"
@@ -29,11 +38,19 @@ using namespace synat;
 
 namespace {
 
+// Exit-code convention, shared with driver::BatchReport::exit_code().
+constexpr int kExitOk = 0;
+constexpr int kExitNotAtomic = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParseError = 3;
+constexpr int kExitInternalError = 4;
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: synat <corpus|analyze|variants|blocks|cfg|dot|disasm|mc> "
-               "[args]\n(see the header of tools/synat_cli.cpp)\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: synat <corpus|analyze|batch|variants|blocks|cfg|dot|disasm|mc> "
+      "[args]\n(see the header of tools/synat_cli.cpp)\n");
+  return kExitUsage;
 }
 
 bool load_source(const std::string& spec, std::string& out) {
@@ -94,9 +111,103 @@ int cmd_corpus() {
   return 0;
 }
 
+/// Default analysis options for a spec: corpus annotations for counted CAS.
+atomicity::InferOptions spec_options(const std::string& spec) {
+  atomicity::InferOptions opts;
+  default_counted(spec, opts);
+  return opts;
+}
+
+int cmd_batch(int argc, char** argv) {
+  driver::DriverOptions dopts;
+  driver::RenderOptions ropts;
+  std::string format = "json";
+  std::string out_path;
+  std::string cache_file;
+  std::vector<std::string> specs;
+  bool all = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 1024) {
+        std::fprintf(stderr, "--jobs expects a thread count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      dopts.jobs = static_cast<unsigned>(n);
+    } else if (a == "--cache") {
+      dopts.use_cache = true;
+    } else if (a == "--cache-file" && i + 1 < argc) {
+      dopts.use_cache = true;
+      cache_file = argv[++i];
+    } else if (a == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "json" && format != "sarif" && format != "text") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return kExitUsage;
+      }
+    } else if (a == "--timings") {
+      dopts.collect_timings = true;
+      ropts.timings = true;
+    } else if (a == "--per-program") {
+      dopts.granularity = driver::Granularity::Program;
+    } else if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown batch option %s\n", a.c_str());
+      return kExitUsage;
+    } else {
+      specs.push_back(a);
+    }
+  }
+  std::vector<driver::ProgramInput> inputs;
+  if (all) {
+    for (const corpus::Entry& e : corpus::all()) {
+      driver::ProgramInput in;
+      in.name = "corpus:" + std::string(e.name);
+      in.source = std::string(e.source);
+      for (auto c : e.counted_cas) in.opts.counted_cas.emplace_back(c);
+      inputs.push_back(std::move(in));
+    }
+  }
+  for (const std::string& spec : specs) {
+    driver::ProgramInput in;
+    in.name = spec;
+    if (!load_source(spec, in.source)) return kExitParseError;
+    in.opts = spec_options(spec);
+    inputs.push_back(std::move(in));
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "batch needs program specs or --all\n");
+    return kExitUsage;
+  }
+  driver::BatchDriver drv(dopts);
+  if (!cache_file.empty()) drv.cache().load(cache_file);
+  driver::BatchReport report = drv.run(inputs);
+  if (!cache_file.empty()) drv.cache().save(cache_file);
+  std::string doc = format == "json"    ? driver::to_json(report, ropts)
+                    : format == "sarif" ? driver::to_sarif(report)
+                                        : driver::to_text(report);
+  if (out_path.empty()) {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return kExitInternalError;
+    }
+    out << doc;
+  }
+  return report.exit_code();
+}
+
 int cmd_analyze(const std::string& spec, int argc, char** argv) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   atomicity::InferOptions opts;
   default_counted(spec, opts);
   for (int i = 0; i < argc; ++i) {
@@ -105,16 +216,16 @@ int cmd_analyze(const std::string& spec, int argc, char** argv) {
     else if (a == "--no-windows") opts.use_window_rule = false;
     else if (a == "--no-conds") opts.use_local_conditions = false;
     else if (a == "--counted" && i + 1 < argc) opts.counted_cas.emplace_back(argv[++i]);
-    else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return 2; }
+    else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return kExitUsage; }
   }
   auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
   std::printf("%s", result.full_listing(p.prog).c_str());
-  return result.all_atomic() ? 0 : 1;
+  return result.all_atomic() ? kExitOk : kExitNotAtomic;
 }
 
 int cmd_variants(const std::string& spec, int argc, char** argv) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   atomicity::InferOptions opts;
   default_counted(spec, opts);
   auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
@@ -131,7 +242,7 @@ int cmd_variants(const std::string& spec, int argc, char** argv) {
 
 int cmd_blocks(const std::string& spec) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   atomicity::InferOptions opts;
   default_counted(spec, opts);
   auto result = atomicity::infer_atomicity(p.prog, p.diags, opts);
@@ -149,11 +260,11 @@ int cmd_blocks(const std::string& spec) {
 
 int cmd_cfg(const std::string& spec, const char* proc_name, bool dot) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   synl::ProcId pid = p.prog.find_proc(proc_name);
   if (!pid.valid()) {
     std::fprintf(stderr, "no procedure '%s'\n", proc_name);
-    return 1;
+    return kExitUsage;
   }
   cfg::Cfg g = cfg::build_cfg(p.prog, pid);
   if (!dot) {
@@ -181,7 +292,7 @@ int cmd_cfg(const std::string& spec, const char* proc_name, bool dot) {
 
 int cmd_disasm(const std::string& spec) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   interp::CompiledProgram cp = interp::compile_program(p.prog, p.diags);
   for (const interp::CompiledProc& proc : cp.procs)
     std::printf("%s\n", interp::disassemble(proc).c_str());
@@ -190,7 +301,7 @@ int cmd_disasm(const std::string& spec) {
 
 int cmd_mc(const std::string& spec, int argc, char** argv) {
   Parsed p;
-  if (!parse(spec, p)) return 1;
+  if (!parse(spec, p)) return kExitParseError;
   mc::Options opts;
   mc::RunSpec run;
   std::string tinit;
@@ -221,36 +332,45 @@ int cmd_mc(const std::string& spec, int argc, char** argv) {
       opts.max_states = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown mc option %s\n", a.c_str());
-      return 2;
+      return kExitUsage;
     }
   }
   if (run.threads.empty()) {
     std::fprintf(stderr, "mc needs at least one --run Proc[:arg]\n");
-    return 2;
+    return kExitUsage;
   }
   for (mc::ThreadPlan& plan : run.threads) plan.init_proc = tinit;
   interp::CompiledProgram cp = interp::compile_program(p.prog, p.diags);
   mc::ModelChecker checker(cp, opts);
   mc::Result r = checker.run(run);
   std::printf("%s\n", r.summary().c_str());
-  return r.error_found ? 1 : 0;
+  return r.error_found ? kExitNotAtomic : kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  std::string cmd = argv[1];
-  if (cmd == "corpus") return cmd_corpus();
-  if (argc < 3) return usage();
-  std::string spec = argv[2];
-  if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);
-  if (cmd == "variants")
-    return cmd_variants(spec, argc - 3, argv + 3);
-  if (cmd == "blocks") return cmd_blocks(spec);
-  if (cmd == "cfg" && argc >= 4) return cmd_cfg(spec, argv[3], false);
-  if (cmd == "dot" && argc >= 4) return cmd_cfg(spec, argv[3], true);
-  if (cmd == "disasm") return cmd_disasm(spec);
-  if (cmd == "mc") return cmd_mc(spec, argc - 3, argv + 3);
-  return usage();
+  try {
+    if (argc < 2) return usage();
+    std::string cmd = argv[1];
+    if (cmd == "corpus") return cmd_corpus();
+    if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
+    if (argc < 3) return usage();
+    std::string spec = argv[2];
+    if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);
+    if (cmd == "variants")
+      return cmd_variants(spec, argc - 3, argv + 3);
+    if (cmd == "blocks") return cmd_blocks(spec);
+    if (cmd == "cfg" && argc >= 4) return cmd_cfg(spec, argv[3], false);
+    if (cmd == "dot" && argc >= 4) return cmd_cfg(spec, argv[3], true);
+    if (cmd == "disasm") return cmd_disasm(spec);
+    if (cmd == "mc") return cmd_mc(spec, argc - 3, argv + 3);
+    return usage();
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternalError;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInternalError;
+  }
 }
