@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "synat/analysis/proc_analysis.h"
+#include "synat/support/budget.h"
 #include "synat/support/diag.h"
 #include "synat/synl/ast.h"
 
@@ -31,6 +32,11 @@ struct VariantSet {
   /// True when the path count exceeded the generation cap and the variant
   /// list is a single unspecialized clone of the procedure.
   bool bailed_out = false;
+  /// True when the variant count exceeded VariantOptions::max_variants and
+  /// the list was replaced by a single unspecialized clone. Sound for the
+  /// conflict universe (the clone over-approximates every variant); the
+  /// driver degrades the procedure when it is the classification target.
+  bool budget_tripped = false;
 };
 
 struct VariantOptions {
@@ -39,6 +45,14 @@ struct VariantOptions {
   /// Ablation hook (DESIGN.md E8-i): treat every loop as impure, so each
   /// procedure has exactly one variant, itself.
   bool disable = false;
+  /// Hard cap on exceptional variants per procedure; 0 means unlimited.
+  /// Exceeding it sets VariantSet::budget_tripped (see above). Part of the
+  /// driver's cache fingerprint: it changes generated results.
+  size_t max_variants = 0;
+  /// Optional cancellation token polled during enumeration. Never part of
+  /// the cache fingerprint — a trip aborts the task, it cannot change a
+  /// completed result.
+  ExecBudget* budget = nullptr;
 };
 
 /// Generates the exceptional variants of `proc`. `pa` must be the analysis

@@ -401,6 +401,10 @@ bool InferEngine::excluded(const VariantCtx& ctx_e, EventId e,
 }
 
 Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e) const {
+  // The O(n^2) conflict scan dominates runtime on large programs; poll the
+  // budget once per classified event so deadlines trip promptly.
+  if (opts_.variant_opts.budget != nullptr)
+    opts_.variant_opts.budget->check("mover classification");
   const Event& ev = ctx.pa->cfg().node(e);
   bool conflict_before = false, conflict_after = false;
 
@@ -581,6 +585,8 @@ Atomicity InferEngine::stmt_atom(
 void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
   const cfg::Cfg& cfg = ctx.pa->cfg();
   for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    if (opts_.variant_opts.budget != nullptr)
+      opts_.variant_opts.budget->check("mover classification");
     EventId e(i);
     if (!cfg.node(e).is_action()) continue;
     out.event_atom[i] = classify_event(ctx, e);
@@ -596,22 +602,10 @@ void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
 AtomicityResult InferEngine::run() {
   AtomicityResult result;
   const size_t num_original = prog_.num_procs();
-
-  // Step 0: analyses of the originals + exceptional variants.
-  std::vector<VariantSet> sets;
-  for (size_t i = 0; i < num_original; ++i) {
-    ProcId pid(static_cast<uint32_t>(i));
-    ProcAnalysis pa(prog_, pid);
-    sets.push_back(
-        generate_variants(prog_, pid, pa, diags_, opts_.variant_opts));
-  }
-
-  // Build contexts for every variant (cross-variant conflict universe).
-  for (const VariantSet& vs : sets)
-    for (ProcId v : vs.variants) build_variant_ctx(v);
+  ExecBudget* budget = opts_.variant_opts.budget;
 
   // Classification restriction (InferOptions::only_procs): every variant
-  // above still entered the conflict universe, so restricted results match
+  // below still enters the conflict universe, so restricted results match
   // the whole-program run exactly.
   auto selected = [&](ProcId p) {
     if (opts_.only_procs.empty()) return true;
@@ -620,6 +614,34 @@ AtomicityResult InferEngine::run() {
       if (s == n) return true;
     return false;
   };
+
+  // Step 0: analyses of the originals + exceptional variants.
+  std::vector<VariantSet> sets;
+  for (size_t i = 0; i < num_original; ++i) {
+    ProcId pid(static_cast<uint32_t>(i));
+    if (budget != nullptr) budget->check("variant expansion");
+    ProcAnalysis pa(prog_, pid);
+    VariantSet vs =
+        generate_variants(prog_, pid, pa, diags_, opts_.variant_opts);
+    if (vs.budget_tripped && selected(pid)) {
+      // A non-selected proc over budget stays in the universe as its
+      // conservative clone; only the proc being classified degrades.
+      throw BudgetExceeded(
+          "max-variants",
+          "procedure '" +
+              std::string(prog_.syms().name(prog_.proc(pid).name)) +
+              "' exceeded the exceptional-variant budget (max " +
+              std::to_string(opts_.variant_opts.max_variants) + ")");
+    }
+    sets.push_back(std::move(vs));
+  }
+
+  // Build contexts for every variant (cross-variant conflict universe).
+  for (const VariantSet& vs : sets)
+    for (ProcId v : vs.variants) {
+      if (budget != nullptr) budget->check("variant expansion");
+      build_variant_ctx(v);
+    }
 
   // Steps 1-6 per variant; step 7 per original procedure.
   std::unordered_map<uint32_t, VariantResult*> by_variant;

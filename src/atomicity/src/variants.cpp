@@ -45,6 +45,9 @@ class VariantGen {
     return out;
   }
 
+  /// Unspecialized whole-procedure clone, for budget fallbacks.
+  StmtId clone_whole(StmtId body) { return clone_stmt(body); }
+
  private:
   // -- cloning -------------------------------------------------------------
 
@@ -204,6 +207,7 @@ class VariantGen {
   }
 
   std::vector<Path> enumerate(StmtId id) {
+    if (opts_.budget != nullptr) opts_.budget->check("variant enumeration");
     if (!id.valid()) return {{StmtId(), {Exit::Normal, {}}}};
     const Stmt s = prog_.stmt(id);  // copy: the arena may grow below
     switch (s.kind) {
@@ -370,6 +374,20 @@ VariantSet generate_variants(Program& prog, ProcId proc,
   bool bailed = false;
   std::vector<StmtId> bodies = gen.run(prog.proc(proc).body, bailed);
   out.bailed_out = bailed;
+
+  if (opts.max_variants != 0 && bodies.size() > opts.max_variants) {
+    // Over budget: fall back to a single unspecialized clone, like the
+    // max_paths bail above. The clone over-approximates every variant, so
+    // other procedures still see a sound conflict universe.
+    out.budget_tripped = true;
+    diags.warning(prog.proc(proc).loc,
+                  "procedure has " + std::to_string(bodies.size()) +
+                      " exceptional variants, exceeding the budget of " +
+                      std::to_string(opts.max_variants) +
+                      "; falling back to an unspecialized clone");
+    bodies.clear();
+    bodies.push_back(gen.clone_whole(prog.proc(proc).body));
+  }
 
   const std::string base(prog.syms().name(prog.proc(proc).name));
   for (size_t i = 0; i < bodies.size(); ++i) {

@@ -37,15 +37,23 @@ class ResultCache {
   size_t size() const;
 
   /// Persistence for warm starts across processes (`synat batch
-  /// --cache-file`). The format is a versioned binary snapshot; a missing
-  /// or malformed file loads as an empty cache (load returns false), never
-  /// an error — the cache is an accelerator, not a source of truth.
+  /// --cache-file`). The format is a versioned binary snapshot with a
+  /// CRC32 checksum per entry. Corruption is never an error — the cache is
+  /// an accelerator, not a source of truth:
+  ///  - a missing file or an unreadable header loads as an empty cache
+  ///    (load returns false);
+  ///  - a version/magic mismatch rejects the whole snapshot (cold start);
+  ///  - an entry whose checksum or encoding does not verify is skipped,
+  ///    keeping every other entry (truncation keeps the intact prefix).
+  /// Every rejected snapshot or entry increments rejected().
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
   /// Lifetime counters (not reset by clear()).
   size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Snapshots or snapshot entries rejected as corrupt/stale during load().
+  size_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
 
  private:
   static constexpr size_t kShards = 16;
@@ -58,6 +66,7 @@ class ResultCache {
   Shard shards_[kShards];
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
+  std::atomic<size_t> rejected_{0};
 };
 
 }  // namespace synat::driver

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "synat/driver/cache.h"
 #include "synat/driver/report.h"
 #include "synat/driver/thread_pool.h"
+#include "synat/driver/watchdog.h"
 
 namespace synat::driver {
 
@@ -31,6 +33,10 @@ struct ProgramInput {
   std::string name;    ///< display name (file path or corpus:<name>)
   std::string source;  ///< SYNL source text
   atomicity::InferOptions opts;
+  /// When non-empty, the input could not be read; the driver reports the
+  /// program as ProgramStatus::LoadError (with this message) without
+  /// scheduling any work, and the rest of the batch proceeds.
+  std::string load_error;
 };
 
 enum class Granularity : uint8_t {
@@ -39,13 +45,22 @@ enum class Granularity : uint8_t {
 };
 
 struct DriverOptions {
-  /// Worker threads; 0 or 1 runs inline on the calling thread.
+  /// Worker threads; 1 runs inline on the calling thread, 0 uses one
+  /// worker per hardware thread.
   unsigned jobs = 1;
   /// Memoize per-procedure reports in `cache` (or an internal cache).
   bool use_cache = false;
   Granularity granularity = Granularity::Procedure;
   /// Record per-stage wall times (adds clock calls on the hot path).
   bool collect_timings = false;
+  /// Wall-clock deadline per analysis task in milliseconds; 0 disables it.
+  /// A task over deadline is reported as degraded ("deadline"), the batch
+  /// proceeds. Deadline trips depend on machine speed, so results are only
+  /// byte-deterministic when no task trips (or the deadline is 0).
+  uint64_t deadline_ms = 0;
+  /// Escalate instead of degrading: recovered parse errors fail the
+  /// program (ParseError) and budget/deadline trips are internal errors.
+  bool strict = false;
 };
 
 /// Fingerprint of the analysis options that affect results; part of every
@@ -78,6 +93,8 @@ class BatchDriver {
   DriverOptions opts_;
   ResultCache* cache_;
   ResultCache owned_cache_;
+  /// Created lazily by run() when deadline_ms > 0.
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace synat::driver

@@ -49,6 +49,13 @@ struct ProcReport {
   bool bailed_out = false;
   uint64_t key = 0;        ///< content-address this report is cached under
   std::vector<VariantReport> variants;
+
+  /// Graceful degradation (DESIGN.md §3c): the analysis of this procedure
+  /// was cut short (parse failure, deadline, variant budget) and
+  /// `atomicity` is "unknown". Degraded reports are never cached.
+  bool degraded = false;
+  std::string degrade_kind;    ///< "parse" "deadline" "max-variants"
+  std::string degrade_reason;  ///< human-readable detail
 };
 
 struct DiagReport {
@@ -58,8 +65,11 @@ struct DiagReport {
 };
 
 enum class ProgramStatus : uint8_t {
-  Ok,             ///< parsed and analyzed
+  // Order matters: ReportSink::fail_program keeps the numerically largest
+  // (worst) status when a program fails more than once.
+  Ok,             ///< parsed and analyzed (possibly with degraded procs)
   ParseError,     ///< front-end rejected the source
+  LoadError,      ///< the input could not be read at all
   InternalError,  ///< an analysis stage threw (a synat bug)
 };
 
@@ -98,9 +108,12 @@ struct Metrics {
   size_t procedures = 0;
   size_t variants = 0;
   size_t parse_errors = 0;
+  size_t load_errors = 0;
   size_t internal_errors = 0;
+  size_t degraded = 0;        ///< procedures reported with ProcReport::degraded
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  size_t cache_rejected = 0;  ///< corrupt/stale snapshot entries skipped
   size_t jobs = 0;
   LatencyHistogram stage[static_cast<size_t>(Stage::COUNT)];
 };
@@ -110,8 +123,8 @@ struct BatchReport {
   Metrics metrics;
 
   size_t procs_not_atomic() const;
-  /// Driver exit-code convention: 0 ok, 1 some procedure not atomic,
-  /// 3 parse errors, 4 internal errors (the worst wins).
+  /// Driver exit-code convention: 0 ok, 1 some procedure not atomic or
+  /// degraded, 3 parse/load errors, 4 internal errors (the worst wins).
   int exit_code() const;
 };
 
@@ -135,15 +148,19 @@ class ReportSink {
   /// Declares program `i`'s identity and procedure count (parse stage).
   void open_program(size_t i, std::string name, std::string fingerprint,
                     size_t num_procs);
-  /// Publishes a failed program (parse or internal error).
+  /// Publishes a failed program (parse, load, or internal error).
   void fail_program(size_t i, std::string name, ProgramStatus status,
                     std::vector<DiagReport> diags);
+  /// Appends diagnostics to program `i` without failing it (used for the
+  /// contained errors of a recovered program whose status stays Ok).
+  void add_diagnostics(size_t i, std::vector<DiagReport> diags);
   /// Publishes procedure `p` of program `i` (analysis stage).
   void set_proc(size_t i, size_t p, std::shared_ptr<const ProcReport> report);
   void add_stage_time(Stage s, uint64_t ns);
 
   /// Assembles the final report. Call after the pool is idle.
-  BatchReport finish(size_t cache_hits, size_t cache_misses, size_t jobs);
+  BatchReport finish(size_t cache_hits, size_t cache_misses,
+                     size_t cache_rejected, size_t jobs);
 
  private:
   std::mutex mu_;

@@ -1,0 +1,60 @@
+// Deadline enforcement for analysis tasks (DESIGN.md §3c).
+//
+// One background thread sleeps until the earliest registered deadline and
+// trips the corresponding ExecBudget's cancellation flag. The watchdog
+// never interrupts anything itself: the analysis thread notices the flag at
+// its next cooperative check and unwinds with BudgetExceeded. This keeps
+// the analysis hot loops free of clock reads (the budget's amortized
+// self-check is only a fallback for embedders with no watchdog).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "synat/support/budget.h"
+
+namespace synat::driver {
+
+class Watchdog {
+ public:
+  Watchdog();
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// RAII registration of one task's budget. Arms `budget`'s deadline
+  /// `delay_ms` from construction and registers it with the watchdog; the
+  /// destructor deregisters it (the budget must outlive the Scope). A null
+  /// watchdog or a zero delay is a no-op.
+  class Scope {
+   public:
+    Scope(Watchdog* dog, ExecBudget& budget, uint64_t delay_ms);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Watchdog* dog_ = nullptr;
+    ExecBudget* budget_ = nullptr;
+  };
+
+ private:
+  struct Entry {
+    ExecBudget* budget;
+    uint64_t deadline_ns;
+  };
+
+  void add(ExecBudget* budget, uint64_t deadline_ns);
+  void remove(ExecBudget* budget);
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace synat::driver

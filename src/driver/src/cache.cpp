@@ -3,21 +3,44 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
+
+#include "synat/support/hash.h"
 
 namespace synat::driver {
 
 namespace {
 
-// Snapshot format: magic, version, entry count, then (key, ProcReport)
-// pairs with length-prefixed strings. Entries are written in key order so
-// snapshots of equal caches are byte-identical.
-constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '1'};
+// Snapshot format v2: magic, format version, entry count, then per entry
+// [key][payload length][payload bytes][CRC32 of payload], where the payload
+// is one length-prefix-encoded ProcReport. The explicit framing plus
+// per-entry checksum lets load() skip a corrupted entry (bit flips) and
+// salvage the intact prefix of a truncated file, instead of dropping the
+// whole snapshot. Entries are written in key order so snapshots of equal
+// caches are byte-identical.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '2'};
+constexpr uint64_t kFormatVersion = 2;
 
 void put_u64(std::ostream& out, uint64_t v) {
   char buf[8];
   for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (i * 8)) & 0xff);
   out.write(buf, 8);
+}
+
+void put_u32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (i * 8)) & 0xff);
+  out.write(buf, 4);
+}
+
+bool get_u32(std::istream& in, uint32_t& v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i])) << (i * 8);
+  return true;
 }
 
 void put_str(std::ostream& out, const std::string& s) {
@@ -151,34 +174,66 @@ bool ResultCache::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out.write(kMagic, sizeof kMagic);
+  put_u64(out, kFormatVersion);
   put_u64(out, sorted.size());
   for (const auto& [key, report] : sorted) {
+    std::ostringstream payload;
+    put_report(payload, *report);
+    std::string bytes = std::move(payload).str();
     put_u64(out, key);
-    put_report(out, *report);
+    put_u64(out, bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    put_u32(out, crc32(bytes));
   }
   return static_cast<bool>(out);
 }
 
 bool ResultCache::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) return false;  // no snapshot: a plain cold start, not corruption
+  auto reject = [this] { rejected_.fetch_add(1, std::memory_order_relaxed); };
   char magic[sizeof kMagic];
   if (!in.read(magic, sizeof magic) ||
       std::string_view(magic, sizeof magic) !=
-          std::string_view(kMagic, sizeof kMagic))
+          std::string_view(kMagic, sizeof kMagic)) {
+    reject();  // garbage or a pre-v2 snapshot: cold start
     return false;
-  uint64_t count = 0;
-  if (!get_u64(in, count) || count > (uint64_t{1} << 32)) return false;
-  std::vector<std::pair<uint64_t, std::shared_ptr<const ProcReport>>> loaded;
-  loaded.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t key = 0;
-    auto report = std::make_shared<ProcReport>();
-    if (!get_u64(in, key) || !get_report(in, *report)) return false;
-    loaded.emplace_back(key, std::move(report));
   }
-  // Only publish once the whole file decoded cleanly.
-  for (auto& [key, report] : loaded) insert(key, std::move(report));
+  uint64_t version = 0;
+  if (!get_u64(in, version) || version != kFormatVersion) {
+    reject();
+    return false;
+  }
+  uint64_t count = 0;
+  if (!get_u64(in, count) || count > (uint64_t{1} << 32)) {
+    reject();
+    return false;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0, len = 0;
+    if (!get_u64(in, key) || !get_u64(in, len) || len > (uint64_t{1} << 32)) {
+      reject();  // truncated tail: keep what already decoded
+      break;
+    }
+    std::string bytes(len, '\0');
+    uint32_t crc = 0;
+    if (!in.read(bytes.data(), static_cast<std::streamsize>(len)) ||
+        !get_u32(in, crc)) {
+      reject();
+      break;
+    }
+    if (crc32(bytes) != crc) {
+      reject();  // bit flip inside this entry; framing is intact, carry on
+      continue;
+    }
+    std::istringstream payload(bytes);
+    auto report = std::make_shared<ProcReport>();
+    if (!get_report(payload, *report)) {
+      reject();  // checksum matched but the encoding didn't: skip it
+      continue;
+    }
+    insert(key, std::move(report));
+  }
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "synat/atomicity/blocks.h"
 #include "synat/support/hash.h"
@@ -113,15 +114,37 @@ std::shared_ptr<const ProcReport> make_proc_report(
   return report;
 }
 
+/// A placeholder verdict for a procedure the pipeline could not finish
+/// (parse failure, deadline, variant budget). Never cached: the next run
+/// gets a fresh chance at a real result.
+std::shared_ptr<const ProcReport> make_degraded_report(std::string name,
+                                                       uint32_t line,
+                                                       std::string kind,
+                                                       std::string reason) {
+  auto report = std::make_shared<ProcReport>();
+  report->name = std::move(name);
+  report->line = line;
+  report->atomic = false;
+  report->atomicity = "unknown";
+  report->degraded = true;
+  report->degrade_kind = std::move(kind);
+  report->degrade_reason = std::move(reason);
+  return report;
+}
+
 }  // namespace
 
 uint64_t options_fingerprint(const atomicity::InferOptions& opts) {
   // only_procs is deliberately excluded: it restricts which procedures are
   // classified, never what any classification is, and the driver sets it
   // per task.
+  // variant_opts.budget is likewise excluded: it only decides whether an
+  // analysis finishes, never what a finished analysis computes (and
+  // degraded results are never cached anyway).
   Hasher h;
   h.mix(static_cast<uint64_t>(opts.variant_opts.disable));
   h.mix(static_cast<uint64_t>(opts.variant_opts.max_paths));
+  h.mix(static_cast<uint64_t>(opts.variant_opts.max_variants));
   h.mix(static_cast<uint64_t>(opts.use_window_rule));
   h.mix(static_cast<uint64_t>(opts.use_local_conditions));
   std::vector<std::string> counted = opts.counted_cas;
@@ -139,11 +162,22 @@ BatchDriver::~BatchDriver() = default;
 void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
                                    ReportSink& sink, ThreadPool& pool) {
   DiagEngine diags;
-  synl::Program prog = [&] {
+  synl::FrontEnd fe = [&] {
     StageTimer t(sink, Stage::Parse, opts_.collect_timings);
-    return synl::parse_and_check(input.source, diags);
+    return synl::parse_and_recover(input.source, diags);
   }();
-  if (diags.has_errors()) {
+  synl::Program& prog = fe.prog;
+  size_t num_procs = prog.num_procs();
+  size_t healthy = 0;
+  for (size_t p = 0; p < num_procs; ++p)
+    if (!prog.proc(synl::ProcId(static_cast<uint32_t>(p))).broken) ++healthy;
+  // A program with errors is recovered — analyzed with its broken
+  // procedures degraded — only when every error was contained to some
+  // procedure and at least one procedure survived. --strict disables
+  // recovery entirely.
+  bool recovered =
+      diags.has_errors() && fe.contained && healthy > 0 && !opts_.strict;
+  if (diags.has_errors() && !recovered) {
     sink.fail_program(index, input.name, ProgramStatus::ParseError,
                       diag_reports(diags));
     return;
@@ -152,8 +186,16 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
                             .mix(synl::print_program(prog))
                             .mix(options_fingerprint(input.opts))
                             .value();
-  size_t num_procs = prog.num_procs();
   sink.open_program(index, input.name, hex64(program_fp), num_procs);
+  if (recovered) sink.add_diagnostics(index, diag_reports(diags));
+  auto degrade_parse = [&prog, &sink, index](size_t p) {
+    synl::ProcId pid(static_cast<uint32_t>(p));
+    sink.set_proc(index, p,
+                  make_degraded_report(
+                      std::string(prog.syms().name(prog.proc(pid).name)),
+                      prog.proc(pid).loc.line, "parse",
+                      "procedure body failed to parse"));
+  };
 
   // Program granularity (and the single-procedure fast path): analyze in
   // this task, reusing the Program we just parsed.
@@ -163,6 +205,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
     std::vector<std::shared_ptr<const ProcReport>> hits(num_procs);
     for (size_t p = 0; p < num_procs; ++p) {
       synl::ProcId pid(static_cast<uint32_t>(p));
+      if (prog.proc(pid).broken) continue;  // degraded; never keyed or cached
       keys[p] = Hasher()
                     .mix(program_fp)
                     .mix(prog.syms().name(prog.proc(pid).name))
@@ -173,17 +216,53 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       }
     }
     if (opts_.use_cache && all_hit) {
-      for (size_t p = 0; p < num_procs; ++p) sink.set_proc(index, p, hits[p]);
+      for (size_t p = 0; p < num_procs; ++p) {
+        if (prog.proc(synl::ProcId(static_cast<uint32_t>(p))).broken)
+          degrade_parse(p);
+        else
+          sink.set_proc(index, p, hits[p]);
+      }
       return;
     }
-    atomicity::AtomicityResult result = [&] {
-      StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
-      return atomicity::infer_atomicity(prog, diags, input.opts);
-    }();
+    ExecBudget budget;
+    Watchdog::Scope scope(watchdog_.get(), budget, opts_.deadline_ms);
+    atomicity::InferOptions iopts = input.opts;
+    iopts.variant_opts.budget = &budget;
+    atomicity::AtomicityResult result;
+    try {
+      result = [&] {
+        StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
+        return atomicity::infer_atomicity(prog, diags, iopts);
+      }();
+    } catch (const BudgetExceeded& e) {
+      if (opts_.strict) {
+        sink.fail_program(index, input.name, ProgramStatus::InternalError,
+                          {{"error", 0, 0, e.what()}});
+        return;
+      }
+      // One budget covers the whole program at this granularity, so every
+      // surviving procedure degrades together.
+      for (size_t p = 0; p < num_procs; ++p) {
+        synl::ProcId pid(static_cast<uint32_t>(p));
+        if (prog.proc(pid).broken) {
+          degrade_parse(p);
+          continue;
+        }
+        sink.set_proc(index, p,
+                      make_degraded_report(
+                          std::string(prog.syms().name(prog.proc(pid).name)),
+                          prog.proc(pid).loc.line, e.reason(), e.what()));
+      }
+      return;
+    }
     StageTimer tr(sink, Stage::Report, opts_.collect_timings);
     for (size_t p = 0; p < num_procs; ++p) {
-      const atomicity::ProcResult* pr =
-          result.result_for(synl::ProcId(static_cast<uint32_t>(p)));
+      synl::ProcId pid(static_cast<uint32_t>(p));
+      if (prog.proc(pid).broken) {
+        degrade_parse(p);
+        continue;
+      }
+      const atomicity::ProcResult* pr = result.result_for(pid);
       SYNAT_ASSERT(pr != nullptr, "missing procedure result");
       std::shared_ptr<const ProcReport> report =
           make_proc_report(prog, *pr, keys[p]);
@@ -198,16 +277,24 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
   // classifies only its target; the conflict universe is still whole-
   // program, so the result equals the whole-program run.
   for (size_t p = 0; p < num_procs; ++p) {
+    if (prog.proc(synl::ProcId(static_cast<uint32_t>(p))).broken) {
+      degrade_parse(p);  // no task: there is nothing to analyze
+      continue;
+    }
     pool.submit([this, &input, index, p, program_fp, &sink] {
+      std::string name;  // filled before analysis so a budget trip can
+      uint32_t line = 0;  // still name its victim
       try {
         DiagEngine d;
-        synl::Program prog = [&] {
+        synl::FrontEnd fe = [&] {
           StageTimer t(sink, Stage::Parse, opts_.collect_timings);
-          return synl::parse_and_check(input.source, d);
+          return synl::parse_and_recover(input.source, d);
         }();
-        SYNAT_ASSERT(!d.has_errors(), "reparse of a checked program failed");
+        SYNAT_ASSERT(fe.contained, "reparse of a recovered program failed");
+        synl::Program& prog = fe.prog;
         synl::ProcId pid(static_cast<uint32_t>(p));
-        std::string name(prog.syms().name(prog.proc(pid).name));
+        name = std::string(prog.syms().name(prog.proc(pid).name));
+        line = prog.proc(pid).loc.line;
         uint64_t key = Hasher().mix(program_fp).mix(name).value();
         if (opts_.use_cache) {
           if (std::shared_ptr<const ProcReport> hit = cache_->lookup(key)) {
@@ -217,6 +304,9 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
         }
         atomicity::InferOptions opts = input.opts;
         opts.only_procs = {name};
+        ExecBudget budget;
+        Watchdog::Scope scope(watchdog_.get(), budget, opts_.deadline_ms);
+        opts.variant_opts.budget = &budget;
         atomicity::AtomicityResult result = [&] {
           StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
           return atomicity::infer_atomicity(prog, d, opts);
@@ -230,6 +320,15 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
         }
         if (opts_.use_cache) report = cache_->insert(key, report);
         sink.set_proc(index, p, std::move(report));
+      } catch (const BudgetExceeded& e) {
+        if (opts_.strict) {
+          sink.fail_program(index, input.name, ProgramStatus::InternalError,
+                            {{"error", line, 0, e.what()}});
+        } else {
+          sink.set_proc(
+              index, p,
+              make_degraded_report(name, line, e.reason(), e.what()));
+        }
       } catch (const std::exception& e) {
         sink.fail_program(index, input.name, ProgramStatus::InternalError,
                           {{"error", 0, 0, e.what()}});
@@ -239,10 +338,20 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
 }
 
 BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
-  ThreadPool pool(opts_.jobs <= 1 ? 0 : opts_.jobs);
+  unsigned jobs = opts_.jobs == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : opts_.jobs;
+  if (opts_.deadline_ms > 0 && watchdog_ == nullptr)
+    watchdog_ = std::make_unique<Watchdog>();
+  ThreadPool pool(jobs <= 1 ? 0 : jobs);
   ReportSink sink(inputs.size());
   size_t hits0 = cache_->hits(), misses0 = cache_->misses();
   for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].load_error.empty()) {
+      sink.fail_program(i, inputs[i].name, ProgramStatus::LoadError,
+                        {{"error", 0, 0, inputs[i].load_error}});
+      continue;
+    }
     pool.submit([this, &inputs, i, &sink, &pool] {
       try {
         run_program_task(inputs[i], i, sink, pool);
@@ -253,8 +362,10 @@ BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
     });
   }
   pool.wait_idle();
+  // rejected() is a lifetime counter and load() runs before run(), so the
+  // absolute value (not a delta) is what this batch observed.
   return sink.finish(cache_->hits() - hits0, cache_->misses() - misses0,
-                     opts_.jobs == 0 ? 1 : opts_.jobs);
+                     cache_->rejected(), jobs);
 }
 
 }  // namespace synat::driver

@@ -11,6 +11,7 @@ std::string_view to_string(ProgramStatus s) {
   switch (s) {
     case ProgramStatus::Ok: return "ok";
     case ProgramStatus::ParseError: return "parse_error";
+    case ProgramStatus::LoadError: return "load_error";
     case ProgramStatus::InternalError: return "internal_error";
   }
   return "?";
@@ -57,8 +58,8 @@ size_t BatchReport::procs_not_atomic() const {
 
 int BatchReport::exit_code() const {
   if (metrics.internal_errors > 0) return 4;
-  if (metrics.parse_errors > 0) return 3;
-  if (procs_not_atomic() > 0) return 1;
+  if (metrics.parse_errors > 0 || metrics.load_errors > 0) return 3;
+  if (procs_not_atomic() > 0 || metrics.degraded > 0) return 1;
   return 0;
 }
 
@@ -81,10 +82,16 @@ void ReportSink::fail_program(size_t i, std::string name, ProgramStatus status,
   std::lock_guard<std::mutex> lock(mu_);
   ProgramReport& pr = programs_.at(i);
   if (pr.name.empty()) pr.name = std::move(name);
-  // The worst status wins (InternalError > ParseError > Ok); a program can
-  // fail once per procedure task.
+  // The worst status wins (InternalError > LoadError > ParseError > Ok); a
+  // program can fail once per procedure task.
   if (static_cast<uint8_t>(status) > static_cast<uint8_t>(pr.status))
     pr.status = status;
+  for (DiagReport& d : diags) pr.diagnostics.push_back(std::move(d));
+}
+
+void ReportSink::add_diagnostics(size_t i, std::vector<DiagReport> diags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProgramReport& pr = programs_.at(i);
   for (DiagReport& d : diags) pr.diagnostics.push_back(std::move(d));
 }
 
@@ -100,12 +107,13 @@ void ReportSink::add_stage_time(Stage s, uint64_t ns) {
 }
 
 BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
-                               size_t jobs) {
+                               size_t cache_rejected, size_t jobs) {
   std::lock_guard<std::mutex> lock(mu_);
   BatchReport out;
   metrics_.programs = programs_.size();
   metrics_.cache_hits = cache_hits;
   metrics_.cache_misses = cache_misses;
+  metrics_.cache_rejected = cache_rejected;
   metrics_.jobs = jobs;
   for (ProgramReport& pr : programs_) {
     if (pr.status == ProgramStatus::Ok) {
@@ -120,9 +128,13 @@ BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
     }
     if (pr.status != ProgramStatus::Ok) pr.procs.clear();
     if (pr.status == ProgramStatus::ParseError) ++metrics_.parse_errors;
+    if (pr.status == ProgramStatus::LoadError) ++metrics_.load_errors;
     if (pr.status == ProgramStatus::InternalError) ++metrics_.internal_errors;
     metrics_.procedures += pr.procs.size();
-    for (const auto& p : pr.procs) metrics_.variants += p->variants.size();
+    for (const auto& p : pr.procs) {
+      metrics_.variants += p->variants.size();
+      if (p->degraded) ++metrics_.degraded;
+    }
   }
   out.programs = std::move(programs_);
   out.metrics = metrics_;
@@ -160,7 +172,9 @@ void emit_metrics(JsonWriter& w, const BatchReport& r,
   w.key("variants").value(r.metrics.variants);
   w.key("atomic_procedures").value(atomic_procs);
   w.key("non_atomic_procedures").value(r.metrics.procedures - atomic_procs);
+  w.key("degraded_procedures").value(r.metrics.degraded);
   w.key("parse_errors").value(r.metrics.parse_errors);
+  w.key("load_errors").value(r.metrics.load_errors);
   w.key("internal_errors").value(r.metrics.internal_errors);
   w.end_object();
   // The jobs count is deliberately not emitted: `synat batch --jobs N` is
@@ -168,6 +182,7 @@ void emit_metrics(JsonWriter& w, const BatchReport& r,
   w.key("metrics").begin_object();
   w.key("cache_hits").value(r.metrics.cache_hits);
   w.key("cache_misses").value(r.metrics.cache_misses);
+  w.key("cache_rejected").value(r.metrics.cache_rejected);
   if (opts.timings) {
     w.key("stages").begin_object();
     for (size_t s = 0; s < static_cast<size_t>(Stage::COUNT); ++s) {
@@ -201,7 +216,7 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("synat-batch-report");
-  w.key("version").value(1);
+  w.key("version").value(2);
   w.key("programs").begin_array();
   for (const ProgramReport& prog : report.programs) {
     w.begin_object();
@@ -229,6 +244,11 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
       w.key("atomicity").value(p->atomicity);
       w.key("no_variants").value(p->no_variants);
       w.key("bailed_out").value(p->bailed_out);
+      if (p->degraded) {
+        w.key("degraded").value(true);
+        w.key("degrade_kind").value(p->degrade_kind);
+        w.key("degrade_reason").value(p->degrade_reason);
+      }
       w.key("cache_key").value(hex64_str(p->key));
       w.key("variants").begin_array();
       for (const VariantReport& v : p->variants) {
@@ -261,6 +281,31 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
     w.end_object();
   }
   w.end_array();
+  // Every degradation in one place, so a consumer checking "did anything
+  // fall short of a full verdict?" needs exactly one lookup. Always
+  // emitted (possibly empty) for schema stability.
+  w.key("degraded").begin_array();
+  for (const ProgramReport& prog : report.programs) {
+    for (const auto& p : prog.procs) {
+      if (!p || !p->degraded) continue;
+      w.begin_object();
+      w.key("program").value(prog.name);
+      w.key("procedure").value(p->name);
+      w.key("kind").value(p->degrade_kind);
+      w.key("reason").value(p->degrade_reason);
+      w.end_object();
+    }
+  }
+  if (report.metrics.cache_rejected > 0) {
+    w.begin_object();
+    w.key("kind").value("cache");
+    w.key("reason").value(std::to_string(report.metrics.cache_rejected) +
+                          " cache snapshot entr" +
+                          (report.metrics.cache_rejected == 1 ? "y" : "ies") +
+                          " rejected (corrupt or stale); recomputed cold");
+    w.end_object();
+  }
+  w.end_array();
   emit_metrics(w, report, opts, count_atomic(report));
   w.end_object();
   std::string out = std::move(w).str();
@@ -287,11 +332,16 @@ std::string to_sarif(const BatchReport& report) {
       {"SYNAT001", "NonAtomicProcedure",
        "Procedure could not be proven atomic (Lipton reduction over the "
        "Flanagan-Qadeer calculus)."},
-      {"SYNAT002", "ParseError", "SYNL front end rejected the program."},
+      {"SYNAT002", "ParseError",
+       "SYNL front end rejected the program or the input could not be "
+       "read."},
       {"SYNAT003", "VariantBailout",
        "Exceptional-variant enumeration exceeded the path cap; the verdict "
        "is conservative."},
       {"SYNAT004", "InternalError", "The analyzer failed on this program."},
+      {"SYNAT005", "DegradedResult",
+       "Analysis of this procedure was cut short (parse failure, deadline, "
+       "or resource budget); its atomicity is unknown."},
   };
   for (const Rule& r : rules) {
     w.begin_object();
@@ -323,8 +373,7 @@ std::string to_sarif(const BatchReport& report) {
     w.end_array();
   };
   for (const ProgramReport& prog : report.programs) {
-    if (prog.status == ProgramStatus::ParseError ||
-        prog.status == ProgramStatus::InternalError) {
+    if (prog.status != ProgramStatus::Ok) {
       bool internal = prog.status == ProgramStatus::InternalError;
       w.begin_object();
       w.key("ruleId").value(internal ? "SYNAT004" : "SYNAT002");
@@ -342,6 +391,19 @@ std::string to_sarif(const BatchReport& report) {
       continue;
     }
     for (const auto& p : prog.procs) {
+      if (p->degraded) {
+        w.begin_object();
+        w.key("ruleId").value("SYNAT005");
+        w.key("level").value("warning");
+        w.key("message").begin_object();
+        w.key("text").value("procedure '" + p->name +
+                            "' has no verdict (degraded: " + p->degrade_kind +
+                            "): " + p->degrade_reason);
+        w.end_object();
+        location(prog.name, p->line);
+        w.end_object();
+        continue;  // "unknown" must not double-report as non-atomic
+      }
       if (!p->atomic) {
         w.begin_object();
         w.key("ruleId").value("SYNAT001");
@@ -395,6 +457,11 @@ std::string to_text(const BatchReport& report) {
              std::to_string(d.column) + ": " + d.message + "\n";
     }
     for (const auto& p : prog.procs) {
+      if (p->degraded) {
+        out += "  proc " + p->name + " : unknown (degraded: " +
+               p->degrade_reason + ")\n";
+        continue;
+      }
       out += "  proc " + p->name + " : ";
       out += p->atomic ? "atomic" : "NOT atomic";
       out += " (" + p->atomicity + ")";
@@ -413,14 +480,24 @@ std::string to_text(const BatchReport& report) {
          " program(s), " + std::to_string(report.metrics.procedures) +
          " procedure(s), " + std::to_string(atomic) + " atomic, " +
          std::to_string(report.metrics.procedures - atomic) + " not atomic";
+  if (report.metrics.degraded > 0)
+    out += ", " + std::to_string(report.metrics.degraded) + " degraded";
   if (report.metrics.parse_errors > 0)
     out += ", " + std::to_string(report.metrics.parse_errors) +
            " parse error(s)";
+  if (report.metrics.load_errors > 0)
+    out += ", " + std::to_string(report.metrics.load_errors) +
+           " load error(s)";
   if (report.metrics.internal_errors > 0)
     out += ", " + std::to_string(report.metrics.internal_errors) +
            " internal error(s)";
   out += "\ncache: " + std::to_string(report.metrics.cache_hits) + " hit(s), " +
-         std::to_string(report.metrics.cache_misses) + " miss(es)\n";
+         std::to_string(report.metrics.cache_misses) + " miss(es)";
+  if (report.metrics.cache_rejected > 0)
+    out += ", " + std::to_string(report.metrics.cache_rejected) +
+           " rejected snapshot entr" +
+           (report.metrics.cache_rejected == 1 ? "y" : "ies");
+  out += "\n";
   return out;
 }
 

@@ -1,0 +1,73 @@
+#include "synat/driver/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace synat::driver {
+
+Watchdog::Watchdog() : thread_([this] { loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::add(ExecBudget* budget, uint64_t deadline_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({budget, deadline_ns});
+  }
+  cv_.notify_all();  // the new deadline may be the earliest
+}
+
+void Watchdog::remove(ExecBudget* budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.budget == budget;
+                                }),
+                 entries_.end());
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (entries_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    uint64_t now = steady_now_ns();
+    uint64_t earliest = UINT64_MAX;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->deadline_ns <= now) {
+        it->budget->cancel("deadline");
+        it = entries_.erase(it);
+      } else {
+        earliest = std::min(earliest, it->deadline_ns);
+        ++it;
+      }
+    }
+    if (entries_.empty()) continue;
+    cv_.wait_for(lock, std::chrono::nanoseconds(earliest - now));
+  }
+}
+
+Watchdog::Scope::Scope(Watchdog* dog, ExecBudget& budget, uint64_t delay_ms) {
+  if (delay_ms == 0) return;
+  budget.arm_deadline_ms(delay_ms);
+  if (dog != nullptr) {
+    dog_ = dog;
+    budget_ = &budget;
+    dog->add(&budget, budget.deadline_ns());
+  }
+}
+
+Watchdog::Scope::~Scope() {
+  if (dog_ != nullptr) dog_->remove(budget_);
+}
+
+}  // namespace synat::driver

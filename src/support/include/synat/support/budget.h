@@ -1,0 +1,84 @@
+// Cooperative execution budgets for fault isolation (DESIGN.md §3c).
+//
+// Long-running analysis stages (variant expansion, mover classification)
+// poll an ExecBudget at their loop heads. A trip raises BudgetExceeded,
+// which the batch driver catches at the task boundary and converts into a
+// degraded per-procedure verdict; nothing below the driver ever reports a
+// partially computed result as complete.
+//
+// The hot-path contract: check() is a single relaxed atomic load while the
+// task is healthy. Deadlines are enforced two ways — a watchdog thread may
+// flip the cancellation flag from outside (no clock reads on the analysis
+// thread), and check() itself re-reads the clock every kSelfCheckPeriod
+// calls so a deadline still trips when no watchdog is attached (fuzz
+// replay, library embedders).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace synat {
+
+/// Thrown when a cancellation point observes a tripped budget. `reason()`
+/// is a short machine-readable slug ("deadline", "variant-budget", ...);
+/// what() carries the human-readable detail.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(std::string reason, const std::string& detail)
+      : std::runtime_error(detail), reason_(std::move(reason)) {}
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t steady_now_ns();
+
+/// Cancellation token + deadline for one analysis task. One instance per
+/// task; the analysis thread polls check(), any other thread may cancel().
+class ExecBudget {
+ public:
+  /// How many check() calls pass between self-measured clock reads.
+  static constexpr uint32_t kSelfCheckPeriod = 1024;
+
+  /// Sets an absolute deadline `delay_ms` from now; 0 disables it.
+  void arm_deadline_ms(uint64_t delay_ms) {
+    deadline_ns_ = delay_ms == 0 ? 0 : steady_now_ns() + delay_ms * 1000000ull;
+  }
+  uint64_t deadline_ns() const { return deadline_ns_; }
+
+  /// Trips the budget. Safe from any thread; first reason wins.
+  void cancel(const char* reason) {
+    const char* expected = nullptr;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Cancellation point: throws BudgetExceeded when tripped. `where` names
+  /// the polling loop for the exception detail.
+  void check(const char* where) {
+    if (cancelled_.load(std::memory_order_relaxed)) throw_tripped(where);
+    if (deadline_ns_ != 0 &&
+        tick_.fetch_add(1, std::memory_order_relaxed) % kSelfCheckPeriod == 0 &&
+        steady_now_ns() > deadline_ns_) {
+      cancel("deadline");
+      throw_tripped(where);
+    }
+  }
+
+ private:
+  [[noreturn]] void throw_tripped(const char* where) const;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<const char*> reason_{nullptr};
+  std::atomic<uint32_t> tick_{0};
+  uint64_t deadline_ns_ = 0;
+};
+
+}  // namespace synat

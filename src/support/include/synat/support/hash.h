@@ -28,6 +28,12 @@ constexpr uint64_t hash_bytes(std::string_view bytes, uint64_t h = kFnvOffset) {
   return h;
 }
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum cache
+/// snapshot entries so corruption is detected per entry, not by a crash
+/// halfway through decoding. Pass a previous value to continue a running
+/// checksum.
+uint32_t crc32(std::string_view bytes, uint32_t crc = 0);
+
 /// Accumulating hasher for composite states.
 class Hasher {
  public:

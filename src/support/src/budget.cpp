@@ -1,0 +1,21 @@
+#include "synat/support/budget.h"
+
+#include <chrono>
+
+namespace synat {
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ExecBudget::throw_tripped(const char* where) const {
+  const char* reason = reason_.load(std::memory_order_acquire);
+  if (reason == nullptr) reason = "cancelled";
+  throw BudgetExceeded(reason, std::string(reason) + " budget tripped in " +
+                                   where);
+}
+
+}  // namespace synat

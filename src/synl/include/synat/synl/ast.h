@@ -204,6 +204,11 @@ struct ProcInfo {
   /// variant specializes, and a human-readable variant tag ("Deq'2").
   ProcId variant_of;
   std::string variant_tag;
+
+  /// Set by the error-recovering front end (parse_and_recover) when this
+  /// procedure's declaration could not be processed; its body is an empty
+  /// stub and no analysis result should be reported for it.
+  bool broken = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -349,6 +354,11 @@ class Program {
   std::vector<VarId> threadlocals_;
   TypeId type_unknown_, type_int_, type_bool_, type_null_;
 };
+
+/// Marks `proc` broken and replaces its body with an empty block. The
+/// error-recovering front end calls this to contain a failure to one
+/// procedure while keeping the Program well-formed for downstream passes.
+void mark_proc_broken(Program& prog, ProcId proc);
 
 // ---------------------------------------------------------------------------
 // Traversal helpers

@@ -33,6 +33,11 @@ namespace synat::synl {
 /// unknown callees, argument-count mismatches, calls in unsupported
 /// positions, or recursion. Run after parsing and before sema;
 /// parse_and_check does this automatically.
-bool inline_calls(Program& prog, DiagEngine& diags);
+///
+/// With `contain` set (the parse_and_recover pipeline), a procedure whose
+/// rewrite reports errors — including calls into procedures already marked
+/// broken — is itself stubbed out and marked ProcInfo::broken instead of
+/// failing the whole program; the return value is then always true.
+bool inline_calls(Program& prog, DiagEngine& diags, bool contain = false);
 
 }  // namespace synat::synl

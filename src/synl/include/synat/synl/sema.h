@@ -24,6 +24,11 @@ namespace synat::synl {
 void resolve_proc(Program& prog, ProcId proc, DiagEngine& diags);
 
 /// Resolves the whole program. Returns false if errors were reported.
-bool run_sema(Program& prog, DiagEngine& diags);
+///
+/// With `contain` set (the parse_and_recover pipeline), a procedure whose
+/// resolution reports errors is stubbed out and marked ProcInfo::broken
+/// instead of failing the program; the return value is then false only for
+/// uncontainable program-level errors (duplicate procedures/globals).
+bool run_sema(Program& prog, DiagEngine& diags, bool contain = false);
 
 }  // namespace synat::synl

@@ -86,4 +86,14 @@ std::string Program::type_str(TypeId t) const {
   return "?";
 }
 
+void mark_proc_broken(Program& prog, ProcId proc) {
+  prog.proc(proc).broken = true;
+  Stmt stub;
+  stub.kind = StmtKind::Block;
+  stub.loc = prog.proc(proc).loc;
+  StmtId sid = prog.add_stmt(std::move(stub));
+  prog.proc(proc).body = sid;
+  prog.proc(proc).locals.clear();
+}
+
 }  // namespace synat::synl

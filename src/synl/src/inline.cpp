@@ -34,18 +34,24 @@ StmtId clone_stmt_deep(Program& prog, StmtId id) {
 
 class Inliner {
  public:
-  Inliner(Program& prog, DiagEngine& diags) : prog_(prog), diags_(diags) {}
+  Inliner(Program& prog, DiagEngine& diags, bool contain)
+      : prog_(prog), diags_(diags), contain_(contain) {}
 
   bool run() {
     size_t num_procs = prog_.num_procs();  // expansions add no procedures
     for (size_t i = 0; i < num_procs; ++i) {
       ProcId pid(static_cast<uint32_t>(i));
+      if (prog_.proc(pid).broken) continue;
+      size_t before = diags_.num_errors();
       std::vector<ProcId> stack{pid};
       rewrite_stmt(prog_.proc(pid).body, stack);
+      if (contain_ && diags_.num_errors() != before) mark_proc_broken(prog_, pid);
     }
     // Any surviving call is in an unsupported position.
     for (size_t i = 0; i < num_procs; ++i) {
       ProcId pid(static_cast<uint32_t>(i));
+      if (prog_.proc(pid).broken) continue;
+      size_t before = diags_.num_errors();
       for_each_expr_in_stmt(prog_, prog_.proc(pid).body, [&](ExprId e) {
         if (prog_.expr(e).kind == ExprKind::Call) {
           error(prog_.expr(e).loc,
@@ -53,8 +59,9 @@ class Inliner {
                 "entire right-hand side of an assignment/initializer");
         }
       });
+      if (contain_ && diags_.num_errors() != before) mark_proc_broken(prog_, pid);
     }
-    return ok_;
+    return contain_ || ok_;
   }
 
  private:
@@ -246,6 +253,15 @@ class Inliner {
     for (size_t i = 0; i < prog_.num_procs(); ++i) {
       ProcId pid(static_cast<uint32_t>(i));
       if (prog_.proc(pid).name == expr.name) {
+        if (prog_.proc(pid).broken) {
+          // Only reachable in contain mode; the error propagates brokenness
+          // to the caller, so no half-parsed body is ever inlined.
+          error(expr.loc, "call to procedure '" +
+                              std::string(prog_.syms().name(expr.name)) +
+                              "', which failed to parse");
+          out = ProcId();
+          return true;
+        }
         out = pid;
         return true;
       }
@@ -346,14 +362,15 @@ class Inliner {
 
   Program& prog_;
   DiagEngine& diags_;
+  bool contain_;
   int counter_ = 0;
   bool ok_ = true;
 };
 
 }  // namespace
 
-bool inline_calls(Program& prog, DiagEngine& diags) {
-  return Inliner(prog, diags).run();
+bool inline_calls(Program& prog, DiagEngine& diags, bool contain) {
+  return Inliner(prog, diags, contain).run();
 }
 
 }  // namespace synat::synl

@@ -50,7 +50,36 @@ BinOp to_binop(Tok t) {
 }  // namespace
 
 Parser::Parser(std::string_view source, DiagEngine& diags) : diags_(diags) {
+  // Lexer errors land between base_errors_ and the first procedure, so they
+  // always count as top-level (uncontainable).
+  base_errors_ = diags.num_errors();
   toks_ = Lexer::tokenize(source, diags);
+}
+
+/// RAII nesting counter for the recursive-descent entry points.
+class Parser::DepthScope {
+ public:
+  explicit DepthScope(Parser& p) : p_(p) { ++p_.depth_; }
+  ~DepthScope() { --p_.depth_; }
+  bool exceeded() const { return p_.depth_ > kMaxDepth; }
+
+ private:
+  Parser& p_;
+};
+
+void Parser::report_deep_nesting() {
+  if (depth_reported_) return;  // once per procedure is enough
+  depth_reported_ = true;
+  diags_.error(peek().loc, "nesting exceeds the parser depth limit (" +
+                               std::to_string(kMaxDepth) + ")");
+}
+
+StmtId Parser::deep_nesting_stmt() {
+  report_deep_nesting();
+  Stmt s;
+  s.kind = StmtKind::Skip;
+  s.loc = advance().loc;  // always consume: callers must make progress
+  return prog_.add_stmt(std::move(s));
 }
 
 const Token& Parser::peek(size_t ahead) const {
@@ -84,6 +113,15 @@ void Parser::sync_to_decl() {
          !check(Tok::KwGlobal) && !check(Tok::KwThreadLocal)) {
     advance();
   }
+}
+
+void Parser::sync_to_stmt() {
+  while (!check(Tok::End) && !check(Tok::Semi) && !check(Tok::RBrace) &&
+         !check(Tok::KwProc) && !check(Tok::KwClass) && !check(Tok::KwGlobal) &&
+         !check(Tok::KwThreadLocal)) {
+    advance();
+  }
+  match(Tok::Semi);
 }
 
 // ---------------------------------------------------------------------------
@@ -213,11 +251,21 @@ void Parser::parse_proc() {
     ret = parse_type();
   }
   const Token& name = expect(Tok::Ident, "procedure name");
+  if (name.kind != Tok::Ident) {
+    // No name to attach a stub procedure to; count as a top-level error.
+    sync_to_decl();
+    return;
+  }
   ProcInfo info;
   info.name = intern(name);
   info.loc = loc;
   info.ret_type = ret;
   ProcId id = prog_.add_proc(std::move(info));
+
+  // From here on every error is contained: the procedure is stubbed out and
+  // marked broken, and parsing resumes at the next declaration.
+  depth_reported_ = false;
+  size_t errors_before = diags_.num_errors();
 
   expect(Tok::LParen, "to open parameter list");
   std::vector<VarId> params;
@@ -237,6 +285,13 @@ void Parser::parse_proc() {
   expect(Tok::RParen, "to close parameter list");
   prog_.proc(id).params = std::move(params);
   prog_.proc(id).body = parse_block();
+
+  size_t grew = diags_.num_errors() - errors_before;
+  if (grew != 0) {
+    contained_errors_ += grew;
+    mark_proc_broken(prog_, id);
+    sync_to_decl();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -263,13 +318,22 @@ std::vector<StmtId> Parser::parse_stmt_list() {
       stmts.push_back(local);
       if (consumed_rest) break;  // the rest of the block was folded in
     } else {
+      size_t before = diags_.num_errors();
       stmts.push_back(parse_stmt());
+      // After a malformed statement, resynchronize at a statement boundary
+      // so one bad token does not cascade through the rest of the block.
+      if (diags_.num_errors() != before) sync_to_stmt();
     }
   }
   return stmts;
 }
 
 StmtId Parser::parse_local(bool& consumed_rest, std::vector<StmtId>* rest_sink) {
+  DepthScope depth(*this);  // the `;` form recurses via parse_stmt_list
+  if (depth.exceeded()) {
+    consumed_rest = false;
+    return deep_nesting_stmt();
+  }
   SourceLoc loc = peek().loc;
   advance();  // local
   const Token& name = expect(Tok::Ident, "local variable name");
@@ -291,15 +355,27 @@ StmtId Parser::parse_local(bool& consumed_rest, std::vector<StmtId>* rest_sink) 
   } else {
     // `local x := e;` — scope is the remainder of the enclosing block.
     expect(Tok::Semi, "after local declaration");
-    consumed_rest = true;
-    SYNAT_ASSERT(rest_sink != nullptr, "local-with-semi outside a block");
-    (void)rest_sink;
-    std::vector<StmtId> rest = parse_stmt_list();
-    Stmt body;
-    body.kind = StmtKind::Block;
-    body.loc = loc;
-    body.stmts = std::move(rest);
-    s.s1 = prog_.add_stmt(std::move(body));
+    if (rest_sink == nullptr) {
+      // Statement position (`if (c) local x := 1;`): there is no enclosing
+      // block to scope over, so this form is malformed input, not an
+      // internal invariant violation.
+      diags_.error(loc,
+                   "'local x := e;' is only allowed directly inside a block; "
+                   "use 'local x := e in stmt'");
+      consumed_rest = false;
+      Stmt body;
+      body.kind = StmtKind::Block;
+      body.loc = loc;
+      s.s1 = prog_.add_stmt(std::move(body));
+    } else {
+      consumed_rest = true;
+      std::vector<StmtId> rest = parse_stmt_list();
+      Stmt body;
+      body.kind = StmtKind::Block;
+      body.loc = loc;
+      body.stmts = std::move(rest);
+      s.s1 = prog_.add_stmt(std::move(body));
+    }
   }
   return prog_.add_stmt(std::move(s));
 }
@@ -364,6 +440,9 @@ StmtId Parser::parse_while(Symbol label) {
 }
 
 StmtId Parser::parse_stmt() {
+  DepthScope depth(*this);
+  if (depth.exceeded()) return deep_nesting_stmt();
+
   // Loop labels: `Ident : loop ...` / `Ident : while ...`.
   if (check(Tok::Ident) && peek(1).kind == Tok::Colon &&
       (peek(2).kind == Tok::KwLoop || peek(2).kind == Tok::KwWhile)) {
@@ -534,6 +613,17 @@ ExprId Parser::parse_binary(int min_prec) {
 }
 
 ExprId Parser::parse_unary() {
+  // Every expression recursion cycle (unary chains, parenthesized and call
+  // arguments via parse_primary) passes through here, so one guard bounds
+  // expression depth.
+  DepthScope depth(*this);
+  if (depth.exceeded()) {
+    report_deep_nesting();
+    Expr e;
+    e.kind = ExprKind::IntLit;
+    e.loc = advance().loc;  // consume to guarantee progress
+    return prog_.add_expr(std::move(e));
+  }
   if (check(Tok::Not) || check(Tok::Minus)) {
     UnOp op = check(Tok::Not) ? UnOp::Not : UnOp::Neg;
     SourceLoc loc = advance().loc;
@@ -703,6 +793,18 @@ Program parse_and_check(std::string_view source, DiagEngine& diags) {
   if (!diags.has_errors()) inline_calls(prog, diags);
   if (!diags.has_errors()) run_sema(prog, diags);
   return prog;
+}
+
+FrontEnd parse_and_recover(std::string_view source, DiagEngine& diags) {
+  FrontEnd fe;
+  Parser parser(source, diags);
+  fe.prog = parser.parse_program();
+  fe.contained = !parser.had_toplevel_errors();
+  if (!fe.contained) return fe;
+  if (!inline_calls(fe.prog, diags, /*contain=*/true)) fe.contained = false;
+  if (fe.contained && !run_sema(fe.prog, diags, /*contain=*/true))
+    fe.contained = false;
+  return fe;
 }
 
 }  // namespace synat::synl

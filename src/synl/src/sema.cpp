@@ -352,7 +352,8 @@ void resolve_proc(Program& prog, ProcId proc, DiagEngine& diags) {
   Resolver(prog, proc, diags).run();
 }
 
-bool run_sema(Program& prog, DiagEngine& diags) {
+bool run_sema(Program& prog, DiagEngine& diags, bool contain) {
+  size_t toplevel_before = diags.num_errors();
   // Duplicate procedure names.
   for (size_t i = 0; i < prog.num_procs(); ++i) {
     for (size_t j = i + 1; j < prog.num_procs(); ++j) {
@@ -383,10 +384,20 @@ bool run_sema(Program& prog, DiagEngine& diags) {
                       std::string(prog.syms().name(prog.var(v).name)) + "'");
   }
 
+  bool toplevel_ok = diags.num_errors() == toplevel_before;
+
   for (size_t i = 0; i < prog.num_procs(); ++i) {
-    resolve_proc(prog, ProcId(static_cast<uint32_t>(i)), diags);
+    ProcId pid(static_cast<uint32_t>(i));
+    size_t before = diags.num_errors();
+    resolve_proc(prog, pid, diags);
+    if (contain && !prog.proc(pid).broken && diags.num_errors() != before) {
+      // Contain the failure: stub the body and re-resolve so downstream
+      // passes see a well-formed (empty) procedure.
+      mark_proc_broken(prog, pid);
+      resolve_proc(prog, pid, diags);
+    }
   }
-  return !diags.has_errors();
+  return contain ? toplevel_ok : !diags.has_errors();
 }
 
 }  // namespace synat::synl

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +101,99 @@ TEST(ResultCache, LoadOfMissingOrCorruptFileIsEmpty) {
   std::fclose(f);
   EXPECT_FALSE(cache.load(path));
   EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+// --- Snapshot resilience (DESIGN.md §3c) ----------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t read_u64(const std::string& bytes, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (i * 8);
+  return v;
+}
+
+/// Saves a three-entry snapshot (keys 1, 2, 3 in that on-disk order) and
+/// returns its bytes. Layout: 8 magic + 8 version + 8 count, then per entry
+/// 8 key + 8 len + len payload + 4 crc.
+std::string three_entry_snapshot(const std::string& path) {
+  ResultCache cache;
+  cache.insert(1, make_report("A", 1));
+  cache.insert(2, make_report("B", 2));
+  cache.insert(3, make_report("C", 3));
+  EXPECT_TRUE(cache.save(path));
+  return slurp(path);
+}
+
+TEST(ResultCache, TruncationKeepsIntactPrefix) {
+  std::string path = testing::TempDir() + "synat_cache_trunc.synatcache";
+  std::string bytes = three_entry_snapshot(path);
+  spit(path, bytes.substr(0, bytes.size() - 5));  // cut into the last entry
+
+  ResultCache loaded;
+  EXPECT_TRUE(loaded.load(path));  // header was fine
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_NE(loaded.lookup(1), nullptr);
+  EXPECT_NE(loaded.lookup(2), nullptr);
+  EXPECT_EQ(loaded.lookup(3), nullptr);
+  EXPECT_EQ(loaded.rejected(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, BitFlipSkipsOnlyThatEntry) {
+  std::string path = testing::TempDir() + "synat_cache_flip.synatcache";
+  std::string bytes = three_entry_snapshot(path);
+  // Walk the framing to the second entry and flip a byte in its payload.
+  size_t entry1 = 24;
+  size_t entry2 = entry1 + 16 + read_u64(bytes, entry1 + 8) + 4;
+  ASSERT_EQ(read_u64(bytes, entry2), 2u);
+  bytes[entry2 + 16 + 3] ^= 0x40;
+  spit(path, bytes);
+
+  ResultCache loaded;
+  EXPECT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 2u);  // 1 and 3 survive the bad middle entry
+  EXPECT_NE(loaded.lookup(1), nullptr);
+  EXPECT_EQ(loaded.lookup(2), nullptr);
+  EXPECT_NE(loaded.lookup(3), nullptr);
+  EXPECT_EQ(loaded.rejected(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, VersionBumpRejectsWholeSnapshot) {
+  std::string path = testing::TempDir() + "synat_cache_version.synatcache";
+  std::string bytes = three_entry_snapshot(path);
+  bytes[8] = static_cast<char>(bytes[8] + 1);  // format version low byte
+  spit(path, bytes);
+
+  ResultCache loaded;
+  EXPECT_FALSE(loaded.load(path));  // stale snapshot: cold start
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.rejected(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, ResavedSnapshotIsByteIdentical) {
+  std::string path = testing::TempDir() + "synat_cache_resave.synatcache";
+  std::string original = three_entry_snapshot(path);
+  ResultCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.rejected(), 0u);
+  ASSERT_TRUE(loaded.save(path));
+  EXPECT_EQ(slurp(path), original);
   std::remove(path.c_str());
 }
 

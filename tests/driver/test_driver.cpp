@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "synat/corpus/corpus.h"
 
 namespace synat::driver {
@@ -103,7 +105,7 @@ TEST(BatchDriver, OptionFingerprintSeparatesConfigurations) {
 
 TEST(BatchDriver, ParseErrorReportedPerProgram) {
   std::vector<ProgramInput> inputs;
-  inputs.push_back({"bad.synl", "proc P( {", {}});
+  inputs.push_back({"bad.synl", "proc P( {", {}, {}});
   ProgramInput good;
   good.name = "good.synl";
   good.source = std::string(corpus::get("nfq_prime").source);
@@ -173,6 +175,211 @@ TEST(BatchDriver, TimingsRenderOnlyWhenRequested) {
   ropts.timings = true;
   std::string timed = to_json(report, ropts);
   EXPECT_NE(timed.find("\"stages\""), std::string::npos);
+}
+
+// --- Failure containment (DESIGN.md §3c) ----------------------------------
+
+// One procedure fails to parse, one is fine. Recovery must keep the
+// program's status Ok, analyze Good, and degrade only Bad.
+constexpr const char* kMixedSource = R"(
+  global int X;
+  proc Bad() { X := := 1; }
+  proc Good() { X := X + 1; }
+)";
+
+// Deq of nfq_prime has two exceptional variants, so max_variants = 1 trips
+// its budget while AddNode and UpdateTail (one variant each) stay healthy.
+ProgramInput nfq_prime_input(size_t max_variants = 0) {
+  ProgramInput in;
+  in.name = "corpus:nfq_prime";
+  in.source = std::string(corpus::get("nfq_prime").source);
+  for (auto c : corpus::get("nfq_prime").counted_cas)
+    in.opts.counted_cas.emplace_back(c);
+  in.opts.variant_opts.max_variants = max_variants;
+  return in;
+}
+
+TEST(BatchDriver, RecoveredParseErrorDegradesOnlyBrokenProc) {
+  ProgramInput in;
+  in.name = "mixed.synl";
+  in.source = kMixedSource;
+  BatchDriver drv(DriverOptions{});
+  BatchReport r = drv.run({in});
+  ASSERT_EQ(r.programs.size(), 1u);
+  EXPECT_EQ(r.programs[0].status, ProgramStatus::Ok);
+  EXPECT_FALSE(r.programs[0].diagnostics.empty());  // the contained errors
+  ASSERT_EQ(r.programs[0].procs.size(), 2u);
+  const ProcReport& bad = *r.programs[0].procs[0];
+  EXPECT_EQ(bad.name, "Bad");
+  EXPECT_TRUE(bad.degraded);
+  EXPECT_EQ(bad.degrade_kind, "parse");
+  EXPECT_EQ(bad.atomicity, "unknown");
+  const ProcReport& good = *r.programs[0].procs[1];
+  EXPECT_EQ(good.name, "Good");
+  EXPECT_FALSE(good.degraded);
+  EXPECT_FALSE(good.atomicity.empty());
+  EXPECT_NE(good.atomicity, "unknown");
+  EXPECT_EQ(r.metrics.degraded, 1u);
+  EXPECT_EQ(r.metrics.parse_errors, 0u);
+  EXPECT_EQ(r.exit_code(), 1);
+}
+
+TEST(BatchDriver, RecoveryIdenticalAcrossGranularities) {
+  ProgramInput in;
+  in.name = "mixed.synl";
+  in.source = kMixedSource;
+  DriverOptions per_proc;
+  DriverOptions per_prog;
+  per_prog.granularity = Granularity::Program;
+  BatchDriver a(per_proc), b(per_prog);
+  EXPECT_EQ(to_json(a.run({in})), to_json(b.run({in})));
+}
+
+TEST(BatchDriver, VariantBudgetDegradesOnlyExplodingProc) {
+  BatchDriver drv(DriverOptions{});
+  BatchReport r = drv.run({nfq_prime_input(/*max_variants=*/1)});
+  ASSERT_EQ(r.programs.size(), 1u);
+  EXPECT_EQ(r.programs[0].status, ProgramStatus::Ok);
+  size_t degraded = 0;
+  for (const auto& p : r.programs[0].procs) {
+    if (p->name == "Deq") {
+      EXPECT_TRUE(p->degraded);
+      EXPECT_EQ(p->degrade_kind, "max-variants");
+      EXPECT_EQ(p->atomicity, "unknown");
+      ++degraded;
+    } else {
+      EXPECT_FALSE(p->degraded) << p->name;
+    }
+  }
+  EXPECT_EQ(degraded, 1u);
+  EXPECT_EQ(r.metrics.degraded, 1u);
+  EXPECT_EQ(r.exit_code(), 1);
+}
+
+TEST(BatchDriver, JobsZeroClampsToHardwareConcurrency) {
+  DriverOptions opts;
+  opts.jobs = 0;
+  BatchDriver drv(opts);
+  BatchReport r = drv.run({nfq_prime_input()});
+  EXPECT_GE(r.metrics.jobs, 1u);
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(BatchDriver, UnreadableInputIsLoadErrorAndBatchContinues) {
+  ProgramInput missing;
+  missing.name = "no/such/file.synl";
+  missing.load_error = "cannot open input 'no/such/file.synl'";
+  std::vector<ProgramInput> inputs;
+  inputs.push_back(std::move(missing));
+  inputs.push_back(nfq_prime_input());
+  BatchDriver drv(DriverOptions{});
+  BatchReport r = drv.run(inputs);
+  ASSERT_EQ(r.programs.size(), 2u);
+  EXPECT_EQ(r.programs[0].status, ProgramStatus::LoadError);
+  ASSERT_FALSE(r.programs[0].diagnostics.empty());
+  EXPECT_NE(r.programs[0].diagnostics[0].message.find("cannot open"),
+            std::string::npos);
+  EXPECT_EQ(r.programs[1].status, ProgramStatus::Ok);  // batch kept going
+  EXPECT_EQ(r.metrics.load_errors, 1u);
+  EXPECT_EQ(r.exit_code(), 3);
+}
+
+TEST(BatchDriver, StrictModeEscalatesRecoverableFailures) {
+  DriverOptions strict;
+  strict.strict = true;
+  {
+    ProgramInput in;
+    in.name = "mixed.synl";
+    in.source = kMixedSource;
+    BatchDriver drv(strict);
+    BatchReport r = drv.run({in});
+    EXPECT_EQ(r.programs[0].status, ProgramStatus::ParseError);
+    EXPECT_EQ(r.exit_code(), 3);
+  }
+  {
+    BatchDriver drv(strict);
+    BatchReport r = drv.run({nfq_prime_input(/*max_variants=*/1)});
+    EXPECT_EQ(r.programs[0].status, ProgramStatus::InternalError);
+    EXPECT_EQ(r.exit_code(), 4);
+  }
+}
+
+TEST(BatchDriver, DeadlineDegradesInsteadOfHanging) {
+  // An unreachable deadline that is already armed must not change results;
+  // jobs > 1 exercises watchdog registration from pool workers.
+  DriverOptions opts;
+  opts.deadline_ms = 600000;
+  opts.jobs = 2;
+  BatchDriver guarded(opts);
+  BatchDriver plain(DriverOptions{});
+  EXPECT_EQ(to_json(guarded.run({nfq_prime_input()})),
+            to_json(plain.run({nfq_prime_input()})));
+}
+
+// The acceptance scenario: a batch over (a) a syntactically broken file
+// with a healthy procedure, (b) a variant-budget-exceeding program, (c) a
+// healthy program served from a corrupted cache snapshot. The batch must
+// complete with exit 1, analyze the healthy program identically to a clean
+// run, and list all three degradations.
+TEST(BatchDriver, DegradedBatchAnalyzesHealthySubsetIdentically) {
+  std::string path = testing::TempDir() + "synat_degraded.synatcache";
+  std::vector<ProgramInput> inputs;
+  ProgramInput mixed;
+  mixed.name = "mixed.synl";
+  mixed.source = kMixedSource;
+  inputs.push_back(std::move(mixed));
+  inputs.push_back(nfq_prime_input(/*max_variants=*/1));  // budget buster
+  inputs.push_back(nfq_prime_input());                    // healthy
+
+  // Clean run (no cache) for the healthy-subset comparison.
+  BatchDriver clean(DriverOptions{});
+  BatchReport clean_report = clean.run(inputs);
+
+  // Build a snapshot of the healthy program's entries, then corrupt it.
+  DriverOptions cached;
+  cached.use_cache = true;
+  {
+    ResultCache warm;
+    BatchDriver drv(cached, &warm);
+    drv.run(inputs);
+    ASSERT_TRUE(warm.save(path));
+  }
+  {
+    // Flip a byte inside the first entry's payload (24-byte header, then
+    // 8 key + 8 length) so its CRC no longer verifies.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(42);
+    char c = static_cast<char>(f.get());
+    f.seekp(42);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+
+  ResultCache damaged;
+  damaged.load(path);
+  EXPECT_GT(damaged.rejected(), 0u);
+  BatchDriver drv(cached, &damaged);
+  BatchReport r = drv.run(inputs);
+  EXPECT_EQ(r.exit_code(), 1);
+  EXPECT_EQ(r.metrics.degraded, 2u);  // Bad (parse) + Deq (max-variants)
+  EXPECT_GT(r.metrics.cache_rejected, 0u);
+
+  // Every healthy procedure matches the clean run bit for bit: compare the
+  // per-program reports in isolation (the full documents legitimately
+  // differ in the metrics and degraded-cache sections).
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    BatchReport lhs, rhs;
+    lhs.programs.push_back(clean_report.programs[i]);
+    rhs.programs.push_back(r.programs[i]);
+    EXPECT_EQ(to_json(lhs), to_json(rhs)) << inputs[i].name;
+  }
+
+  // The degraded section of the JSON document names all three kinds.
+  std::string json = to_json(r);
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"max-variants\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"cache\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

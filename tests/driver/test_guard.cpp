@@ -1,0 +1,87 @@
+// Unit tests for the execution-guard substrate: ExecBudget cancellation
+// points and the Watchdog deadline thread (DESIGN.md §3c).
+#include <gtest/gtest.h>
+
+#include "synat/driver/watchdog.h"
+#include "synat/support/budget.h"
+
+namespace synat::driver {
+namespace {
+
+TEST(ExecBudget, HealthyCheckIsANoOp) {
+  ExecBudget budget;
+  for (int i = 0; i < 10000; ++i) budget.check("loop");
+  EXPECT_FALSE(budget.cancelled());
+}
+
+TEST(ExecBudget, CancelTripsNextCheck) {
+  ExecBudget budget;
+  budget.cancel("deadline");
+  EXPECT_TRUE(budget.cancelled());
+  try {
+    budget.check("mover classification");
+    FAIL() << "check() did not throw";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), "deadline");
+    EXPECT_NE(std::string(e.what()).find("mover classification"),
+              std::string::npos);
+  }
+}
+
+TEST(ExecBudget, FirstCancelReasonWins) {
+  ExecBudget budget;
+  budget.cancel("deadline");
+  budget.cancel("other");
+  try {
+    budget.check("x");
+    FAIL() << "check() did not throw";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), "deadline");
+  }
+}
+
+TEST(ExecBudget, SelfCheckedDeadlineTripsWithoutWatchdog) {
+  ExecBudget budget;
+  budget.arm_deadline_ms(1);
+  uint64_t give_up = steady_now_ns() + 5ull * 1000 * 1000 * 1000;
+  EXPECT_THROW(
+      {
+        while (steady_now_ns() < give_up) budget.check("variant expansion");
+      },
+      BudgetExceeded);
+}
+
+TEST(Watchdog, CancelsBudgetAfterDeadline) {
+  Watchdog dog;
+  ExecBudget budget;
+  Watchdog::Scope scope(&dog, budget, /*delay_ms=*/10);
+  uint64_t give_up = steady_now_ns() + 5ull * 1000 * 1000 * 1000;
+  while (!budget.cancelled() && steady_now_ns() < give_up) {
+  }
+  EXPECT_TRUE(budget.cancelled());
+}
+
+TEST(Watchdog, ZeroDelayNeverArms) {
+  Watchdog dog;
+  ExecBudget budget;
+  Watchdog::Scope scope(&dog, budget, /*delay_ms=*/0);
+  EXPECT_EQ(budget.deadline_ns(), 0u);
+  EXPECT_FALSE(budget.cancelled());
+}
+
+TEST(Watchdog, ScopeDestructorDeregisters) {
+  Watchdog dog;
+  ExecBudget budget;
+  { Watchdog::Scope scope(&dog, budget, /*delay_ms=*/60000); }
+  // The scope is gone; destroying the watchdog must not touch the budget.
+}
+
+TEST(Watchdog, NullWatchdogStillArmsSelfCheckedDeadline) {
+  ExecBudget budget;
+  Watchdog::Scope scope(nullptr, budget, /*delay_ms=*/30000);
+  EXPECT_GT(budget.deadline_ns(), 0u);
+  EXPECT_FALSE(budget.cancelled());
+}
+
+}  // namespace
+}  // namespace synat::driver

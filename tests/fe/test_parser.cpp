@@ -182,6 +182,119 @@ TEST(Parser, SynchronizedStatement) {
   EXPECT_TRUE(found);
 }
 
+// --- Error recovery (DESIGN.md §3c) ---------------------------------------
+
+TEST(Recovery, BrokenProcIsStubbedHealthySiblingSurvives) {
+  DiagEngine diags;
+  FrontEnd fe = parse_and_recover(R"(
+    global int X;
+    proc Bad() { X := := 1; }
+    proc Good() { X := X + 1; }
+  )", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(fe.contained);
+  ASSERT_EQ(fe.prog.num_procs(), 2u);
+  EXPECT_TRUE(fe.prog.proc(fe.prog.find_proc("Bad")).broken);
+  EXPECT_FALSE(fe.prog.proc(fe.prog.find_proc("Good")).broken);
+  // The healthy procedure's body is fully resolved and usable.
+  bool has_assign = false;
+  for_each_stmt(fe.prog, fe.prog.proc(fe.prog.find_proc("Good")).body,
+                [&](StmtId s) {
+                  if (fe.prog.stmt(s).kind == StmtKind::Assign)
+                    has_assign = true;
+                });
+  EXPECT_TRUE(has_assign);
+}
+
+TEST(Recovery, BrokenCalleePropagatesToCaller) {
+  DiagEngine diags;
+  FrontEnd fe = parse_and_recover(R"(
+    proc Bad() { 1 + ; }
+    proc Caller() { Bad(); }
+    proc Other() { skip; }
+  )", diags);
+  EXPECT_TRUE(fe.contained);
+  EXPECT_TRUE(fe.prog.proc(fe.prog.find_proc("Bad")).broken);
+  // A caller of a broken procedure cannot be analyzed soundly either.
+  EXPECT_TRUE(fe.prog.proc(fe.prog.find_proc("Caller")).broken);
+  EXPECT_FALSE(fe.prog.proc(fe.prog.find_proc("Other")).broken);
+}
+
+TEST(Recovery, ToplevelErrorsAreNotContained) {
+  {
+    DiagEngine diags;  // duplicate class: program-level damage
+    FrontEnd fe =
+        parse_and_recover("class A { int x; } class A { int y; }", diags);
+    EXPECT_FALSE(fe.contained);
+  }
+  {
+    DiagEngine diags;  // no procedure name to attach a stub to
+    FrontEnd fe = parse_and_recover("proc ( ) { skip; }", diags);
+    EXPECT_FALSE(fe.contained);
+  }
+  {
+    DiagEngine diags;  // duplicate procedures: program-level damage
+    FrontEnd fe =
+        parse_and_recover("proc F() { skip; } proc F() { skip; }", diags);
+    EXPECT_FALSE(fe.contained);
+  }
+}
+
+TEST(Recovery, WhollyBrokenFileContainsButLeavesNoHealthyProc) {
+  // Containment alone is not enough to analyze: the driver also requires a
+  // healthy procedure, so this file still fails with a parse error there.
+  DiagEngine diags;
+  FrontEnd fe = parse_and_recover("proc P( {", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(fe.contained);
+  ASSERT_EQ(fe.prog.num_procs(), 1u);
+  EXPECT_TRUE(fe.prog.proc(ProcId(0)).broken);
+}
+
+TEST(Recovery, DeepNestingIsReportedNotACrash) {
+  std::string deep = "proc F() { ";
+  for (int i = 0; i < 300; ++i) deep += "if (true) { ";
+  deep += "skip; ";
+  for (int i = 0; i < 300; ++i) deep += "} ";
+  deep += "} proc G() { skip; }";
+  DiagEngine diags;
+  FrontEnd fe = parse_and_recover(deep, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(fe.contained);
+  // A silently truncated AST would be unsound; the deep procedure must be
+  // marked broken while its sibling survives.
+  EXPECT_TRUE(fe.prog.proc(fe.prog.find_proc("F")).broken);
+  EXPECT_FALSE(fe.prog.proc(fe.prog.find_proc("G")).broken);
+}
+
+TEST(Recovery, DeeplyNestedExpressionIsReportedNotACrash) {
+  std::string deep = "proc F() { return " + std::string(5000, '(') + "1" +
+                     std::string(5000, ')') + "; }";
+  DiagEngine diags;
+  parse_and_recover(deep, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Recovery, LocalSemicolonOutsideBlockIsDiagnosedNotACrash) {
+  DiagEngine diags;
+  FrontEnd fe =
+      parse_and_recover("global int C; proc F() { if (C > 0) local x := 1; }",
+                        diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(fe.contained);
+  EXPECT_TRUE(fe.prog.proc(fe.prog.find_proc("F")).broken);
+}
+
+TEST(Recovery, ValidProgramIsUntouchedByRecoveryPath) {
+  DiagEngine d1, d2;
+  std::string_view src = corpus::get("nfq_prime").source;
+  Program p1 = parse_and_check(src, d1);
+  FrontEnd fe = parse_and_recover(src, d2);
+  EXPECT_FALSE(d2.has_errors());
+  EXPECT_TRUE(fe.contained);
+  EXPECT_EQ(print_program(fe.prog), print_program(p1));
+}
+
 // --- Round-trip property: print(parse(print(p))) == print(p) -------------
 
 class RoundTrip : public ::testing::TestWithParam<corpus::Entry> {};

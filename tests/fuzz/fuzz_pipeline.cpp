@@ -1,0 +1,7 @@
+// libFuzzer entry point for the full-pipeline target (SYNAT_FUZZ=ON, Clang):
+//   ./synat_fuzz_pipeline tests/fuzz/corpus
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return synat::fuzz::run_pipeline(data, size);
+}

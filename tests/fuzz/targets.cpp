@@ -1,0 +1,56 @@
+#include "targets.h"
+
+#include <string_view>
+
+#include "synat/atomicity/infer.h"
+#include "synat/support/budget.h"
+#include "synat/support/diag.h"
+#include "synat/synl/parser.h"
+#include "synat/synl/printer.h"
+
+namespace synat::fuzz {
+
+int run_parser(const uint8_t* data, size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  DiagEngine diags;
+  synl::FrontEnd fe = synl::parse_and_recover(source, diags);
+  if (diags.has_errors()) {
+    // Recovered programs still print (broken procedures are empty stubs),
+    // which exercises the printer on recovery-shaped ASTs.
+    if (fe.contained) synl::print_program(fe.prog);
+    return 0;
+  }
+  // Valid input: the printer must be a fixpoint under reparsing.
+  std::string printed = synl::print_program(fe.prog);
+  DiagEngine d2;
+  synl::Program p2 = synl::parse_and_check(printed, d2);
+  SYNAT_ASSERT(!d2.has_errors(), "printed program failed to reparse");
+  SYNAT_ASSERT(synl::print_program(p2) == printed,
+               "printer is not a reparse fixpoint");
+  return 0;
+}
+
+int run_pipeline(const uint8_t* data, size_t size) {
+  // Inference cost is superlinear in program size; cap the input so a
+  // single fuzz iteration stays fast and the budget does the rest.
+  constexpr size_t kMaxInput = 8 * 1024;
+  if (size > kMaxInput) size = kMaxInput;
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  DiagEngine diags;
+  synl::FrontEnd fe = synl::parse_and_recover(source, diags);
+  if (!fe.contained) return 0;
+  ExecBudget budget;
+  budget.arm_deadline_ms(2000);  // self-checked; no watchdog in-process
+  atomicity::InferOptions opts;
+  opts.variant_opts.max_paths = 64;
+  opts.variant_opts.max_variants = 32;
+  opts.variant_opts.budget = &budget;
+  try {
+    atomicity::infer_atomicity(fe.prog, diags, opts);
+  } catch (const BudgetExceeded&) {
+    // The sanctioned escape hatch; anything else is a real bug.
+  }
+  return 0;
+}
+
+}  // namespace synat::fuzz

@@ -1,0 +1,23 @@
+// Fuzz targets (DESIGN.md §3c): shared between the libFuzzer entry points
+// (built with -DSYNAT_FUZZ=ON under Clang) and the deterministic corpus
+// replay binary that runs under plain ctest on every build. Both targets
+// assert the pipeline's crash-freedom contract: arbitrary bytes may produce
+// diagnostics or a degraded result, never UB, an uncaught exception, or a
+// hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace synat::fuzz {
+
+/// Lexer → error-recovering parser → containment-mode inline/sema. When the
+/// input is fully valid, also checks the printer/reparse fixpoint.
+int run_parser(const uint8_t* data, size_t size);
+
+/// Full pipeline: front end plus atomicity inference under a tight resource
+/// budget (path cap, variant cap, self-checked deadline). BudgetExceeded is
+/// the one exception the pipeline is allowed to raise.
+int run_pipeline(const uint8_t* data, size_t size);
+
+}  // namespace synat::fuzz

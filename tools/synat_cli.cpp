@@ -12,14 +12,18 @@
 //
 // <prog> is a file path or `corpus:<name>` (see `synat corpus`).
 // analyze options: --no-variants --no-windows --no-conds --counted <k>
-// batch options: --all (whole corpus) --jobs N --cache --cache-file FILE
-//                --format json|sarif|text --timings --per-program -o FILE
+// batch options: --all (whole corpus) --jobs N (0 = one per hardware
+//                thread) --cache --cache-file FILE --format json|sarif|text
+//                --timings --per-program -o FILE --deadline-ms N
+//                --max-variants N --strict
 // mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
 //             --por --atomic Proc (repeatable) --arrays N --max-states N
 //
 // Exit codes (all commands): 0 success / all atomic; 1 analysis found a
-// non-atomic procedure (or mc found an error); 2 usage error; 3 the input
-// failed to load or parse; 4 internal analyzer error.
+// non-atomic procedure, a degraded (budget/deadline/recovered-parse)
+// result, or mc found an error; 2 usage error; 3 an input failed to load
+// or parse (batch still analyzes the other inputs); 4 internal analyzer
+// error.
 #include <cstdlib>
 #include <cstdio>
 #include <cstring>
@@ -126,6 +130,7 @@ int cmd_batch(int argc, char** argv) {
   std::string cache_file;
   std::vector<std::string> specs;
   bool all = false;
+  size_t max_variants = 0;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--all") {
@@ -139,6 +144,26 @@ int cmd_batch(int argc, char** argv) {
         return kExitUsage;
       }
       dopts.jobs = static_cast<unsigned>(n);
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--deadline-ms expects milliseconds, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      dopts.deadline_ms = n;
+    } else if (a == "--max-variants" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--max-variants expects a count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      max_variants = static_cast<size_t>(n);
+    } else if (a == "--strict") {
+      dopts.strict = true;
     } else if (a == "--cache") {
       dopts.use_cache = true;
     } else if (a == "--cache-file" && i + 1 < argc) {
@@ -177,7 +202,11 @@ int cmd_batch(int argc, char** argv) {
   for (const std::string& spec : specs) {
     driver::ProgramInput in;
     in.name = spec;
-    if (!load_source(spec, in.source)) return kExitParseError;
+    if (!load_source(spec, in.source)) {
+      // Keep the batch going: the driver reports this input as a load
+      // error (exit 3) and still analyzes every other input.
+      in.load_error = "cannot open input '" + spec + "'";
+    }
     in.opts = spec_options(spec);
     inputs.push_back(std::move(in));
   }
@@ -185,8 +214,23 @@ int cmd_batch(int argc, char** argv) {
     std::fprintf(stderr, "batch needs program specs or --all\n");
     return kExitUsage;
   }
+  for (driver::ProgramInput& in : inputs)
+    in.opts.variant_opts.max_variants = max_variants;
   driver::BatchDriver drv(dopts);
-  if (!cache_file.empty()) drv.cache().load(cache_file);
+  if (!cache_file.empty()) {
+    drv.cache().load(cache_file);
+    if (size_t n = drv.cache().rejected(); n > 0) {
+      std::fprintf(stderr,
+                   "warning: rejected %zu corrupt or stale cache snapshot "
+                   "entr%s in %s; recomputing cold\n",
+                   n, n == 1 ? "y" : "ies", cache_file.c_str());
+      if (dopts.strict) {
+        std::fprintf(stderr, "--strict: treating the corrupt cache snapshot "
+                             "as an error\n");
+        return kExitInternalError;
+      }
+    }
+  }
   driver::BatchReport report = drv.run(inputs);
   if (!cache_file.empty()) drv.cache().save(cache_file);
   std::string doc = format == "json"    ? driver::to_json(report, ropts)
