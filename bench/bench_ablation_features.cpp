@@ -97,6 +97,20 @@ int main() {
               "%zu / %d from cache\n", atomic, total, hits, total);
   ok &= atomic == full;
 
+  // Sandboxed cross-check: the same full analysis routed through --isolate
+  // workers (fork-per-program supervisor) must prove exactly the same
+  // procedures atomic. Overhead numbers live in BENCH_driver.json (E9).
+  driver::DriverOptions iopts = dopts;
+  iopts.isolate = true;
+  iopts.use_cache = false;
+  driver::BatchDriver idrv(iopts);
+  int itotal = 0;
+  size_t ihits = 0;
+  int iatomic = atomic_count(idrv, configs[0], &itotal, &ihits);
+  std::printf("isolated re-run of the full analysis: %d / %d atomic\n",
+              iatomic, itotal);
+  ok &= iatomic == full && itotal == total;
+
   std::printf("\nmonotonicity (no ablation proves more than the full "
               "analysis): %s\n",
               ok ? "PASS" : "FAIL");

@@ -164,6 +164,21 @@ void emit_driver_json(const char* path) {
   parallel.jobs = kJobs;
   double parallel_ms = sweep_ms(parallel, inputs, nullptr, kReps);
 
+  // Same sweep through sandboxed one-shot workers (fork per program,
+  // rlimits, framed pipes). The ratio against the in-process parallel run
+  // is the price of crash containment; the roadmap budget is <= 10% once
+  // per-program analysis dominates the ~0.5-1ms fork/IPC cost, so the
+  // per-program delta is also recorded as the machine-portable number
+  // (the micro-corpus programs finish in ~1ms, making this sweep the
+  // worst case for the ratio).
+  driver::DriverOptions isolated = parallel;
+  isolated.isolate = true;
+  double isolate_ms = sweep_ms(isolated, inputs, nullptr, kReps);
+  double per_program_ms =
+      inputs.empty() ? 0.0
+                     : (isolate_ms - parallel_ms) /
+                           static_cast<double>(inputs.size());
+
   driver::DriverOptions cached = serial;
   cached.use_cache = true;
   driver::ResultCache cache;
@@ -197,6 +212,9 @@ void emit_driver_json(const char* path) {
                "  \"parallel_speedup\": %.3f,\n"
                "  \"procs_per_sec_serial\": %.1f,\n"
                "  \"procs_per_sec_parallel\": %.1f,\n"
+               "  \"isolate_ms\": %.3f,\n"
+               "  \"isolate_overhead\": %.3f,\n"
+               "  \"isolate_per_program_ms\": %.3f,\n"
                "  \"cache_cold_ms\": %.3f,\n"
                "  \"cache_warm_ms\": %.3f,\n"
                "  \"cache_warm_speedup\": %.3f,\n"
@@ -207,12 +225,16 @@ void emit_driver_json(const char* path) {
                kJobs, serial_ms, parallel_ms,
                parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
                serial_ms > 0 ? procs * 1000.0 / serial_ms : 0.0,
-               parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0, cold_ms,
+               parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0,
+               isolate_ms,
+               parallel_ms > 0 ? isolate_ms / parallel_ms - 1.0 : 0.0,
+               per_program_ms, cold_ms,
                warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_rate);
   std::fclose(f);
-  std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, warm cache %.1fms, "
-              "hit rate %.0f%%)\n",
-              path, serial_ms, kJobs, parallel_ms, warm_ms, hit_rate * 100);
+  std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, --isolate %.1fms, "
+              "warm cache %.1fms, hit rate %.0f%%)\n",
+              path, serial_ms, kJobs, parallel_ms, isolate_ms, warm_ms,
+              hit_rate * 100);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+// Binary encoding of report structures, shared by the cache snapshot, the
+// write-ahead journal, and the supervisor/worker result frames. One codec
+// means one definition of "what a report is on the wire": every consumer
+// frames the payload itself (length prefix + CRC32) and treats a decode
+// failure as corruption of that one payload, never of the whole stream.
+//
+// All integers are little-endian; strings are u64-length-prefixed.
+// Collection counts are sanity-capped so a corrupt length cannot drive a
+// multi-gigabyte allocation before the checksum is even consulted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "synat/driver/report.h"
+
+namespace synat::driver::codec {
+
+void put_u32(std::string& out, uint32_t v);
+void put_u64(std::string& out, uint64_t v);
+void put_str(std::string& out, std::string_view s);
+
+/// Forward-only reader over an encoded payload. Every get_* returns false
+/// (and poisons the reader) on truncation or an over-cap count, so callers
+/// can chain reads and check once.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : in_(bytes) {}
+
+  bool get_u32(uint32_t& v);
+  bool get_u64(uint64_t& v);
+  bool get_str(std::string& s);
+  bool ok() const { return ok_; }
+  bool at_end() const { return ok_ && pos_ == in_.size(); }
+
+ private:
+  bool take(size_t n, const char*& p);
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// ProcReport payload (cache entry unit). Includes the degradation fields:
+/// the cache never stores degraded reports, but the worker and journal
+/// encodings must carry them losslessly.
+void put_proc_report(std::string& out, const ProcReport& r);
+bool get_proc_report(Reader& in, ProcReport& r);
+
+/// Whole-program payload (journal record / worker Result frame unit).
+void put_program_report(std::string& out, const ProgramReport& r);
+bool get_program_report(Reader& in, ProgramReport& r);
+
+}  // namespace synat::driver::codec

@@ -61,6 +61,26 @@ struct DriverOptions {
   /// Escalate instead of degrading: recovered parse errors fail the
   /// program (ParseError) and budget/deadline trips are internal errors.
   bool strict = false;
+  /// Run every program in a sandboxed one-shot worker process (DESIGN.md
+  /// §3d). A worker death of any kind — SIGSEGV, OOM kill, stall — is
+  /// contained as that one program's ProgramStatus::Degraded verdict.
+  /// Requires that no other threads exist when run() is called (workers
+  /// are plain forks). `jobs` caps concurrent workers; the cache is not
+  /// consulted (workers are separate address spaces).
+  bool isolate = false;
+  /// Address-space cap per worker in MiB (RLIMIT_AS); 0 = unlimited.
+  /// Only meaningful with `isolate`.
+  unsigned max_rss_mb = 0;
+  /// Re-dispatches of a program whose worker died before retrying turns
+  /// into a Degraded verdict (exponential backoff between attempts).
+  unsigned retries = 1;
+  /// Write-ahead journal file for crash-resumable batches; empty disables
+  /// journaling. Works with and without `isolate`.
+  std::string journal_path;
+  /// Replay finished programs from `journal_path` before analyzing. A
+  /// journal from a different input/option set is rejected whole (counted
+  /// in Metrics::journal_rejected); the run proceeds cold.
+  bool resume = false;
 };
 
 /// Fingerprint of the analysis options that affect results; part of every

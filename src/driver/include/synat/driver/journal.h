@@ -1,0 +1,86 @@
+// Write-ahead journal for crash-resumable batch runs (`synat batch
+// --journal FILE [--resume]`, DESIGN.md §3d).
+//
+// The journal records each program's finished report the moment it
+// completes, so a supervisor killed mid-batch (power loss, OOM killer,
+// operator Ctrl-C) can be rerun with `--resume` and only re-analyze what is
+// missing. The final report of a resumed run is byte-identical to the
+// uninterrupted run's: replay feeds the same ProgramReport bytes back
+// through the same renderers, and the replay counters are deliberately kept
+// out of every rendered document (see Metrics).
+//
+// On-disk layout, little-endian throughout:
+//   header:  [8B magic "SYNATJL1"][u64 format version][u64 batch fingerprint]
+//   records: [u64 program key][u64 payload length][payload][u32 CRC32]
+// where the payload is one codec-encoded ProgramReport. The batch
+// fingerprint hashes every program key in input order; a journal written
+// for a different input set or different analysis options therefore rejects
+// as a whole (cold start) instead of silently replaying stale verdicts.
+// Within a matching journal, corruption is contained per record: a bad CRC
+// or undecodable payload skips that record, and a truncated tail (the
+// expected shape after SIGKILL mid-append) keeps the intact prefix.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "synat/driver/report.h"
+
+namespace synat::driver {
+
+/// One replayable journal entry: the per-program key it was stored under
+/// (Hasher over name, source, and options — see BatchDriver) and the report.
+struct JournalRecord {
+  uint64_t key = 0;
+  ProgramReport report;
+};
+
+/// Everything read_journal learned about an existing journal file.
+struct JournalReplay {
+  bool existed = false;         ///< a file was present (even if rejected)
+  bool rejected_whole = false;  ///< header/version/fingerprint mismatch
+  size_t rejected_records = 0;  ///< individually skipped records
+  std::vector<JournalRecord> records;  ///< surviving records, file order
+};
+
+/// Reads and validates `path` against this run's batch fingerprint.
+/// Never fails hard: a missing file is an empty replay, a foreign or
+/// corrupt header rejects the whole journal, bad records are skipped.
+JournalReplay read_journal(const std::string& path, uint64_t batch_fingerprint);
+
+/// Append-side of the journal. open() truncates and rewrites the file —
+/// header plus the given surviving records — so every run leaves a journal
+/// whose header matches its own batch, then append() adds records as
+/// programs complete. Appends are serialized and flushed per record so the
+/// journal is as current as the last completed program when the process
+/// dies. I/O errors disable the writer (journaling is an accelerator, not
+/// a source of truth) — active() reports whether appends still reach disk.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool open(const std::string& path, uint64_t batch_fingerprint,
+            const std::vector<JournalRecord>& keep);
+  void append(uint64_t key, const ProgramReport& report);
+  void close();
+  bool active() const { return file_ != nullptr; }
+
+ private:
+  bool write_record_locked(uint64_t key, const ProgramReport& report);
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Journal admission policy: only fully-successful programs are worth
+/// replaying. Anything degraded (a crashed worker, a deadline-cut
+/// procedure) or failed is re-analyzed on resume — the retry might succeed.
+bool journal_worthy(const ProgramReport& report);
+
+}  // namespace synat::driver

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,7 @@ enum class ProgramStatus : uint8_t {
   // Order matters: ReportSink::fail_program keeps the numerically largest
   // (worst) status when a program fails more than once.
   Ok,             ///< parsed and analyzed (possibly with degraded procs)
+  Degraded,       ///< an isolated worker died (crash/OOM/stall); no verdict
   ParseError,     ///< front-end rejected the source
   LoadError,      ///< the input could not be read at all
   InternalError,  ///< an analysis stage threw (a synat bug)
@@ -111,12 +113,25 @@ struct Metrics {
   size_t load_errors = 0;
   size_t internal_errors = 0;
   size_t degraded = 0;        ///< procedures reported with ProcReport::degraded
+  size_t crashed = 0;         ///< programs whose isolated worker died
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_rejected = 0;  ///< corrupt/stale snapshot entries skipped
+  /// Journal counters are surfaced here (and on the CLI's stderr) but
+  /// deliberately kept out of every rendered document: a `--resume` run
+  /// must be byte-identical to the uninterrupted run it completes.
+  size_t journal_replayed = 0;  ///< programs served from the journal
+  size_t journal_rejected = 0;  ///< journals/records rejected as corrupt/stale
   size_t jobs = 0;
   LatencyHistogram stage[static_cast<size_t>(Stage::COUNT)];
 };
+
+/// The documented exit-code convention, as one explicit precedence order:
+/// 0 ok < 1 not-atomic/degraded < 2 usage < 3 parse/load < 4 internal.
+/// Everything that combines codes — BatchReport::exit_code() and the CLI's
+/// escalation paths — must go through these, never ad-hoc comparisons.
+int exit_code_severity(int code);
+int combine_exit_codes(int a, int b);
 
 struct BatchReport {
   std::vector<ProgramReport> programs;
@@ -124,7 +139,8 @@ struct BatchReport {
 
   size_t procs_not_atomic() const;
   /// Driver exit-code convention: 0 ok, 1 some procedure not atomic or
-  /// degraded, 3 parse/load errors, 4 internal errors (the worst wins).
+  /// degraded (including crashed workers), 3 parse/load errors, 4 internal
+  /// errors; the highest-severity code wins (combine_exit_codes).
   int exit_code() const;
 };
 
@@ -145,10 +161,17 @@ class ReportSink {
  public:
   explicit ReportSink(size_t num_programs);
 
+  /// Called once, under the sink lock, the first time program `i` becomes
+  /// complete: all of its procedure slots are filled, or it failed. The
+  /// journal hooks in here; replayed programs (set_program) never notify.
+  using CompletionFn = std::function<void(size_t, const ProgramReport&)>;
+  void set_on_complete(CompletionFn fn);
+
   /// Declares program `i`'s identity and procedure count (parse stage).
   void open_program(size_t i, std::string name, std::string fingerprint,
                     size_t num_procs);
-  /// Publishes a failed program (parse, load, or internal error).
+  /// Publishes a failed program (parse, load, internal error, or a crashed
+  /// isolated worker — ProgramStatus::Degraded).
   void fail_program(size_t i, std::string name, ProgramStatus status,
                     std::vector<DiagReport> diags);
   /// Appends diagnostics to program `i` without failing it (used for the
@@ -156,15 +179,22 @@ class ReportSink {
   void add_diagnostics(size_t i, std::vector<DiagReport> diags);
   /// Publishes procedure `p` of program `i` (analysis stage).
   void set_proc(size_t i, size_t p, std::shared_ptr<const ProcReport> report);
+  /// Publishes a whole program at once: a journal replay or a decoded
+  /// worker result. Does not fire the completion callback.
+  void set_program(size_t i, ProgramReport report);
   void add_stage_time(Stage s, uint64_t ns);
 
   /// Assembles the final report. Call after the pool is idle.
-  BatchReport finish(size_t cache_hits, size_t cache_misses,
-                     size_t cache_rejected, size_t jobs);
+  BatchReport finish(const Metrics& counters, size_t jobs);
 
  private:
+  void mark_complete_locked(size_t i);
+
   std::mutex mu_;
   std::vector<ProgramReport> programs_;
+  std::vector<size_t> procs_pending_;  ///< unfilled slots per open program
+  std::vector<bool> completed_;        ///< completion callback already fired
+  CompletionFn on_complete_;
   Metrics metrics_;
 };
 

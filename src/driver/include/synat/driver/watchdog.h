@@ -20,9 +20,16 @@ namespace synat::driver {
 class Watchdog {
  public:
   Watchdog();
+  /// Joins the background thread. Safe on every path — including stack
+  /// unwinding after run() threw mid-batch — and idempotent with stop().
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stops and joins the background thread early; any still-registered
+  /// budget is cancelled ("shutdown") so no task waits on a deadline that
+  /// can never trip. Idempotent; called by the destructor.
+  void stop() noexcept;
 
   /// RAII registration of one task's budget. Arms `budget`'s deadline
   /// `delay_ms` from construction and registers it with the watchdog; the

@@ -1,0 +1,43 @@
+// Process-isolated batch execution (DESIGN.md §3d): a single-threaded
+// supervisor event loop dispatching one analysis task per sandboxed,
+// one-shot worker process, plus the worker-side main function.
+//
+// Protocol, over two pipes per worker (frames per support/frame.h):
+//   supervisor → worker:  Request  [u64 task index][u64 attempt]
+//   worker → supervisor:  Heartbeat (empty payload, every ~50 ms)
+//                         Result   [codec-encoded ProgramReport]
+// A worker that dies before its Result — crash, OOM kill, CPU-limit kill,
+// corrupt frame, or heartbeat silence past the stall deadline — is retried
+// with exponential backoff (DriverOptions::retries), then contained as
+// ProgramStatus::Degraded ("crashed: <cause>"). The rest of the batch is
+// never affected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synat/driver/driver.h"
+#include "synat/driver/journal.h"
+#include "synat/driver/report.h"
+
+namespace synat::driver {
+
+/// Worker-side entry point, run inside the forked child. Reads one Request
+/// from `in_fd`, analyzes that input with an in-process sub-driver (jobs=1,
+/// no cache, no journal, no isolation — byte-identical results to the
+/// non-isolated path), streams heartbeats, writes the Result frame to
+/// `out_fd`, and returns the process exit code.
+int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
+                const DriverOptions& opts);
+
+/// Supervisor-side driver: runs every input whose `done` flag is false
+/// through the worker pool (at most `jobs` live workers), delivering
+/// finished reports into `sink` and appending journal-worthy ones to
+/// `journal`. `keys[i]` is input i's journal key. Must be called with no
+/// other threads alive in the process (workers are plain forks).
+void run_supervised(const std::vector<ProgramInput>& inputs,
+                    const std::vector<uint64_t>& keys,
+                    const std::vector<bool>& done, const DriverOptions& opts,
+                    unsigned jobs, ReportSink& sink, JournalWriter& journal);
+
+}  // namespace synat::driver

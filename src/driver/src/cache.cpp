@@ -3,24 +3,26 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <vector>
 
+#include "synat/driver/codec.h"
 #include "synat/support/hash.h"
 
 namespace synat::driver {
 
 namespace {
 
-// Snapshot format v2: magic, format version, entry count, then per entry
+// Snapshot format v3: magic, format version, entry count, then per entry
 // [key][payload length][payload bytes][CRC32 of payload], where the payload
-// is one length-prefix-encoded ProcReport. The explicit framing plus
-// per-entry checksum lets load() skip a corrupted entry (bit flips) and
-// salvage the intact prefix of a truncated file, instead of dropping the
-// whole snapshot. Entries are written in key order so snapshots of equal
-// caches are byte-identical.
-constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '2'};
-constexpr uint64_t kFormatVersion = 2;
+// is one codec-encoded ProcReport (shared with the journal and the worker
+// result frames — see codec.h). The explicit framing plus per-entry checksum
+// lets load() skip a corrupted entry (bit flips) and salvage the intact
+// prefix of a truncated file, instead of dropping the whole snapshot.
+// Entries are written in key order so snapshots of equal caches are
+// byte-identical. v3 bumps v2 because the shared ProcReport encoding
+// carries the degradation fields; old snapshots reject cleanly on magic.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '3'};
+constexpr uint64_t kFormatVersion = 3;
 
 void put_u64(std::ostream& out, uint64_t v) {
   char buf[8];
@@ -43,87 +45,12 @@ bool get_u32(std::istream& in, uint32_t& v) {
   return true;
 }
 
-void put_str(std::ostream& out, const std::string& s) {
-  put_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
 bool get_u64(std::istream& in, uint64_t& v) {
   char buf[8];
   if (!in.read(buf, 8)) return false;
   v = 0;
   for (int i = 0; i < 8; ++i)
     v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i])) << (i * 8);
-  return true;
-}
-
-bool get_str(std::istream& in, std::string& s) {
-  uint64_t n = 0;
-  if (!get_u64(in, n)) return false;
-  if (n > (uint64_t{1} << 32)) return false;  // corrupt length
-  s.resize(n);
-  return static_cast<bool>(in.read(s.data(), static_cast<std::streamsize>(n)));
-}
-
-void put_report(std::ostream& out, const ProcReport& r) {
-  put_str(out, r.name);
-  put_u64(out, r.line);
-  put_u64(out, static_cast<uint64_t>(r.atomic));
-  put_str(out, r.atomicity);
-  put_u64(out, static_cast<uint64_t>(r.no_variants));
-  put_u64(out, static_cast<uint64_t>(r.bailed_out));
-  put_u64(out, r.key);
-  put_u64(out, r.variants.size());
-  for (const VariantReport& v : r.variants) {
-    put_str(out, v.tag);
-    put_str(out, v.atomicity);
-    put_u64(out, v.lines.size());
-    for (const LineReport& l : v.lines) {
-      put_u64(out, l.line);
-      put_str(out, l.atom);
-      put_str(out, l.text);
-    }
-    put_u64(out, v.blocks.size());
-    for (const BlockReport& b : v.blocks) {
-      put_str(out, b.atom);
-      put_u64(out, b.units);
-    }
-  }
-}
-
-bool get_report(std::istream& in, ProcReport& r) {
-  uint64_t u = 0;
-  if (!get_str(in, r.name) || !get_u64(in, u)) return false;
-  r.line = static_cast<uint32_t>(u);
-  if (!get_u64(in, u)) return false;
-  r.atomic = u != 0;
-  if (!get_str(in, r.atomicity)) return false;
-  if (!get_u64(in, u)) return false;
-  r.no_variants = u != 0;
-  if (!get_u64(in, u)) return false;
-  r.bailed_out = u != 0;
-  if (!get_u64(in, r.key)) return false;
-  uint64_t nv = 0;
-  if (!get_u64(in, nv) || nv > (1 << 20)) return false;
-  r.variants.resize(nv);
-  for (VariantReport& v : r.variants) {
-    if (!get_str(in, v.tag) || !get_str(in, v.atomicity)) return false;
-    uint64_t nl = 0;
-    if (!get_u64(in, nl) || nl > (1 << 24)) return false;
-    v.lines.resize(nl);
-    for (LineReport& l : v.lines) {
-      if (!get_u64(in, u)) return false;
-      l.line = static_cast<uint32_t>(u);
-      if (!get_str(in, l.atom) || !get_str(in, l.text)) return false;
-    }
-    uint64_t nb = 0;
-    if (!get_u64(in, nb) || nb > (1 << 24)) return false;
-    v.blocks.resize(nb);
-    for (BlockReport& b : v.blocks) {
-      if (!get_str(in, b.atom) || !get_u64(in, u)) return false;
-      b.units = static_cast<size_t>(u);
-    }
-  }
   return true;
 }
 
@@ -177,9 +104,8 @@ bool ResultCache::save(const std::string& path) const {
   put_u64(out, kFormatVersion);
   put_u64(out, sorted.size());
   for (const auto& [key, report] : sorted) {
-    std::ostringstream payload;
-    put_report(payload, *report);
-    std::string bytes = std::move(payload).str();
+    std::string bytes;
+    codec::put_proc_report(bytes, *report);
     put_u64(out, key);
     put_u64(out, bytes.size());
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -196,7 +122,7 @@ bool ResultCache::load(const std::string& path) {
   if (!in.read(magic, sizeof magic) ||
       std::string_view(magic, sizeof magic) !=
           std::string_view(kMagic, sizeof kMagic)) {
-    reject();  // garbage or a pre-v2 snapshot: cold start
+    reject();  // garbage or a pre-v3 snapshot: cold start
     return false;
   }
   uint64_t version = 0;
@@ -226,9 +152,9 @@ bool ResultCache::load(const std::string& path) {
       reject();  // bit flip inside this entry; framing is intact, carry on
       continue;
     }
-    std::istringstream payload(bytes);
+    codec::Reader payload(bytes);
     auto report = std::make_shared<ProcReport>();
-    if (!get_report(payload, *report)) {
+    if (!codec::get_proc_report(payload, *report) || !payload.at_end()) {
       reject();  // checksum matched but the encoding didn't: skip it
       continue;
     }

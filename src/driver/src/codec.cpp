@@ -1,0 +1,191 @@
+#include "synat/driver/codec.h"
+
+#include <memory>
+
+namespace synat::driver::codec {
+
+namespace {
+
+// Sanity caps; a count above these is corruption by definition.
+constexpr uint64_t kMaxString = uint64_t{1} << 32;
+constexpr uint64_t kMaxVariants = 1 << 20;
+constexpr uint64_t kMaxItems = 1 << 24;
+
+}  // namespace
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+void put_u64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s.data(), s.size());
+}
+
+bool Reader::take(size_t n, const char*& p) {
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  p = in_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::get_u32(uint32_t& v) {
+  const char* p = nullptr;
+  if (!take(4, p)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (i * 8);
+  return true;
+}
+
+bool Reader::get_u64(uint64_t& v) {
+  const char* p = nullptr;
+  if (!take(8, p)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (i * 8);
+  return true;
+}
+
+bool Reader::get_str(std::string& s) {
+  uint64_t n = 0;
+  if (!get_u64(n) || n > kMaxString) {
+    ok_ = false;
+    return false;
+  }
+  const char* p = nullptr;
+  if (!take(static_cast<size_t>(n), p)) return false;
+  s.assign(p, static_cast<size_t>(n));
+  return true;
+}
+
+void put_proc_report(std::string& out, const ProcReport& r) {
+  put_str(out, r.name);
+  put_u64(out, r.line);
+  put_u64(out, static_cast<uint64_t>(r.atomic));
+  put_str(out, r.atomicity);
+  put_u64(out, static_cast<uint64_t>(r.no_variants));
+  put_u64(out, static_cast<uint64_t>(r.bailed_out));
+  put_u64(out, r.key);
+  put_u64(out, static_cast<uint64_t>(r.degraded));
+  put_str(out, r.degrade_kind);
+  put_str(out, r.degrade_reason);
+  put_u64(out, r.variants.size());
+  for (const VariantReport& v : r.variants) {
+    put_str(out, v.tag);
+    put_str(out, v.atomicity);
+    put_u64(out, v.lines.size());
+    for (const LineReport& l : v.lines) {
+      put_u64(out, l.line);
+      put_str(out, l.atom);
+      put_str(out, l.text);
+    }
+    put_u64(out, v.blocks.size());
+    for (const BlockReport& b : v.blocks) {
+      put_str(out, b.atom);
+      put_u64(out, b.units);
+    }
+  }
+}
+
+bool get_proc_report(Reader& in, ProcReport& r) {
+  uint64_t u = 0;
+  if (!in.get_str(r.name) || !in.get_u64(u)) return false;
+  r.line = static_cast<uint32_t>(u);
+  if (!in.get_u64(u)) return false;
+  r.atomic = u != 0;
+  if (!in.get_str(r.atomicity)) return false;
+  if (!in.get_u64(u)) return false;
+  r.no_variants = u != 0;
+  if (!in.get_u64(u)) return false;
+  r.bailed_out = u != 0;
+  if (!in.get_u64(r.key)) return false;
+  if (!in.get_u64(u)) return false;
+  r.degraded = u != 0;
+  if (!in.get_str(r.degrade_kind) || !in.get_str(r.degrade_reason))
+    return false;
+  uint64_t nv = 0;
+  if (!in.get_u64(nv) || nv > kMaxVariants) return false;
+  r.variants.resize(nv);
+  for (VariantReport& v : r.variants) {
+    if (!in.get_str(v.tag) || !in.get_str(v.atomicity)) return false;
+    uint64_t nl = 0;
+    if (!in.get_u64(nl) || nl > kMaxItems) return false;
+    v.lines.resize(nl);
+    for (LineReport& l : v.lines) {
+      if (!in.get_u64(u)) return false;
+      l.line = static_cast<uint32_t>(u);
+      if (!in.get_str(l.atom) || !in.get_str(l.text)) return false;
+    }
+    uint64_t nb = 0;
+    if (!in.get_u64(nb) || nb > kMaxItems) return false;
+    v.blocks.resize(nb);
+    for (BlockReport& b : v.blocks) {
+      if (!in.get_str(b.atom) || !in.get_u64(u)) return false;
+      b.units = static_cast<size_t>(u);
+    }
+  }
+  return true;
+}
+
+void put_program_report(std::string& out, const ProgramReport& r) {
+  put_str(out, r.name);
+  put_str(out, r.fingerprint);
+  put_u64(out, static_cast<uint64_t>(r.status));
+  put_u64(out, r.diagnostics.size());
+  for (const DiagReport& d : r.diagnostics) {
+    put_str(out, d.severity);
+    put_u64(out, d.line);
+    put_u64(out, d.column);
+    put_str(out, d.message);
+  }
+  put_u64(out, r.procs.size());
+  for (const auto& p : r.procs) {
+    put_u64(out, p != nullptr ? 1 : 0);
+    if (p != nullptr) put_proc_report(out, *p);
+  }
+}
+
+bool get_program_report(Reader& in, ProgramReport& r) {
+  uint64_t u = 0;
+  if (!in.get_str(r.name) || !in.get_str(r.fingerprint)) return false;
+  if (!in.get_u64(u) || u > static_cast<uint64_t>(ProgramStatus::InternalError))
+    return false;
+  r.status = static_cast<ProgramStatus>(u);
+  uint64_t nd = 0;
+  if (!in.get_u64(nd) || nd > kMaxItems) return false;
+  r.diagnostics.resize(nd);
+  for (DiagReport& d : r.diagnostics) {
+    if (!in.get_str(d.severity) || !in.get_u64(u)) return false;
+    d.line = static_cast<uint32_t>(u);
+    if (!in.get_u64(u)) return false;
+    d.column = static_cast<uint32_t>(u);
+    if (!in.get_str(d.message)) return false;
+  }
+  uint64_t np = 0;
+  if (!in.get_u64(np) || np > kMaxItems) return false;
+  r.procs.clear();
+  r.procs.reserve(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    if (!in.get_u64(u)) return false;
+    if (u == 0) {
+      r.procs.push_back(nullptr);
+      continue;
+    }
+    auto proc = std::make_shared<ProcReport>();
+    if (!get_proc_report(in, *proc)) return false;
+    r.procs.push_back(std::move(proc));
+  }
+  return true;
+}
+
+}  // namespace synat::driver::codec

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "synat/atomicity/blocks.h"
+#include "synat/driver/journal.h"
+#include "synat/driver/worker.h"
 #include "synat/support/hash.h"
 #include "synat/synl/parser.h"
 #include "synat/synl/printer.h"
@@ -341,31 +343,99 @@ BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
   unsigned jobs = opts_.jobs == 0
                       ? std::max(1u, std::thread::hardware_concurrency())
                       : opts_.jobs;
-  if (opts_.deadline_ms > 0 && watchdog_ == nullptr)
-    watchdog_ = std::make_unique<Watchdog>();
-  ThreadPool pool(jobs <= 1 ? 0 : jobs);
   ReportSink sink(inputs.size());
-  size_t hits0 = cache_->hits(), misses0 = cache_->misses();
+  Metrics counters;
+
+  // Per-program journal keys and the whole-batch fingerprint. The key is
+  // content-addressed (name, source, options), so a journal can only ever
+  // replay a verdict for the exact program text it was computed from.
+  std::vector<uint64_t> keys(inputs.size());
+  Hasher batch_hash;
+  batch_hash.mix(static_cast<uint64_t>(inputs.size()));
   for (size_t i = 0; i < inputs.size(); ++i) {
-    if (!inputs[i].load_error.empty()) {
-      sink.fail_program(i, inputs[i].name, ProgramStatus::LoadError,
-                        {{"error", 0, 0, inputs[i].load_error}});
-      continue;
-    }
-    pool.submit([this, &inputs, i, &sink, &pool] {
-      try {
-        run_program_task(inputs[i], i, sink, pool);
-      } catch (const std::exception& e) {
-        sink.fail_program(i, inputs[i].name, ProgramStatus::InternalError,
-                          {{"error", 0, 0, e.what()}});
-      }
-    });
+    keys[i] = Hasher()
+                  .mix(inputs[i].name)
+                  .mix(inputs[i].source)
+                  .mix(options_fingerprint(inputs[i].opts))
+                  .value();
+    batch_hash.mix(keys[i]);
   }
-  pool.wait_idle();
+  uint64_t batch_fp = batch_hash.value();
+
+  // Journal replay and (re)open. The writer outlives the pool/supervisor
+  // below: completion callbacks append to it from worker threads.
+  JournalWriter journal;
+  std::vector<bool> done(inputs.size(), false);
+  if (!opts_.journal_path.empty()) {
+    std::vector<JournalRecord> keep;
+    if (opts_.resume) {
+      JournalReplay replay = read_journal(opts_.journal_path, batch_fp);
+      if (replay.rejected_whole) ++counters.journal_rejected;
+      counters.journal_rejected += replay.rejected_records;
+      for (JournalRecord& rec : replay.records) {
+        size_t target = inputs.size();
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          if (keys[i] == rec.key && !done[i]) {
+            target = i;
+            break;
+          }
+        }
+        if (target == inputs.size() || !journal_worthy(rec.report)) {
+          ++counters.journal_rejected;  // stale or unworthy record
+          continue;
+        }
+        sink.set_program(target, rec.report);
+        done[target] = true;
+        ++counters.journal_replayed;
+        keep.push_back(std::move(rec));
+      }
+    }
+    journal.open(opts_.journal_path, batch_fp, keep);
+  }
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (done[i] || inputs[i].load_error.empty()) continue;
+    sink.fail_program(i, inputs[i].name, ProgramStatus::LoadError,
+                      {{"error", 0, 0, inputs[i].load_error}});
+    done[i] = true;
+  }
+
+  size_t hits0 = cache_->hits(), misses0 = cache_->misses();
+  if (opts_.isolate) {
+    // Supervisor path: sandboxed one-shot workers. Must fork before any
+    // thread exists, so no Watchdog/ThreadPool is created here (workers
+    // build their own).
+    run_supervised(inputs, keys, done, opts_, jobs, sink, journal);
+  } else {
+    if (opts_.deadline_ms > 0 && watchdog_ == nullptr)
+      watchdog_ = std::make_unique<Watchdog>();
+    if (journal.active()) {
+      sink.set_on_complete([&journal, &keys](size_t i,
+                                             const ProgramReport& report) {
+        if (journal_worthy(report)) journal.append(keys[i], report);
+      });
+    }
+    ThreadPool pool(jobs <= 1 ? 0 : jobs);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (done[i]) continue;
+      pool.submit([this, &inputs, i, &sink, &pool] {
+        try {
+          run_program_task(inputs[i], i, sink, pool);
+        } catch (const std::exception& e) {
+          sink.fail_program(i, inputs[i].name, ProgramStatus::InternalError,
+                            {{"error", 0, 0, e.what()}});
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  journal.close();
+  counters.cache_hits = cache_->hits() - hits0;
+  counters.cache_misses = cache_->misses() - misses0;
   // rejected() is a lifetime counter and load() runs before run(), so the
   // absolute value (not a delta) is what this batch observed.
-  return sink.finish(cache_->hits() - hits0, cache_->misses() - misses0,
-                     cache_->rejected(), jobs);
+  counters.cache_rejected = cache_->rejected();
+  return sink.finish(counters, jobs);
 }
 
 }  // namespace synat::driver

@@ -1,0 +1,147 @@
+#include "synat/driver/journal.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "synat/driver/codec.h"
+#include "synat/support/hash.h"
+
+namespace synat::driver {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'J', 'L', '1'};
+constexpr uint64_t kFormatVersion = 1;
+
+bool get_u64(std::istream& in, uint64_t& v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i])) << (i * 8);
+  return true;
+}
+
+bool get_u32(std::istream& in, uint32_t& v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i])) << (i * 8);
+  return true;
+}
+
+}  // namespace
+
+JournalReplay read_journal(const std::string& path,
+                           uint64_t batch_fingerprint) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no journal: a fresh batch, not an error
+  out.existed = true;
+  char magic[sizeof kMagic];
+  uint64_t version = 0, fp = 0;
+  if (!in.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
+      !get_u64(in, version) || version != kFormatVersion ||
+      !get_u64(in, fp) || fp != batch_fingerprint) {
+    // Foreign file, future format, or a journal for a different input
+    // set / option set: nothing in it can be trusted for this batch.
+    out.rejected_whole = true;
+    return out;
+  }
+  while (true) {
+    uint64_t key = 0, len = 0;
+    if (!get_u64(in, key)) break;  // clean end of journal
+    if (!get_u64(in, len) || len > (uint64_t{1} << 32)) {
+      ++out.rejected_records;  // truncated or absurd length: drop the tail
+      break;
+    }
+    std::string payload(len, '\0');
+    uint32_t crc = 0;
+    if (!in.read(payload.data(), static_cast<std::streamsize>(len)) ||
+        !get_u32(in, crc)) {
+      ++out.rejected_records;  // SIGKILL mid-append leaves exactly this
+      break;
+    }
+    if (crc32(payload) != crc) {
+      ++out.rejected_records;  // bit flip; framing intact, keep scanning
+      continue;
+    }
+    codec::Reader r(payload);
+    JournalRecord rec;
+    rec.key = key;
+    if (!codec::get_program_report(r, rec.report) || !r.at_end()) {
+      ++out.rejected_records;
+      continue;
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string& path, uint64_t batch_fingerprint,
+                         const std::vector<JournalRecord>& keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return false;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  std::string header(kMagic, sizeof kMagic);
+  codec::put_u64(header, kFormatVersion);
+  codec::put_u64(header, batch_fingerprint);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  // Re-persist the replayed records so the rewritten journal stands alone:
+  // a second crash during the resumed run must not lose the first run's
+  // work to the truncation above.
+  for (const JournalRecord& rec : keep)
+    if (!write_record_locked(rec.key, rec.report)) return false;
+  std::fflush(file_);
+  return file_ != nullptr;
+}
+
+bool JournalWriter::write_record_locked(uint64_t key,
+                                        const ProgramReport& report) {
+  std::string payload;
+  codec::put_program_report(payload, report);
+  std::string frame;
+  codec::put_u64(frame, key);
+  codec::put_u64(frame, payload.size());
+  frame += payload;
+  codec::put_u32(frame, crc32(payload));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    std::fclose(file_);  // disk full or worse: stop journaling, keep running
+    file_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+void JournalWriter::append(uint64_t key, const ProgramReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  write_record_locked(key, report);
+}
+
+void JournalWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool journal_worthy(const ProgramReport& report) {
+  if (report.status != ProgramStatus::Ok) return false;
+  for (const auto& p : report.procs)
+    if (p == nullptr || p->degraded) return false;
+  return true;
+}
+
+}  // namespace synat::driver

@@ -10,6 +10,7 @@ namespace synat::driver {
 std::string_view to_string(ProgramStatus s) {
   switch (s) {
     case ProgramStatus::Ok: return "ok";
+    case ProgramStatus::Degraded: return "degraded";
     case ProgramStatus::ParseError: return "parse_error";
     case ProgramStatus::LoadError: return "load_error";
     case ProgramStatus::InternalError: return "internal_error";
@@ -56,17 +57,46 @@ size_t BatchReport::procs_not_atomic() const {
   return n;
 }
 
+int exit_code_severity(int code) {
+  // Severity happens to increase with the numeric code; this function is
+  // the single place that fact is allowed to live. An unknown code ranks
+  // above everything so a bug can never be masked down to success.
+  return (code >= 0 && code <= 4) ? code : 5;
+}
+
+int combine_exit_codes(int a, int b) {
+  return exit_code_severity(a) >= exit_code_severity(b) ? a : b;
+}
+
 int BatchReport::exit_code() const {
-  if (metrics.internal_errors > 0) return 4;
-  if (metrics.parse_errors > 0 || metrics.load_errors > 0) return 3;
-  if (procs_not_atomic() > 0 || metrics.degraded > 0) return 1;
-  return 0;
+  int code = 0;
+  if (procs_not_atomic() > 0 || metrics.degraded > 0 || metrics.crashed > 0)
+    code = combine_exit_codes(code, 1);
+  if (metrics.parse_errors > 0 || metrics.load_errors > 0)
+    code = combine_exit_codes(code, 3);
+  if (metrics.internal_errors > 0) code = combine_exit_codes(code, 4);
+  return code;
 }
 
 // ---------------------------------------------------------------------------
 // ReportSink
 
-ReportSink::ReportSink(size_t num_programs) { programs_.resize(num_programs); }
+ReportSink::ReportSink(size_t num_programs) {
+  programs_.resize(num_programs);
+  procs_pending_.resize(num_programs, 0);
+  completed_.resize(num_programs, false);
+}
+
+void ReportSink::set_on_complete(CompletionFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_complete_ = std::move(fn);
+}
+
+void ReportSink::mark_complete_locked(size_t i) {
+  if (completed_.at(i)) return;
+  completed_[i] = true;
+  if (on_complete_) on_complete_(i, programs_[i]);
+}
 
 void ReportSink::open_program(size_t i, std::string name,
                               std::string fingerprint, size_t num_procs) {
@@ -75,6 +105,8 @@ void ReportSink::open_program(size_t i, std::string name,
   pr.name = std::move(name);
   pr.fingerprint = std::move(fingerprint);
   pr.procs.resize(num_procs);
+  procs_pending_.at(i) = num_procs;
+  if (num_procs == 0) mark_complete_locked(i);
 }
 
 void ReportSink::fail_program(size_t i, std::string name, ProgramStatus status,
@@ -82,11 +114,12 @@ void ReportSink::fail_program(size_t i, std::string name, ProgramStatus status,
   std::lock_guard<std::mutex> lock(mu_);
   ProgramReport& pr = programs_.at(i);
   if (pr.name.empty()) pr.name = std::move(name);
-  // The worst status wins (InternalError > LoadError > ParseError > Ok); a
-  // program can fail once per procedure task.
+  // The worst status wins (InternalError > LoadError > ParseError >
+  // Degraded > Ok); a program can fail once per procedure task.
   if (static_cast<uint8_t>(status) > static_cast<uint8_t>(pr.status))
     pr.status = status;
   for (DiagReport& d : diags) pr.diagnostics.push_back(std::move(d));
+  mark_complete_locked(i);
 }
 
 void ReportSink::add_diagnostics(size_t i, std::vector<DiagReport> diags) {
@@ -98,7 +131,20 @@ void ReportSink::add_diagnostics(size_t i, std::vector<DiagReport> diags) {
 void ReportSink::set_proc(size_t i, size_t p,
                           std::shared_ptr<const ProcReport> report) {
   std::lock_guard<std::mutex> lock(mu_);
-  programs_.at(i).procs.at(p) = std::move(report);
+  auto& slot = programs_.at(i).procs.at(p);
+  bool was_empty = slot == nullptr;
+  slot = std::move(report);
+  if (was_empty && procs_pending_.at(i) > 0 && --procs_pending_[i] == 0)
+    mark_complete_locked(i);
+}
+
+void ReportSink::set_program(size_t i, ProgramReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  programs_.at(i) = std::move(report);
+  procs_pending_.at(i) = 0;
+  // Replayed and worker-delivered programs were journaled at their original
+  // completion; firing the callback again would duplicate the record.
+  completed_.at(i) = true;
 }
 
 void ReportSink::add_stage_time(Stage s, uint64_t ns) {
@@ -106,14 +152,15 @@ void ReportSink::add_stage_time(Stage s, uint64_t ns) {
   metrics_.stage[static_cast<size_t>(s)].record(ns);
 }
 
-BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
-                               size_t cache_rejected, size_t jobs) {
+BatchReport ReportSink::finish(const Metrics& counters, size_t jobs) {
   std::lock_guard<std::mutex> lock(mu_);
   BatchReport out;
   metrics_.programs = programs_.size();
-  metrics_.cache_hits = cache_hits;
-  metrics_.cache_misses = cache_misses;
-  metrics_.cache_rejected = cache_rejected;
+  metrics_.cache_hits = counters.cache_hits;
+  metrics_.cache_misses = counters.cache_misses;
+  metrics_.cache_rejected = counters.cache_rejected;
+  metrics_.journal_replayed = counters.journal_replayed;
+  metrics_.journal_rejected = counters.journal_rejected;
   metrics_.jobs = jobs;
   for (ProgramReport& pr : programs_) {
     if (pr.status == ProgramStatus::Ok) {
@@ -127,6 +174,7 @@ BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
       }
     }
     if (pr.status != ProgramStatus::Ok) pr.procs.clear();
+    if (pr.status == ProgramStatus::Degraded) ++metrics_.crashed;
     if (pr.status == ProgramStatus::ParseError) ++metrics_.parse_errors;
     if (pr.status == ProgramStatus::LoadError) ++metrics_.load_errors;
     if (pr.status == ProgramStatus::InternalError) ++metrics_.internal_errors;
@@ -139,6 +187,8 @@ BatchReport ReportSink::finish(size_t cache_hits, size_t cache_misses,
   out.programs = std::move(programs_);
   out.metrics = metrics_;
   programs_.clear();
+  procs_pending_.clear();
+  completed_.clear();
   return out;
 }
 
@@ -173,6 +223,7 @@ void emit_metrics(JsonWriter& w, const BatchReport& r,
   w.key("atomic_procedures").value(atomic_procs);
   w.key("non_atomic_procedures").value(r.metrics.procedures - atomic_procs);
   w.key("degraded_procedures").value(r.metrics.degraded);
+  w.key("crashed_programs").value(r.metrics.crashed);
   w.key("parse_errors").value(r.metrics.parse_errors);
   w.key("load_errors").value(r.metrics.load_errors);
   w.key("internal_errors").value(r.metrics.internal_errors);
@@ -216,7 +267,7 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("synat-batch-report");
-  w.key("version").value(2);
+  w.key("version").value(3);
   w.key("programs").begin_array();
   for (const ProgramReport& prog : report.programs) {
     w.begin_object();
@@ -286,6 +337,15 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   // emitted (possibly empty) for schema stability.
   w.key("degraded").begin_array();
   for (const ProgramReport& prog : report.programs) {
+    if (prog.status == ProgramStatus::Degraded) {
+      w.begin_object();
+      w.key("program").value(prog.name);
+      w.key("kind").value("crash");
+      w.key("reason").value(prog.diagnostics.empty()
+                                ? std::string("isolated worker died")
+                                : prog.diagnostics.front().message);
+      w.end_object();
+    }
     for (const auto& p : prog.procs) {
       if (!p || !p->degraded) continue;
       w.begin_object();
@@ -342,6 +402,9 @@ std::string to_sarif(const BatchReport& report) {
       {"SYNAT005", "DegradedResult",
        "Analysis of this procedure was cut short (parse failure, deadline, "
        "or resource budget); its atomicity is unknown."},
+      {"SYNAT006", "WorkerCrashed",
+       "The isolated worker process analyzing this program died (crash, "
+       "out-of-memory kill, or stall); the program has no verdict."},
   };
   for (const Rule& r : rules) {
     w.begin_object();
@@ -374,10 +437,16 @@ std::string to_sarif(const BatchReport& report) {
   };
   for (const ProgramReport& prog : report.programs) {
     if (prog.status != ProgramStatus::Ok) {
-      bool internal = prog.status == ProgramStatus::InternalError;
+      const char* rule = "SYNAT002";
+      const char* level = "error";
+      if (prog.status == ProgramStatus::InternalError) rule = "SYNAT004";
+      if (prog.status == ProgramStatus::Degraded) {
+        rule = "SYNAT006";
+        level = "warning";  // contained fault, same severity as SYNAT005
+      }
       w.begin_object();
-      w.key("ruleId").value(internal ? "SYNAT004" : "SYNAT002");
-      w.key("level").value("error");
+      w.key("ruleId").value(rule);
+      w.key("level").value(level);
       w.key("message").begin_object();
       std::string text = prog.diagnostics.empty()
                              ? std::string(to_string(prog.status))
@@ -482,6 +551,8 @@ std::string to_text(const BatchReport& report) {
          std::to_string(report.metrics.procedures - atomic) + " not atomic";
   if (report.metrics.degraded > 0)
     out += ", " + std::to_string(report.metrics.degraded) + " degraded";
+  if (report.metrics.crashed > 0)
+    out += ", " + std::to_string(report.metrics.crashed) + " crashed";
   if (report.metrics.parse_errors > 0)
     out += ", " + std::to_string(report.metrics.parse_errors) +
            " parse error(s)";

@@ -7,13 +7,22 @@ namespace synat::driver {
 
 Watchdog::Watchdog() : thread_([this] { loop(); }) {}
 
-Watchdog::~Watchdog() {
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() noexcept {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    // Tasks still registered at shutdown (run() threw mid-batch, or an
+    // embedder stops the watchdog under load) would otherwise keep armed
+    // deadlines that can never trip; cancel them so every waiter unwinds.
+    for (Entry& e : entries_) e.budget->cancel("shutdown");
+    entries_.clear();
   }
   cv_.notify_all();
-  thread_.join();
+  // joinable() guards the second stop() (or a destructor after an explicit
+  // stop) from joining an already-joined thread, which would terminate().
+  if (thread_.joinable()) thread_.join();
 }
 
 void Watchdog::add(ExecBudget* budget, uint64_t deadline_ns) {

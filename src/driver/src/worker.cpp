@@ -1,0 +1,326 @@
+#include "synat/driver/worker.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "synat/driver/codec.h"
+#include "synat/support/fault.h"
+#include "synat/support/frame.h"
+#include "synat/support/subprocess.h"
+
+namespace synat::driver {
+
+namespace {
+
+using support::Child;
+using support::FrameReader;
+using support::FrameType;
+
+constexpr uint64_t kHeartbeatMs = 50;
+/// Grace on top of the analysis deadline before a silent worker is reaped;
+/// heartbeats come from a dedicated thread, so only a frozen or dead
+/// process goes quiet this long.
+constexpr uint64_t kStallGraceMs = 500;
+constexpr uint64_t kStallDefaultMs = 10000;  ///< when no deadline is set
+constexpr uint64_t kBackoffBaseMs = 50;      ///< retry n waits base << (n-1)
+/// RLIMIT_CPU backstop: an order of magnitude above the per-procedure
+/// deadline, for runaway spins the in-process watchdog failed to contain.
+constexpr uint64_t kCpuLimitFactor = 16;
+
+uint64_t now_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Serializes the worker's response pipe between the heartbeat thread and
+/// the result write; a torn frame would read as corruption upstream.
+struct WorkerPipe {
+  int fd;
+  std::mutex mu;
+
+  bool send(FrameType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(mu);
+    return support::write_frame(fd, type, payload);
+  }
+};
+
+}  // namespace
+
+int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
+                const DriverOptions& opts) {
+  // The Request tells this one-shot worker which captured input to run.
+  FrameReader reader;
+  std::string payload;
+  FrameType type{};
+  while (true) {
+    FrameReader::Next n = reader.next(type, payload);
+    if (n == FrameReader::Next::Frame) break;
+    if (n == FrameReader::Next::Corrupt) return 110;
+    FrameReader::Fill f = reader.fill(in_fd);
+    if (f == FrameReader::Fill::Eof || f == FrameReader::Fill::Failed)
+      return 110;
+  }
+  codec::Reader req(payload);
+  uint64_t index = 0, attempt = 0;
+  if (type != FrameType::Request || !req.get_u64(index) ||
+      !req.get_u64(attempt) || !req.at_end() || index >= inputs.size())
+    return 110;
+  const ProgramInput& input = inputs[index];
+
+  support::maybe_inject_fault(input.name, static_cast<unsigned>(attempt));
+
+  WorkerPipe pipe{out_fd, {}};
+  std::atomic<bool> stop{false};
+  std::mutex beat_mu;
+  std::condition_variable beat_cv;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(beat_mu);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!pipe.send(FrameType::Heartbeat, {})) return;  // supervisor gone
+      beat_cv.wait_for(lock, std::chrono::milliseconds(kHeartbeatMs),
+                       [&] { return stop.load(std::memory_order_relaxed); });
+    }
+  });
+
+  // The sub-driver mirrors the non-isolated per-program execution exactly:
+  // report content never depends on jobs/cache/journal, so one inline run
+  // with everything else off is byte-identical to the in-process path.
+  DriverOptions sub = opts;
+  sub.jobs = 1;
+  sub.isolate = false;
+  sub.use_cache = false;
+  sub.collect_timings = false;
+  sub.journal_path.clear();
+  sub.resume = false;
+  int rc = 0;
+  std::string result;
+  try {
+    BatchDriver driver(sub);
+    BatchReport report = driver.run({input});
+    codec::put_program_report(result, report.programs.at(0));
+  } catch (...) {
+    rc = 112;
+  }
+  {
+    std::lock_guard<std::mutex> lock(beat_mu);
+    stop.store(true, std::memory_order_relaxed);
+  }
+  beat_cv.notify_all();
+  heartbeat.join();
+  if (rc == 0 && !pipe.send(FrameType::Result, result)) rc = 111;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+
+namespace {
+
+struct Pending {
+  size_t index = 0;
+  unsigned attempt = 1;
+  uint64_t ready_ms = 0;  ///< retry backoff: not dispatched before this
+};
+
+struct Slot {
+  Child child;
+  size_t index = 0;
+  unsigned attempt = 1;
+  FrameReader reader;
+  uint64_t last_beat_ms = 0;
+  bool live = false;
+};
+
+void close_slot(Slot& s) {
+  if (s.child.to_child >= 0) ::close(s.child.to_child);
+  if (s.child.from_child >= 0) ::close(s.child.from_child);
+  s.child = Child{};
+  s.reader = FrameReader{};
+  s.live = false;
+}
+
+}  // namespace
+
+void run_supervised(const std::vector<ProgramInput>& inputs,
+                    const std::vector<uint64_t>& keys,
+                    const std::vector<bool>& done, const DriverOptions& opts,
+                    unsigned jobs, ReportSink& sink, JournalWriter& journal) {
+  // A worker can die between our poll and our write; EPIPE must come back
+  // as an error code here, not kill the supervisor.
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  struct sigaction saved {};
+  sigaction(SIGPIPE, &ignore, &saved);
+
+  const uint64_t stall_ms = opts.deadline_ms > 0
+                                ? opts.deadline_ms + kStallGraceMs
+                                : kStallDefaultMs;
+  support::ChildLimits limits;
+  limits.max_rss_mb = opts.max_rss_mb;
+  if (opts.deadline_ms > 0)
+    limits.cpu_seconds = opts.deadline_ms * kCpuLimitFactor / 1000 + 1;
+
+  std::deque<Pending> pending;
+  for (size_t i = 0; i < inputs.size(); ++i)
+    if (!done[i]) pending.push_back({i, 1, 0});
+  std::vector<Slot> slots(std::max(1u, jobs));
+  size_t live = 0;
+
+  // A worker died (or was reaped) before delivering its Result: retry with
+  // backoff while attempts remain, then contain it as a degraded program.
+  auto worker_failed = [&](Slot& s, const std::string& reason) {
+    if (s.attempt <= opts.retries) {
+      pending.push_back({s.index, s.attempt + 1,
+                         now_ms() + (kBackoffBaseMs << (s.attempt - 1))});
+    } else {
+      sink.fail_program(s.index, inputs[s.index].name, ProgramStatus::Degraded,
+                        {{"error", 0, 0, reason}});
+    }
+    close_slot(s);
+    --live;
+  };
+
+  auto reap_failed = [&](Slot& s, const char* what) {
+    int status = support::wait_child(s.child.pid);
+    worker_failed(s, std::string(what) + ": " +
+                         support::describe_wait_status(status));
+  };
+
+  while (live > 0 || !pending.empty()) {
+    uint64_t now = now_ms();
+    // Dispatch ready tasks into free slots.
+    for (Slot& s : slots) {
+      if (s.live || pending.empty()) continue;
+      auto ready = pending.end();
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->ready_ms <= now) {
+          ready = it;
+          break;
+        }
+      }
+      if (ready == pending.end()) break;  // all remaining are backing off
+      Pending task = *ready;
+      pending.erase(ready);
+      s.index = task.index;
+      s.attempt = task.attempt;
+      s.child = support::spawn_child(
+          [&inputs, &opts](int in, int out) {
+            return worker_main(in, out, inputs, opts);
+          },
+          limits);
+      s.last_beat_ms = now;
+      s.live = true;
+      ++live;
+      if (!s.child.valid()) {
+        worker_failed(s, "crashed: fork failed");
+        continue;
+      }
+      std::string req;
+      codec::put_u64(req, task.index);
+      codec::put_u64(req, task.attempt);
+      if (!support::write_frame(s.child.to_child, FrameType::Request, req)) {
+        ::kill(s.child.pid, SIGKILL);
+        reap_failed(s, "crashed");
+      }
+    }
+
+    if (live == 0) {
+      // Nothing running; sleep until the earliest backoff expires.
+      uint64_t wake = ~uint64_t{0};
+      for (const Pending& p : pending) wake = std::min(wake, p.ready_ms);
+      if (wake > now)
+        std::this_thread::sleep_for(std::chrono::milliseconds(wake - now));
+      continue;
+    }
+
+    std::vector<struct pollfd> fds;
+    std::vector<size_t> fd_slot;
+    for (size_t si = 0; si < slots.size(); ++si) {
+      if (!slots[si].live) continue;
+      fds.push_back({slots[si].child.from_child, POLLIN, 0});
+      fd_slot.push_back(si);
+    }
+    ::poll(fds.data(), fds.size(), static_cast<int>(kHeartbeatMs));
+    now = now_ms();
+
+    for (size_t fi = 0; fi < fds.size(); ++fi) {
+      Slot& s = slots[fd_slot[fi]];
+      if (!s.live) continue;
+      if (fds[fi].revents != 0) {
+        bool closed = false;
+        for (;;) {
+          FrameReader::Fill f = s.reader.fill(s.child.from_child);
+          if (f == FrameReader::Fill::Blocked) break;
+          if (f == FrameReader::Fill::Eof ||
+              f == FrameReader::Fill::Failed) {
+            closed = true;
+            break;
+          }
+          s.last_beat_ms = now;
+        }
+        bool handled = false;
+        for (;;) {
+          FrameType type{};
+          std::string payload;
+          FrameReader::Next n = s.reader.next(type, payload);
+          if (n == FrameReader::Next::Need) break;
+          if (n == FrameReader::Next::Corrupt) {
+            ::kill(s.child.pid, SIGKILL);
+            support::wait_child(s.child.pid);
+            worker_failed(s, "crashed: corrupt result frame");
+            handled = true;
+            break;
+          }
+          if (type == FrameType::Result) {
+            codec::Reader r(payload);
+            ProgramReport report;
+            if (!codec::get_program_report(r, report) || !r.at_end()) {
+              ::kill(s.child.pid, SIGKILL);
+              support::wait_child(s.child.pid);
+              worker_failed(s, "crashed: undecodable result");
+              handled = true;
+              break;
+            }
+            if (journal.active() && journal_worthy(report))
+              journal.append(keys[s.index], report);
+            sink.set_program(s.index, std::move(report));
+            support::wait_child(s.child.pid);
+            close_slot(s);
+            --live;
+            handled = true;
+            break;
+          }
+          // Heartbeat (or an unexpected type): liveness either way.
+        }
+        if (handled) continue;
+        if (closed) {
+          reap_failed(s, "crashed");
+          continue;
+        }
+      }
+      if (now - s.last_beat_ms > stall_ms) {
+        ::kill(s.child.pid, SIGKILL);
+        support::wait_child(s.child.pid);
+        // Deterministic text (the limit, not the measured silence): degraded
+        // reasons land in rendered documents.
+        worker_failed(s, "crashed: stalled (no heartbeat within " +
+                             std::to_string(stall_ms) + " ms)");
+      }
+    }
+  }
+
+  sigaction(SIGPIPE, &saved, nullptr);
+}
+
+}  // namespace synat::driver

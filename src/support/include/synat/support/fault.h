@@ -1,0 +1,34 @@
+// Deterministic fault injection for the isolation test suite (DESIGN.md
+// §3d). Compiled in only under -DSYNAT_FAULT_INJECTION=ON; release builds
+// carry no hook at all.
+//
+// The injected fault is selected by the SYNAT_FAULT environment variable:
+//
+//   SYNAT_FAULT=crash:<name>       raise SIGSEGV when analyzing <name>
+//   SYNAT_FAULT=hang:<name>        SIGSTOP the whole process (silences the
+//                                  heartbeat pipe, so the supervisor's
+//                                  stall detector must reap the worker)
+//   SYNAT_FAULT=oom:<name>         allocate until the address-space rlimit
+//                                  kills the allocation, then abort
+//
+// An optional @K suffix (crash:<name>@2) arms the fault only while the
+// dispatch attempt is <= K, so retry-then-succeed paths are testable
+// without timing dependence. <name> matches the program's display name
+// exactly, or its corpus:/path basename.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace synat::support {
+
+#if defined(SYNAT_FAULT_INJECTION)
+/// Injects the configured fault if `name` (a program display name) matches
+/// SYNAT_FAULT and `attempt` (1-based dispatch attempt) is still armed.
+/// No-op when the variable is unset or names a different program.
+void maybe_inject_fault(std::string_view name, unsigned attempt);
+#else
+inline void maybe_inject_fault(std::string_view, unsigned) {}
+#endif
+
+}  // namespace synat::support

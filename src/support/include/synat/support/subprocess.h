@@ -1,0 +1,59 @@
+// Subprocess plumbing for the isolated batch driver (DESIGN.md §3d):
+// spawning sandboxed worker processes connected by pipes, applying
+// per-worker resource limits, and decoding how a worker died.
+//
+// Workers are created by plain fork(), not fork+exec: the supervisor is
+// single-threaded at spawn time, so the child is a clean clone that already
+// holds the batch inputs in memory. That keeps the worker protocol free of
+// option re-serialization and — more importantly — lets any embedder of
+// BatchDriver use isolation, not just the synat CLI (there is no worker
+// executable to locate).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace synat::support {
+
+/// Hard resource limits applied inside the child before its body runs.
+/// Zero fields are left unlimited.
+struct ChildLimits {
+  uint64_t max_rss_mb = 0;   ///< address-space cap (RLIMIT_AS), in MiB
+  uint64_t cpu_seconds = 0;  ///< CPU-time cap (RLIMIT_CPU); overrun → SIGXCPU/SIGKILL
+};
+
+struct Child {
+  pid_t pid = -1;
+  int to_child = -1;    ///< write end of the request pipe
+  int from_child = -1;  ///< read end of the response pipe (O_NONBLOCK)
+
+  bool valid() const { return pid > 0; }
+};
+
+/// Forks a child connected by two pipes. In the child: every inherited fd
+/// except stdio and the two protocol ends is closed, `limits` is applied,
+/// `body(request_read_fd, response_write_fd)` runs, and the child _exits
+/// with its return value (never returning into the caller's stack — stdio
+/// buffers inherited from the parent are not flushed twice). On fork or
+/// pipe failure the returned Child has pid -1.
+///
+/// The caller must be single-threaded when this is invoked; `body` runs in
+/// a full process clone and may itself create threads.
+Child spawn_child(const std::function<int(int, int)>& body,
+                  const ChildLimits& limits);
+
+/// Blocking waitpid wrapper (EINTR-safe). Returns the raw wait status, or
+/// -1 if the pid could not be reaped.
+int wait_child(pid_t pid);
+
+/// Human-readable classification of a wait status: "exit 0",
+/// "exit 3", "signal 11 (SIGSEGV)", ...
+std::string describe_wait_status(int status);
+
+/// True iff the status is a clean zero exit.
+bool exited_cleanly(int status);
+
+}  // namespace synat::support

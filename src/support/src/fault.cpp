@@ -1,0 +1,70 @@
+#include "synat/support/fault.h"
+
+#if defined(SYNAT_FAULT_INJECTION)
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace synat::support {
+
+namespace {
+
+bool name_matches(std::string_view target, std::string_view name) {
+  if (name == target) return true;
+  // "crash:nfq_prime" also matches "corpus:nfq_prime" and "dir/nfq_prime".
+  if (name.size() > target.size()) {
+    char sep = name[name.size() - target.size() - 1];
+    if ((sep == ':' || sep == '/') && name.ends_with(target)) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void inject_crash() {
+  // Restore the default handler so the raise terminates the process even
+  // under a sanitizer that installed its own SIGSEGV handler.
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+  _Exit(113);  // unreachable backstop
+}
+
+[[noreturn]] void inject_oom() {
+  // Commit pages until the RLIMIT_AS cap makes allocation fail, then die
+  // hard. The 16 GiB ceiling keeps an unlimited process from taking the
+  // machine down if the hook fires outside a sandboxed worker.
+  constexpr size_t kChunk = 8ull << 20;
+  constexpr size_t kCeiling = 16ull << 30;
+  for (size_t total = 0; total < kCeiling; total += kChunk) {
+    void* p = std::malloc(kChunk);
+    if (p == nullptr) break;
+    std::memset(p, 0xab, kChunk);
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void maybe_inject_fault(std::string_view name, unsigned attempt) {
+  const char* spec = std::getenv("SYNAT_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string_view s(spec);
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) return;
+  std::string_view mode = s.substr(0, colon);
+  std::string_view target = s.substr(colon + 1);
+  unsigned max_attempt = ~0u;
+  if (size_t at = target.rfind('@'); at != std::string_view::npos) {
+    max_attempt =
+        static_cast<unsigned>(std::strtoul(target.data() + at + 1, nullptr, 10));
+    target = target.substr(0, at);
+  }
+  if (attempt > max_attempt || !name_matches(target, name)) return;
+  if (mode == "crash") inject_crash();
+  if (mode == "hang") raise(SIGSTOP);
+  if (mode == "oom") inject_oom();
+}
+
+}  // namespace synat::support
+
+#endif  // SYNAT_FAULT_INJECTION

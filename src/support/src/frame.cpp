@@ -1,0 +1,95 @@
+#include "synat/support/frame.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "synat/support/hash.h"
+
+namespace synat::support {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'S', 'Y', 'N', 'F'};
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+uint32_t read_u32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (i * 8);
+  return v;
+}
+
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::string header;
+  header.append(kFrameMagic, sizeof kFrameMagic);
+  put_u32(header, static_cast<uint32_t>(type));
+  put_u32(header, static_cast<uint32_t>(payload.size()));
+  put_u32(header, crc32(payload));
+  // One buffer per frame so a frame is written with at most a few write()
+  // calls; interleaving with another writer is prevented by the caller's
+  // mutex, not here.
+  header.append(payload.data(), payload.size());
+  return write_all(fd, header.data(), header.size());
+}
+
+FrameReader::Fill FrameReader::fill(int fd) {
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::read(fd, chunk, sizeof chunk);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return Fill::Eof;
+  if (n < 0)
+    return (errno == EAGAIN || errno == EWOULDBLOCK) ? Fill::Blocked
+                                                     : Fill::Failed;
+  // Compact the consumed prefix before growing so the buffer stays bounded
+  // by one frame plus one read chunk.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(chunk, static_cast<size_t>(n));
+  return Fill::Data;
+}
+
+FrameReader::Next FrameReader::next(FrameType& type, std::string& payload) {
+  constexpr size_t kHeader = 16;
+  if (buf_.size() - pos_ < kHeader) return Next::Need;
+  const char* p = buf_.data() + pos_;
+  if (std::memcmp(p, kFrameMagic, sizeof kFrameMagic) != 0)
+    return Next::Corrupt;
+  uint32_t raw_type = read_u32(p + 4);
+  uint32_t len = read_u32(p + 8);
+  uint32_t crc = read_u32(p + 12);
+  if (len > kMaxFramePayload) return Next::Corrupt;
+  if (buf_.size() - pos_ < kHeader + len) return Next::Need;
+  std::string_view body(p + kHeader, len);
+  if (crc32(body) != crc) return Next::Corrupt;
+  type = static_cast<FrameType>(raw_type);
+  payload.assign(body);
+  pos_ += kHeader + len;
+  return Next::Frame;
+}
+
+}  // namespace synat::support

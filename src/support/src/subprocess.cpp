@@ -1,0 +1,133 @@
+#include "synat/support/subprocess.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+namespace synat::support {
+
+namespace {
+
+/// Closes every fd above stderr except the two protocol ends, so a worker
+/// cannot hold open a sibling's pipes (which would mask their EOFs) and its
+/// fd table is predictable for rlimit purposes.
+void close_other_fds(int keep1, int keep2) {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    for (int fd = 3; fd < 1024; ++fd)
+      if (fd != keep1 && fd != keep2) ::close(fd);
+    return;
+  }
+  int dir_fd = dirfd(dir);
+  while (dirent* e = readdir(dir)) {
+    char* end = nullptr;
+    long fd = std::strtol(e->d_name, &end, 10);
+    if (end == e->d_name || *end != '\0') continue;
+    if (fd <= 2 || fd == keep1 || fd == keep2 || fd == dir_fd) continue;
+    ::close(static_cast<int>(fd));
+  }
+  closedir(dir);
+}
+
+void apply_limits(const ChildLimits& limits) {
+  if (limits.max_rss_mb > 0) {
+    rlimit rl{};
+    rl.rlim_cur = rl.rlim_max = limits.max_rss_mb * 1024 * 1024;
+    setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpu_seconds > 0) {
+    rlimit rl{};
+    rl.rlim_cur = limits.cpu_seconds;
+    rl.rlim_max = limits.cpu_seconds + 1;  // SIGXCPU first, SIGKILL backstop
+    setrlimit(RLIMIT_CPU, &rl);
+  }
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Child spawn_child(const std::function<int(int, int)>& body,
+                  const ChildLimits& limits) {
+  int req[2], resp[2];
+  if (pipe(req) != 0) return {};
+  if (pipe(resp) != 0) {
+    ::close(req[0]);
+    ::close(req[1]);
+    return {};
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {req[0], req[1], resp[0], resp[1]}) ::close(fd);
+    return {};
+  }
+  if (pid == 0) {
+    ::close(req[1]);
+    ::close(resp[0]);
+    // A worker whose supervisor died mid-write must die quietly, not
+    // wedge; default SIGPIPE termination is the right containment.
+    signal(SIGPIPE, SIG_DFL);
+    close_other_fds(req[0], resp[1]);
+    apply_limits(limits);
+    int rc = 111;
+    try {
+      rc = body(req[0], resp[1]);
+    } catch (...) {
+      rc = 112;
+    }
+    _exit(rc);
+  }
+  ::close(req[0]);
+  ::close(resp[1]);
+  set_nonblocking(resp[0]);
+  return {pid, req[1], resp[0]};
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  return status;
+}
+
+std::string describe_wait_status(int status) {
+  if (status < 0) return "unreaped";
+  if (WIFEXITED(status))
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    int sig = WTERMSIG(status);
+    const char* name = nullptr;
+    switch (sig) {
+      case SIGSEGV: name = "SIGSEGV"; break;
+      case SIGABRT: name = "SIGABRT"; break;
+      case SIGKILL: name = "SIGKILL"; break;
+      case SIGBUS: name = "SIGBUS"; break;
+      case SIGILL: name = "SIGILL"; break;
+      case SIGFPE: name = "SIGFPE"; break;
+      case SIGXCPU: name = "SIGXCPU"; break;
+      case SIGTERM: name = "SIGTERM"; break;
+      case SIGPIPE: name = "SIGPIPE"; break;
+    }
+    std::string out = name ? std::string(name) : std::string("signal");
+    out += " (signal " + std::to_string(sig) + ")";
+    return out;
+  }
+  return "status " + std::to_string(status);
+}
+
+bool exited_cleanly(int status) {
+  return status >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+}  // namespace synat::support

@@ -2,6 +2,8 @@
 // points and the Watchdog deadline thread (DESIGN.md §3c).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "synat/driver/watchdog.h"
 #include "synat/support/budget.h"
 
@@ -81,6 +83,55 @@ TEST(Watchdog, NullWatchdogStillArmsSelfCheckedDeadline) {
   Watchdog::Scope scope(nullptr, budget, /*delay_ms=*/30000);
   EXPECT_GT(budget.deadline_ns(), 0u);
   EXPECT_FALSE(budget.cancelled());
+}
+
+TEST(Watchdog, StopIsIdempotent) {
+  Watchdog dog;
+  dog.stop();
+  dog.stop();
+  dog.stop();
+  // The destructor calls stop() a fourth time; none of these may hang or
+  // touch a joined thread.
+}
+
+TEST(Watchdog, StopCancelsStillRegisteredBudgets) {
+  ExecBudget budget;
+  Watchdog dog;
+  Watchdog::Scope scope(&dog, budget, /*delay_ms=*/60000);
+  dog.stop();
+  EXPECT_TRUE(budget.cancelled());
+  try {
+    budget.check("post-shutdown work");
+    FAIL() << "check() did not throw";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.reason(), "shutdown");
+  }
+}
+
+TEST(Watchdog, StopThenScopeDestructionIsSafe) {
+  ExecBudget budget;
+  Watchdog dog;
+  {
+    Watchdog::Scope scope(&dog, budget, /*delay_ms=*/60000);
+    dog.stop();
+  }  // deregistering against a stopped watchdog must not deadlock
+}
+
+TEST(Watchdog, DestructorJoinsDuringExceptionUnwind) {
+  // Mirrors BatchDriver::run throwing mid-batch: the Watchdog is destroyed
+  // while an exception is in flight, with scopes still registered an
+  // instant earlier. Under TSan this catches a detached-thread shutdown
+  // race; everywhere it catches a hang.
+  ExecBudget budget;
+  bool caught = false;
+  try {
+    Watchdog dog;
+    Watchdog::Scope scope(&dog, budget, /*delay_ms=*/60000);
+    throw std::runtime_error("batch failed");
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
 }
 
 }  // namespace

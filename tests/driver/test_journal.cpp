@@ -1,0 +1,276 @@
+// Tests for the write-ahead journal (DESIGN.md §3d): record round-trips,
+// corruption containment (truncated tail, bit flip, foreign header), the
+// admission policy, and driver-level --resume byte-identity.
+#include "synat/driver/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "synat/driver/driver.h"
+
+namespace synat::driver {
+namespace {
+
+std::string temp_path(const char* name) {
+  std::string p = testing::TempDir() + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+std::shared_ptr<ProcReport> make_proc(const std::string& name, bool atomic) {
+  auto p = std::make_shared<ProcReport>();
+  p->name = name;
+  p->line = 1;
+  p->atomic = atomic;
+  p->atomicity = atomic ? "A" : "compound";
+  return p;
+}
+
+ProgramReport make_program(const std::string& name) {
+  ProgramReport r;
+  r.name = name;
+  r.fingerprint = "0123456789abcdef";
+  r.procs.push_back(make_proc("Enq", true));
+  r.procs.push_back(make_proc("Deq", false));
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+constexpr uint64_t kFp = 0xfeedfacecafebeefull;
+
+void write_two_records(const std::string& path) {
+  JournalWriter w;
+  ASSERT_TRUE(w.open(path, kFp, {}));
+  w.append(11, make_program("first"));
+  w.append(22, make_program("second"));
+}
+
+TEST(Journal, MissingFileIsAnEmptyReplay) {
+  JournalReplay r = read_journal(temp_path("journal_missing.synatj"), kFp);
+  EXPECT_FALSE(r.existed);
+  EXPECT_FALSE(r.rejected_whole);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Journal, RecordsRoundTrip) {
+  std::string path = temp_path("journal_roundtrip.synatj");
+  write_two_records(path);
+  JournalReplay r = read_journal(path, kFp);
+  EXPECT_TRUE(r.existed);
+  EXPECT_FALSE(r.rejected_whole);
+  EXPECT_EQ(r.rejected_records, 0u);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].key, 11u);
+  EXPECT_EQ(r.records[0].report.name, "first");
+  ASSERT_EQ(r.records[0].report.procs.size(), 2u);
+  EXPECT_EQ(r.records[0].report.procs[1]->name, "Deq");
+  EXPECT_EQ(r.records[1].key, 22u);
+  EXPECT_EQ(r.records[1].report.name, "second");
+}
+
+TEST(Journal, ForeignBatchFingerprintRejectsWholeJournal) {
+  std::string path = temp_path("journal_foreign.synatj");
+  write_two_records(path);
+  JournalReplay r = read_journal(path, kFp + 1);
+  EXPECT_TRUE(r.existed);
+  EXPECT_TRUE(r.rejected_whole);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Journal, FutureFormatVersionRejectsWholeJournal) {
+  std::string path = temp_path("journal_version.synatj");
+  write_two_records(path);
+  std::string bytes = read_file(path);
+  bytes[8] = 99;  // the version u64 follows the 8-byte magic
+  write_file(path, bytes);
+  JournalReplay r = read_journal(path, kFp);
+  EXPECT_TRUE(r.rejected_whole);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Journal, GarbageFileRejectsWholeJournal) {
+  std::string path = temp_path("journal_garbage.synatj");
+  write_file(path, "this is not a journal at all, not even close");
+  JournalReplay r = read_journal(path, kFp);
+  EXPECT_TRUE(r.existed);
+  EXPECT_TRUE(r.rejected_whole);
+}
+
+TEST(Journal, TruncatedTailKeepsIntactPrefix) {
+  std::string path = temp_path("journal_truncated.synatj");
+  write_two_records(path);
+  std::string bytes = read_file(path);
+  // Chop into the middle of the second record — the shape a SIGKILL
+  // mid-append leaves behind.
+  write_file(path, bytes.substr(0, bytes.size() - 7));
+  JournalReplay r = read_journal(path, kFp);
+  EXPECT_FALSE(r.rejected_whole);
+  EXPECT_EQ(r.rejected_records, 1u);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].report.name, "first");
+}
+
+TEST(Journal, BitFlipSkipsOnlyTheDamagedRecord) {
+  std::string path = temp_path("journal_bitflip.synatj");
+  write_two_records(path);
+  std::string bytes = read_file(path);
+  // Header is 24 bytes, record framing is 16 (key+len); flip a payload
+  // byte of the first record. The second record must survive.
+  bytes[24 + 16 + 4] ^= 0x40;
+  write_file(path, bytes);
+  JournalReplay r = read_journal(path, kFp);
+  EXPECT_FALSE(r.rejected_whole);
+  EXPECT_EQ(r.rejected_records, 1u);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].report.name, "second");
+}
+
+TEST(Journal, OpenRewritesFileSoReplayedRecordsSurviveASecondCrash) {
+  std::string path = temp_path("journal_rewrite.synatj");
+  write_two_records(path);
+  JournalReplay first = read_journal(path, kFp);
+  ASSERT_EQ(first.records.size(), 2u);
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.open(path, kFp, first.records));
+    w.append(33, make_program("third"));
+  }
+  JournalReplay second = read_journal(path, kFp);
+  ASSERT_EQ(second.records.size(), 3u);
+  EXPECT_EQ(second.records[0].report.name, "first");
+  EXPECT_EQ(second.records[2].report.name, "third");
+}
+
+TEST(Journal, WorthyPolicyAdmitsOnlyFullyHealthyPrograms) {
+  ProgramReport ok = make_program("ok");
+  EXPECT_TRUE(journal_worthy(ok));
+
+  ProgramReport degraded_proc = make_program("degraded");
+  auto d = std::make_shared<ProcReport>(*degraded_proc.procs[0]);
+  d->degraded = true;
+  d->degrade_kind = "deadline";
+  degraded_proc.procs[0] = d;
+  EXPECT_FALSE(journal_worthy(degraded_proc));
+
+  ProgramReport failed = make_program("failed");
+  failed.status = ProgramStatus::ParseError;
+  EXPECT_FALSE(journal_worthy(failed));
+
+  ProgramReport crashed = make_program("crashed");
+  crashed.status = ProgramStatus::Degraded;
+  EXPECT_FALSE(journal_worthy(crashed));
+
+  ProgramReport hole = make_program("hole");
+  hole.procs[1] = nullptr;
+  EXPECT_FALSE(journal_worthy(hole));
+}
+
+// ---------------------------------------------------------------------------
+// Driver-level journaling
+
+const char* kProgA = R"(
+  global int X;
+  proc Get() { X := X + 1; }
+)";
+
+const char* kProgB = R"(
+  global int Y;
+  proc Put() { Y := Y + 2; }
+)";
+
+std::vector<ProgramInput> two_inputs() {
+  std::vector<ProgramInput> inputs(2);
+  inputs[0].name = "a";
+  inputs[0].source = kProgA;
+  inputs[1].name = "b";
+  inputs[1].source = kProgB;
+  return inputs;
+}
+
+TEST(JournalDriver, ResumeRunIsByteIdenticalAndReplaysEverything) {
+  std::string path = temp_path("journal_driver_resume.synatj");
+  DriverOptions opts;
+  opts.journal_path = path;
+  std::string cold = [&] {
+    BatchDriver drv(opts);
+    return to_json(drv.run(two_inputs()));
+  }();
+  opts.resume = true;
+  BatchDriver drv(opts);
+  BatchReport resumed = drv.run(two_inputs());
+  EXPECT_EQ(resumed.metrics.journal_replayed, 2u);
+  EXPECT_EQ(resumed.metrics.journal_rejected, 0u);
+  EXPECT_EQ(to_json(resumed), cold);
+}
+
+TEST(JournalDriver, ResumeAgainstDifferentInputSetColdStarts) {
+  std::string path = temp_path("journal_driver_foreign.synatj");
+  {
+    DriverOptions opts;
+    opts.journal_path = path;
+    BatchDriver drv(opts);
+    drv.run(two_inputs());
+  }
+  DriverOptions opts;
+  opts.journal_path = path;
+  opts.resume = true;
+  std::vector<ProgramInput> different = two_inputs();
+  different.pop_back();  // same programs, different batch
+  BatchDriver drv(opts);
+  BatchReport report = drv.run(different);
+  EXPECT_EQ(report.metrics.journal_replayed, 0u);
+  // Mirrors cache_rejected: the foreign journal is counted, never trusted.
+  EXPECT_EQ(report.metrics.journal_rejected, 1u);
+  EXPECT_EQ(report.programs.size(), 1u);
+  EXPECT_EQ(report.programs[0].status, ProgramStatus::Ok);
+}
+
+TEST(JournalDriver, FailedProgramsAreNotReplayed) {
+  std::string path = temp_path("journal_driver_failed.synatj");
+  std::vector<ProgramInput> inputs = two_inputs();
+  inputs[1].source = "proc Broken( {";  // parse error
+  {
+    DriverOptions opts;
+    opts.journal_path = path;
+    BatchDriver drv(opts);
+    BatchReport r = drv.run(inputs);
+    EXPECT_EQ(r.programs[1].status, ProgramStatus::ParseError);
+  }
+  DriverOptions opts;
+  opts.journal_path = path;
+  opts.resume = true;
+  BatchDriver drv(opts);
+  BatchReport resumed = drv.run(inputs);
+  // Only the healthy program was journaled; the broken one re-analyzes.
+  EXPECT_EQ(resumed.metrics.journal_replayed, 1u);
+  EXPECT_EQ(resumed.programs[1].status, ProgramStatus::ParseError);
+}
+
+TEST(JournalDriver, RenderedDocumentsHideJournalCounters) {
+  // A resumed run must be byte-identical to an uninterrupted one even when
+  // replay counters differ, so no renderer may mention them.
+  std::string path = temp_path("journal_driver_hidden.synatj");
+  DriverOptions opts;
+  opts.journal_path = path;
+  std::string cold = [&] {
+    BatchDriver drv(opts);
+    return to_json(drv.run(two_inputs()), RenderOptions{});
+  }();
+  EXPECT_EQ(cold.find("journal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace synat::driver

@@ -1,0 +1,193 @@
+// Tests for the exit-code precedence order, Degraded-program rendering
+// (JSON schema v3 / SARIF SYNAT006), and ReportSink completion-callback
+// semantics that the journal depends on.
+#include "synat/driver/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace synat::driver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exit-code precedence (the documented convention, as one table)
+
+struct ExitCodeCase {
+  int code;
+  int severity;
+  const char* meaning;
+};
+
+// The documented order: 0 ok < 1 not-atomic/degraded < 2 usage <
+// 3 parse/load < 4 internal; anything else is treated as worse than all.
+constexpr ExitCodeCase kExitCodes[] = {
+    {0, 0, "ok"},
+    {1, 1, "not atomic / degraded"},
+    {2, 2, "usage"},
+    {3, 3, "parse/load error"},
+    {4, 4, "internal error"},
+    {5, 5, "unknown"},
+    {42, 5, "unknown"},
+    {-1, 5, "unknown"},
+    {127, 5, "unknown"},
+};
+
+TEST(ExitCodes, SeverityTableIsTheDocumentedOrder) {
+  for (const auto& c : kExitCodes)
+    EXPECT_EQ(exit_code_severity(c.code), c.severity) << c.meaning;
+}
+
+TEST(ExitCodes, CombineTakesTheWorseOfEveryPair) {
+  for (int a = 0; a <= 4; ++a) {
+    for (int b = 0; b <= 4; ++b) {
+      EXPECT_EQ(combine_exit_codes(a, b), std::max(a, b))
+          << "combine(" << a << ", " << b << ")";
+      EXPECT_EQ(combine_exit_codes(a, b), combine_exit_codes(b, a))
+          << "combine must be symmetric for " << a << ", " << b;
+    }
+  }
+}
+
+TEST(ExitCodes, UnknownCodesOutrankEveryDocumentedCode) {
+  for (int known = 0; known <= 4; ++known) {
+    EXPECT_EQ(combine_exit_codes(known, 42), 42);
+    EXPECT_EQ(combine_exit_codes(-1, known), -1);
+  }
+}
+
+TEST(ExitCodes, CombineIsIdempotentAndHasZeroAsIdentity) {
+  for (const auto& c : kExitCodes) {
+    EXPECT_EQ(combine_exit_codes(c.code, c.code), c.code);
+    EXPECT_EQ(combine_exit_codes(0, c.code), c.code);
+  }
+}
+
+TEST(ExitCodes, BatchReportHonoursThePrecedence) {
+  BatchReport r;
+  EXPECT_EQ(r.exit_code(), 0);
+  r.metrics.crashed = 1;
+  EXPECT_EQ(r.exit_code(), 1);
+  r.metrics.parse_errors = 1;
+  EXPECT_EQ(r.exit_code(), 3) << "parse errors outrank crashed workers";
+  r.metrics.internal_errors = 1;
+  EXPECT_EQ(r.exit_code(), 4) << "internal errors outrank everything";
+}
+
+TEST(ExitCodes, DegradedProceduresAloneEscalateToOne) {
+  BatchReport r;
+  r.metrics.degraded = 2;
+  EXPECT_EQ(r.exit_code(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-program rendering
+
+BatchReport crashed_batch() {
+  ReportSink sink(2);
+  sink.open_program(0, "healthy", "00000000deadbeef", 1);
+  auto proc = std::make_shared<ProcReport>();
+  proc->name = "Enq";
+  proc->line = 3;
+  proc->atomic = true;
+  proc->atomicity = "A";
+  sink.set_proc(0, 0, proc);
+  sink.fail_program(1, "crashy", ProgramStatus::Degraded,
+                    {{"error", 0, 0, "crashed: SIGSEGV (signal 11)"}});
+  return sink.finish(Metrics{}, /*jobs=*/1);
+}
+
+TEST(DegradedRendering, FinishCountsCrashedPrograms) {
+  BatchReport r = crashed_batch();
+  EXPECT_EQ(r.metrics.crashed, 1u);
+  EXPECT_EQ(r.exit_code(), 1);
+}
+
+TEST(DegradedRendering, JsonCarriesStatusAndDegradedArrayEntry) {
+  std::string json = to_json(crashed_batch());
+  EXPECT_NE(json.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"crash\""), std::string::npos);
+  EXPECT_NE(json.find("crashed: SIGSEGV (signal 11)"), std::string::npos);
+  EXPECT_NE(json.find("\"crashed_programs\": 1"), std::string::npos);
+}
+
+TEST(DegradedRendering, SarifUsesRuleSynat006) {
+  std::string sarif = to_sarif(crashed_batch());
+  EXPECT_NE(sarif.find("SYNAT006"), std::string::npos);
+  // The healthy program must not be tagged with the crash rule twice.
+  size_t first = sarif.find("\"ruleId\": \"SYNAT006\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(sarif.find("\"ruleId\": \"SYNAT006\"", first + 1),
+            std::string::npos);
+}
+
+TEST(DegradedRendering, TextSummaryMentionsCrashes) {
+  std::string text = to_text(crashed_batch());
+  EXPECT_NE(text.find("crashed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Completion-callback semantics (what the write-ahead journal relies on)
+
+TEST(SinkCompletion, FiresExactlyOnceWhenTheLastProcLands) {
+  ReportSink sink(1);
+  std::vector<size_t> fired;
+  sink.set_on_complete(
+      [&](size_t i, const ProgramReport&) { fired.push_back(i); });
+  sink.open_program(0, "p", "fp", 2);
+  EXPECT_TRUE(fired.empty()) << "open_program must not complete a program";
+  auto proc = std::make_shared<ProcReport>();
+  sink.set_proc(0, 0, proc);
+  EXPECT_TRUE(fired.empty());
+  sink.set_proc(0, 1, proc);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+}
+
+TEST(SinkCompletion, ZeroProcProgramCompletesAtOpen) {
+  ReportSink sink(1);
+  int fires = 0;
+  sink.set_on_complete([&](size_t, const ProgramReport&) { ++fires; });
+  sink.open_program(0, "empty", "fp", 0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SinkCompletion, FailProgramCompletesImmediately) {
+  ReportSink sink(1);
+  int fires = 0;
+  ProgramStatus seen = ProgramStatus::Ok;
+  sink.set_on_complete([&](size_t, const ProgramReport& r) {
+    ++fires;
+    seen = r.status;
+  });
+  sink.fail_program(0, "bad", ProgramStatus::ParseError,
+                    {{"error", 1, 1, "expected ')'"}});
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(seen, ProgramStatus::ParseError);
+}
+
+TEST(SinkCompletion, SetProgramNeverNotifies) {
+  // Replayed journal records and decoded worker results arrive via
+  // set_program; notifying would journal them a second time.
+  ReportSink sink(1);
+  int fires = 0;
+  sink.set_on_complete([&](size_t, const ProgramReport&) { ++fires; });
+  ProgramReport whole;
+  whole.name = "replayed";
+  sink.set_program(0, std::move(whole));
+  EXPECT_EQ(fires, 0);
+  BatchReport r = sink.finish(Metrics{}, 1);
+  EXPECT_EQ(r.programs[0].name, "replayed");
+}
+
+TEST(SinkCompletion, WorstStatusWinsOnRepeatedFailure) {
+  ReportSink sink(1);
+  sink.fail_program(0, "p", ProgramStatus::Degraded, {});
+  sink.fail_program(0, "p", ProgramStatus::InternalError, {});
+  sink.fail_program(0, "p", ProgramStatus::Degraded, {});
+  BatchReport r = sink.finish(Metrics{}, 1);
+  EXPECT_EQ(r.programs[0].status, ProgramStatus::InternalError);
+}
+
+}  // namespace
+}  // namespace synat::driver

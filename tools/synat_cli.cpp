@@ -16,14 +16,22 @@
 //                thread) --cache --cache-file FILE --format json|sarif|text
 //                --timings --per-program -o FILE --deadline-ms N
 //                --max-variants N --strict
+//                --isolate (run each program in a sandboxed worker process;
+//                a worker crash degrades that one program, exit 1)
+//                --max-rss-mb N (per-worker address-space cap)
+//                --retries N (re-dispatches of a crashed worker; default 1)
+//                --journal FILE (write-ahead journal of finished programs)
+//                --resume (replay FILE, re-analyzing only what is missing)
 // mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
 //             --por --atomic Proc (repeatable) --arrays N --max-states N
 //
 // Exit codes (all commands): 0 success / all atomic; 1 analysis found a
 // non-atomic procedure, a degraded (budget/deadline/recovered-parse)
-// result, or mc found an error; 2 usage error; 3 an input failed to load
-// or parse (batch still analyzes the other inputs); 4 internal analyzer
-// error.
+// result, a crashed --isolate worker, or mc found an error; 2 usage error;
+// 3 an input failed to load or parse (batch still analyzes the other
+// inputs); 4 internal analyzer error. When several apply the highest-
+// severity code wins — the precedence order (0 < 1 < 2 < 3 < 4) is
+// implemented once, in driver::combine_exit_codes.
 #include <cstdlib>
 #include <cstdio>
 #include <cstring>
@@ -164,6 +172,28 @@ int cmd_batch(int argc, char** argv) {
       max_variants = static_cast<size_t>(n);
     } else if (a == "--strict") {
       dopts.strict = true;
+    } else if (a == "--isolate") {
+      dopts.isolate = true;
+    } else if (a == "--max-rss-mb" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--max-rss-mb expects MiB, got '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+      dopts.max_rss_mb = static_cast<unsigned>(n);
+    } else if (a == "--retries" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 100) {
+        std::fprintf(stderr, "--retries expects a count, got '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+      dopts.retries = static_cast<unsigned>(n);
+    } else if (a == "--journal" && i + 1 < argc) {
+      dopts.journal_path = argv[++i];
+    } else if (a == "--resume") {
+      dopts.resume = true;
     } else if (a == "--cache") {
       dopts.use_cache = true;
     } else if (a == "--cache-file" && i + 1 < argc) {
@@ -216,6 +246,20 @@ int cmd_batch(int argc, char** argv) {
   }
   for (driver::ProgramInput& in : inputs)
     in.opts.variant_opts.max_variants = max_variants;
+  if (dopts.resume && dopts.journal_path.empty()) {
+    std::fprintf(stderr, "--resume needs --journal FILE\n");
+    return kExitUsage;
+  }
+  if (dopts.isolate && dopts.use_cache) {
+    // Workers are separate address spaces; a shared in-memory cache cannot
+    // exist, and saving the supervisor's (empty) cache would clobber a warm
+    // snapshot on disk.
+    std::fprintf(stderr,
+                 "note: --isolate workers do not share the result cache; "
+                 "ignoring --cache/--cache-file\n");
+    dopts.use_cache = false;
+    cache_file.clear();
+  }
   driver::BatchDriver drv(dopts);
   if (!cache_file.empty()) {
     drv.cache().load(cache_file);
@@ -233,6 +277,16 @@ int cmd_batch(int argc, char** argv) {
   }
   driver::BatchReport report = drv.run(inputs);
   if (!cache_file.empty()) drv.cache().save(cache_file);
+  // Journal traffic goes to stderr only: rendered documents must stay
+  // byte-identical between a resumed run and an uninterrupted one.
+  if (report.metrics.journal_replayed > 0)
+    std::fprintf(stderr, "journal: replayed %zu finished program(s)\n",
+                 report.metrics.journal_replayed);
+  if (report.metrics.journal_rejected > 0)
+    std::fprintf(stderr,
+                 "warning: rejected %zu corrupt or stale journal record(s) "
+                 "in %s; re-analyzing\n",
+                 report.metrics.journal_rejected, dopts.journal_path.c_str());
   std::string doc = format == "json"    ? driver::to_json(report, ropts)
                     : format == "sarif" ? driver::to_sarif(report)
                                         : driver::to_text(report);
@@ -246,7 +300,13 @@ int cmd_batch(int argc, char** argv) {
     }
     out << doc;
   }
-  return report.exit_code();
+  int code = report.exit_code();
+  // --strict escalates a rejected journal (like a rejected cache snapshot)
+  // to an internal error; combine keeps whatever the report found if that
+  // is already worse.
+  if (dopts.strict && report.metrics.journal_rejected > 0)
+    code = driver::combine_exit_codes(code, kExitInternalError);
+  return code;
 }
 
 int cmd_analyze(const std::string& spec, int argc, char** argv) {
