@@ -1,6 +1,7 @@
 #include "synat/analysis/purity.h"
 
 #include "synat/cfg/liveness.h"
+#include "synat/obs/trace.h"
 #include "synat/synl/printer.h"
 
 namespace synat::analysis {
@@ -19,6 +20,7 @@ PurityAnalysis::PurityAnalysis(const Program& prog, const Cfg& cfg,
                                const UniqueAnalysis& unique)
     : prog_(prog), cfg_(cfg), matching_(matching), escape_(escape),
       unique_(unique) {
+  obs::SpanScope span(obs::StageId::Purity);
   for (const cfg::LoopInfo& info : cfg.loops()) analyze_loop(info);
 }
 

@@ -1,5 +1,7 @@
 #include "synat/atomicity/blocks.h"
 
+#include "synat/obs/trace.h"
+
 namespace synat::atomicity {
 
 using synl::Stmt;
@@ -50,6 +52,7 @@ void flatten(const synl::Program& prog, const VariantResult& v, StmtId id,
 
 BlockPartition partition_blocks(const synl::Program& prog,
                                 const VariantResult& v) {
+  obs::SpanScope span(obs::StageId::Blocks);
   BlockPartition out;
   out.variant = v.variant;
 

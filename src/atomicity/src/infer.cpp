@@ -5,6 +5,7 @@
 #include <string>
 
 #include "synat/analysis/expr_util.h"
+#include "synat/obs/trace.h"
 #include "synat/synl/printer.h"
 
 namespace synat::atomicity {
@@ -583,6 +584,7 @@ Atomicity InferEngine::stmt_atom(
 }
 
 void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
+  obs::SpanScope span(obs::StageId::Movers);
   const cfg::Cfg& cfg = ctx.pa->cfg();
   for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
     if (opts_.variant_opts.budget != nullptr)
@@ -600,6 +602,7 @@ void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
 // ---------------------------------------------------------------------------
 
 AtomicityResult InferEngine::run() {
+  obs::SpanScope span(obs::StageId::Infer);
   AtomicityResult result;
   const size_t num_original = prog_.num_procs();
   ExecBudget* budget = opts_.variant_opts.budget;

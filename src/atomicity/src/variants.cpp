@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/synl/sema.h"
 
 namespace synat::atomicity {
@@ -367,6 +369,7 @@ class VariantGen {
 VariantSet generate_variants(Program& prog, ProcId proc,
                              const analysis::ProcAnalysis& pa,
                              DiagEngine& diags, const VariantOptions& opts) {
+  obs::SpanScope span(obs::StageId::Variants);
   VariantSet out;
   out.original = proc;
 
@@ -411,6 +414,9 @@ VariantSet generate_variants(Program& prog, ProcId proc,
     resolve_proc(prog, vid, diags);
     out.variants.push_back(vid);
   }
+  static obs::Counter& variants_total =
+      obs::registry().counter("synat_variants_generated_total");
+  variants_total.inc(out.variants.size());
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "synat/obs/trace.h"
 #include "synat/synl/printer.h"
 
 namespace synat::cfg {
@@ -424,6 +425,7 @@ class CfgBuilder {
 };
 
 Cfg build_cfg(const Program& prog, ProcId proc) {
+  obs::SpanScope span(obs::StageId::CfgLiveness);
   return CfgBuilder(prog, proc).build();
 }
 

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "synat/driver/report.h"
+#include "synat/obs/trace.h"
 
 namespace synat::driver::codec {
 
@@ -51,5 +53,18 @@ bool get_proc_report(Reader& in, ProcReport& r);
 /// Whole-program payload (journal record / worker Result frame unit).
 void put_program_report(std::string& out, const ProgramReport& r);
 bool get_program_report(Reader& in, ProgramReport& r);
+
+/// Telemetry payload (worker Telemetry frame unit): the spans a worker
+/// collected plus its registry delta since fork. Span lanes are not
+/// encoded — the supervisor assigns the lane when it injects the spans.
+/// Counts are sanity-capped (kMaxTelemetrySpans / kMaxTelemetryMetrics)
+/// and the histogram bucket count must match obs::Histogram::kBuckets, so
+/// a corrupt frame fails decode instead of driving a giant allocation.
+inline constexpr uint64_t kMaxTelemetrySpans = uint64_t{1} << 22;
+inline constexpr uint64_t kMaxTelemetryMetrics = uint64_t{1} << 16;
+void put_telemetry(std::string& out, const std::vector<obs::SpanRecord>& spans,
+                   const obs::MetricsSnapshot& delta);
+bool get_telemetry(Reader& in, std::vector<obs::SpanRecord>& spans,
+                   obs::MetricsSnapshot& delta);
 
 }  // namespace synat::driver::codec

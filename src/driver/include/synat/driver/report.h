@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "synat/obs/metrics.h"
+
 namespace synat::driver {
 
 /// One annotated source line of a variant listing: the statement head with
@@ -124,6 +126,11 @@ struct Metrics {
   size_t journal_rejected = 0;  ///< journals/records rejected as corrupt/stale
   size_t jobs = 0;
   LatencyHistogram stage[static_cast<size_t>(Stage::COUNT)];
+  /// Registry delta for this run (obs counters/gauges/histograms), filled
+  /// by BatchDriver::run. The deterministic counters feed the report's
+  /// "counters" section (RenderOptions::counters); the rest only reach the
+  /// Prometheus exporter.
+  obs::MetricsSnapshot telemetry;
 };
 
 /// The documented exit-code convention, as one explicit precedence order:
@@ -148,6 +155,11 @@ struct RenderOptions {
   /// Include the per-stage wall-time histograms in the metrics block.
   /// Off by default so default output is byte-deterministic across runs.
   bool timings = false;
+  /// Include the deterministic obs counters (schema v4 "counters" section).
+  /// Off by default for the same reason --timings is: a --resume run must
+  /// stay byte-identical to the uninterrupted run, and journal counters
+  /// necessarily differ between the two.
+  bool counters = false;
 };
 
 /// Deterministic renderers (pure functions of the report).

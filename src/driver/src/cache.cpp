@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "synat/driver/codec.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/support/hash.h"
 
 namespace synat::driver {
@@ -57,19 +59,29 @@ bool get_u64(std::istream& in, uint64_t& v) {
 }  // namespace
 
 std::shared_ptr<const ProcReport> ResultCache::lookup(uint64_t key) {
+  obs::SpanScope span(obs::StageId::CacheLookup);
+  static obs::Counter& hits = obs::registry().counter("synat_cache_hits_total");
+  static obs::Counter& misses =
+      obs::registry().counter("synat_cache_misses_total");
   Shard& s = shard(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    misses.inc();
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hits.inc();
   return it->second;
 }
 
 std::shared_ptr<const ProcReport> ResultCache::insert(
     uint64_t key, std::shared_ptr<const ProcReport> report) {
+  obs::SpanScope span(obs::StageId::CacheStore);
+  static obs::Counter& inserts =
+      obs::registry().counter("synat_cache_inserts_total");
+  inserts.inc();
   Shard& s = shard(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto [it, inserted] = s.map.emplace(key, std::move(report));
@@ -117,7 +129,12 @@ bool ResultCache::save(const std::string& path) const {
 bool ResultCache::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;  // no snapshot: a plain cold start, not corruption
-  auto reject = [this] { rejected_.fetch_add(1, std::memory_order_relaxed); };
+  auto reject = [this] {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& rejected =
+        obs::registry().counter("synat_cache_rejected_total");
+    rejected.inc();
+  };
   char magic[sizeof kMagic];
   if (!in.read(magic, sizeof magic) ||
       std::string_view(magic, sizeof magic) !=

@@ -188,4 +188,64 @@ bool get_program_report(Reader& in, ProgramReport& r) {
   return true;
 }
 
+void put_telemetry(std::string& out, const std::vector<obs::SpanRecord>& spans,
+                   const obs::MetricsSnapshot& delta) {
+  put_u64(out, spans.size());
+  for (const obs::SpanRecord& s : spans) {
+    put_u32(out, s.stage);
+    put_u32(out, s.tid);
+    put_u64(out, s.start_ns);
+    put_u64(out, s.dur_ns);
+  }
+  put_u64(out, delta.counters.size());
+  for (const obs::CounterSample& c : delta.counters) {
+    put_str(out, c.name);
+    put_u64(out, c.value);
+    put_u32(out, c.deterministic ? 1 : 0);
+  }
+  put_u64(out, delta.histograms.size());
+  for (const obs::HistogramSample& h : delta.histograms) {
+    put_str(out, h.name);
+    put_u32(out, static_cast<uint32_t>(obs::Histogram::kBuckets));
+    for (uint64_t b : h.buckets) put_u64(out, b);
+    put_u64(out, h.sum_ns);
+  }
+}
+
+bool get_telemetry(Reader& in, std::vector<obs::SpanRecord>& spans,
+                   obs::MetricsSnapshot& delta) {
+  uint64_t ns = 0, u = 0;
+  uint32_t w = 0;
+  if (!in.get_u64(ns) || ns > kMaxTelemetrySpans) return false;
+  spans.clear();
+  spans.reserve(ns);
+  for (uint64_t i = 0; i < ns; ++i) {
+    obs::SpanRecord s;
+    if (!in.get_u32(s.stage) || s.stage >= obs::kNumStages) return false;
+    if (!in.get_u32(s.tid) || !in.get_u64(s.start_ns) || !in.get_u64(s.dur_ns))
+      return false;
+    spans.push_back(s);
+  }
+  uint64_t nc = 0;
+  if (!in.get_u64(nc) || nc > kMaxTelemetryMetrics) return false;
+  delta.counters.resize(nc);
+  for (obs::CounterSample& c : delta.counters) {
+    if (!in.get_str(c.name) || !in.get_u64(c.value) || !in.get_u32(w) || w > 1)
+      return false;
+    c.deterministic = w != 0;
+  }
+  uint64_t nh = 0;
+  if (!in.get_u64(nh) || nh > kMaxTelemetryMetrics) return false;
+  delta.histograms.resize(nh);
+  for (obs::HistogramSample& h : delta.histograms) {
+    if (!in.get_str(h.name) || !in.get_u32(w) || w != obs::Histogram::kBuckets)
+      return false;
+    for (uint64_t& b : h.buckets)
+      if (!in.get_u64(b)) return false;
+    if (!in.get_u64(u)) return false;
+    h.sum_ns = u;
+  }
+  return true;
+}
+
 }  // namespace synat::driver::codec

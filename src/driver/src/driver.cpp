@@ -7,6 +7,8 @@
 #include "synat/atomicity/blocks.h"
 #include "synat/driver/journal.h"
 #include "synat/driver/worker.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/support/hash.h"
 #include "synat/synl/parser.h"
 #include "synat/synl/printer.h"
@@ -22,17 +24,29 @@ uint64_t now_ns() {
           .count());
 }
 
-/// RAII stage timer; no clock calls unless timing collection is on.
+obs::StageId obs_stage(Stage s) {
+  switch (s) {
+    case Stage::Parse: return obs::StageId::Parse;
+    case Stage::Analyze: return obs::StageId::Analyze;
+    case Stage::Report: return obs::StageId::Report;
+    case Stage::COUNT: break;
+  }
+  return obs::StageId::Parse;
+}
+
+/// RAII stage timer; no clock calls unless timing collection is on. The
+/// embedded SpanScope gates itself on the obs flags independently.
 class StageTimer {
  public:
   StageTimer(ReportSink& sink, Stage stage, bool enabled)
-      : sink_(sink), stage_(stage), enabled_(enabled),
-        start_(enabled ? now_ns() : 0) {}
+      : span_(obs_stage(stage)), sink_(sink), stage_(stage),
+        enabled_(enabled), start_(enabled ? now_ns() : 0) {}
   ~StageTimer() {
     if (enabled_) sink_.add_stage_time(stage_, now_ns() - start_);
   }
 
  private:
+  obs::SpanScope span_;
   ReportSink& sink_;
   Stage stage_;
   bool enabled_;
@@ -91,6 +105,9 @@ void collect_lines(const synl::Program& prog,
 std::shared_ptr<const ProcReport> make_proc_report(
     const synl::Program& prog, const atomicity::ProcResult& pr,
     uint64_t key) {
+  static obs::Counter& procs_analyzed =
+      obs::registry().counter("synat_procs_analyzed_total");
+  procs_analyzed.inc();
   auto report = std::make_shared<ProcReport>();
   report->name = std::string(prog.syms().name(prog.proc(pr.proc).name));
   report->line = prog.proc(pr.proc).loc.line;
@@ -123,6 +140,9 @@ std::shared_ptr<const ProcReport> make_degraded_report(std::string name,
                                                        uint32_t line,
                                                        std::string kind,
                                                        std::string reason) {
+  static obs::Counter& degraded =
+      obs::registry().counter("synat_degraded_total");
+  degraded.inc();
   auto report = std::make_shared<ProcReport>();
   report->name = std::move(name);
   report->line = line;
@@ -179,6 +199,11 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
   // recovery entirely.
   bool recovered =
       diags.has_errors() && fe.contained && healthy > 0 && !opts_.strict;
+  if (recovered) {
+    static obs::Counter& recoveries =
+        obs::registry().counter("synat_parse_recovered_total");
+    recoveries.inc();
+  }
   if (diags.has_errors() && !recovered) {
     sink.fail_program(index, input.name, ProgramStatus::ParseError,
                       diag_reports(diags));
@@ -345,59 +370,76 @@ BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
                       : opts_.jobs;
   ReportSink sink(inputs.size());
   Metrics counters;
+  // The run's registry delta starts here: everything the batch increments
+  // (in-process or merged back from workers) minus what previous runs in
+  // this process already counted.
+  const obs::MetricsSnapshot telemetry_base = obs::registry().snapshot();
+  obs::registry().gauge("synat_jobs").set(jobs);
+  static obs::Counter& programs_total =
+      obs::registry().counter("synat_programs_total");
+  programs_total.inc(inputs.size());
 
   // Per-program journal keys and the whole-batch fingerprint. The key is
   // content-addressed (name, source, options), so a journal can only ever
   // replay a verdict for the exact program text it was computed from.
   std::vector<uint64_t> keys(inputs.size());
-  Hasher batch_hash;
-  batch_hash.mix(static_cast<uint64_t>(inputs.size()));
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    keys[i] = Hasher()
-                  .mix(inputs[i].name)
-                  .mix(inputs[i].source)
-                  .mix(options_fingerprint(inputs[i].opts))
-                  .value();
-    batch_hash.mix(keys[i]);
-  }
-  uint64_t batch_fp = batch_hash.value();
-
-  // Journal replay and (re)open. The writer outlives the pool/supervisor
-  // below: completion callbacks append to it from worker threads.
   JournalWriter journal;
   std::vector<bool> done(inputs.size(), false);
-  if (!opts_.journal_path.empty()) {
-    std::vector<JournalRecord> keep;
-    if (opts_.resume) {
-      JournalReplay replay = read_journal(opts_.journal_path, batch_fp);
-      if (replay.rejected_whole) ++counters.journal_rejected;
-      counters.journal_rejected += replay.rejected_records;
-      for (JournalRecord& rec : replay.records) {
-        size_t target = inputs.size();
-        for (size_t i = 0; i < inputs.size(); ++i) {
-          if (keys[i] == rec.key && !done[i]) {
-            target = i;
-            break;
-          }
-        }
-        if (target == inputs.size() || !journal_worthy(rec.report)) {
-          ++counters.journal_rejected;  // stale or unworthy record
-          continue;
-        }
-        sink.set_program(target, rec.report);
-        done[target] = true;
-        ++counters.journal_replayed;
-        keep.push_back(std::move(rec));
-      }
+  {
+    obs::SpanScope schedule_span(obs::StageId::Schedule);
+    Hasher batch_hash;
+    batch_hash.mix(static_cast<uint64_t>(inputs.size()));
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      keys[i] = Hasher()
+                    .mix(inputs[i].name)
+                    .mix(inputs[i].source)
+                    .mix(options_fingerprint(inputs[i].opts))
+                    .value();
+      batch_hash.mix(keys[i]);
     }
-    journal.open(opts_.journal_path, batch_fp, keep);
-  }
+    uint64_t batch_fp = batch_hash.value();
 
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    if (done[i] || inputs[i].load_error.empty()) continue;
-    sink.fail_program(i, inputs[i].name, ProgramStatus::LoadError,
-                      {{"error", 0, 0, inputs[i].load_error}});
-    done[i] = true;
+    // Journal replay and (re)open. The writer outlives the pool/supervisor
+    // below: completion callbacks append to it from worker threads.
+    if (!opts_.journal_path.empty()) {
+      static obs::Counter& journal_replayed =
+          obs::registry().counter("synat_journal_replayed_total");
+      static obs::Counter& journal_rejected =
+          obs::registry().counter("synat_journal_rejected_total");
+      std::vector<JournalRecord> keep;
+      if (opts_.resume) {
+        JournalReplay replay = read_journal(opts_.journal_path, batch_fp);
+        if (replay.rejected_whole) ++counters.journal_rejected;
+        counters.journal_rejected += replay.rejected_records;
+        for (JournalRecord& rec : replay.records) {
+          size_t target = inputs.size();
+          for (size_t i = 0; i < inputs.size(); ++i) {
+            if (keys[i] == rec.key && !done[i]) {
+              target = i;
+              break;
+            }
+          }
+          if (target == inputs.size() || !journal_worthy(rec.report)) {
+            ++counters.journal_rejected;  // stale or unworthy record
+            continue;
+          }
+          sink.set_program(target, rec.report);
+          done[target] = true;
+          ++counters.journal_replayed;
+          keep.push_back(std::move(rec));
+        }
+      }
+      journal_replayed.inc(counters.journal_replayed);
+      journal_rejected.inc(counters.journal_rejected);
+      journal.open(opts_.journal_path, batch_fp, keep);
+    }
+
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (done[i] || inputs[i].load_error.empty()) continue;
+      sink.fail_program(i, inputs[i].name, ProgramStatus::LoadError,
+                        {{"error", 0, 0, inputs[i].load_error}});
+      done[i] = true;
+    }
   }
 
   size_t hits0 = cache_->hits(), misses0 = cache_->misses();
@@ -435,6 +477,12 @@ BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
   // rejected() is a lifetime counter and load() runs before run(), so the
   // absolute value (not a delta) is what this batch observed.
   counters.cache_rejected = cache_->rejected();
+  static obs::Counter& span_drops =
+      obs::registry().counter("synat_trace_spans_dropped_total", false);
+  uint64_t dropped = obs::Tracer::instance().dropped();
+  uint64_t counted = span_drops.value();
+  if (dropped > counted) span_drops.inc(dropped - counted);
+  counters.telemetry = obs::registry().snapshot().delta_from(telemetry_base);
   return sink.finish(counters, jobs);
 }
 

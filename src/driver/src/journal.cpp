@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "synat/driver/codec.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/support/hash.h"
 
 namespace synat::driver {
@@ -35,6 +37,7 @@ bool get_u32(std::istream& in, uint32_t& v) {
 
 JournalReplay read_journal(const std::string& path,
                            uint64_t batch_fingerprint) {
+  obs::SpanScope span(obs::StageId::JournalReplay);
   JournalReplay out;
   std::ifstream in(path, std::ios::binary);
   if (!in) return out;  // no journal: a fresh batch, not an error
@@ -124,9 +127,14 @@ bool JournalWriter::write_record_locked(uint64_t key,
 }
 
 void JournalWriter::append(uint64_t key, const ProgramReport& report) {
+  obs::SpanScope span(obs::StageId::JournalAppend);
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;
-  write_record_locked(key, report);
+  if (write_record_locked(key, report)) {
+    static obs::Counter& appended =
+        obs::registry().counter("synat_journal_appended_total");
+    appended.inc();
+  }
 }
 
 void JournalWriter::close() {

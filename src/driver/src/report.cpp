@@ -162,6 +162,7 @@ BatchReport ReportSink::finish(const Metrics& counters, size_t jobs) {
   metrics_.journal_replayed = counters.journal_replayed;
   metrics_.journal_rejected = counters.journal_rejected;
   metrics_.jobs = jobs;
+  metrics_.telemetry = counters.telemetry;
   for (ProgramReport& pr : programs_) {
     if (pr.status == ProgramStatus::Ok) {
       for (const auto& p : pr.procs) {
@@ -234,6 +235,15 @@ void emit_metrics(JsonWriter& w, const BatchReport& r,
   w.key("cache_hits").value(r.metrics.cache_hits);
   w.key("cache_misses").value(r.metrics.cache_misses);
   w.key("cache_rejected").value(r.metrics.cache_rejected);
+  if (opts.counters) {
+    // Schema v4: the run's deterministic registry counters, name-sorted.
+    // Gated because journal counters legitimately differ between a
+    // --resume run and the uninterrupted run it must otherwise match.
+    w.key("counters").begin_object();
+    for (const obs::CounterSample& c : r.metrics.telemetry.counters)
+      if (c.deterministic) w.key(c.name).value(c.value);
+    w.end_object();
+  }
   if (opts.timings) {
     w.key("stages").begin_object();
     for (size_t s = 0; s < static_cast<size_t>(Stage::COUNT); ++s) {
@@ -267,7 +277,8 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("synat-batch-report");
-  w.key("version").value(3);
+  // v4 adds the optional metrics "counters" section (RenderOptions).
+  w.key("version").value(4);
   w.key("programs").begin_array();
   for (const ProgramReport& prog : report.programs) {
     w.begin_object();

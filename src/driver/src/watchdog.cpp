@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "synat/obs/metrics.h"
+
 namespace synat::driver {
 
 Watchdog::Watchdog() : thread_([this] { loop(); }) {}
@@ -53,6 +55,11 @@ void Watchdog::loop() {
     uint64_t earliest = UINT64_MAX;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->deadline_ns <= now) {
+        // Trips are timing-dependent, so the counter is nondeterministic by
+        // registration and never enters the JSON report.
+        static obs::Counter& trips =
+            obs::registry().counter("synat_watchdog_trips_total", false);
+        trips.inc();
         it->budget->cancel("deadline");
         it = entries_.erase(it);
       } else {
@@ -67,6 +74,9 @@ void Watchdog::loop() {
 
 Watchdog::Scope::Scope(Watchdog* dog, ExecBudget& budget, uint64_t delay_ms) {
   if (delay_ms == 0) return;
+  static obs::Counter& arms =
+      obs::registry().counter("synat_watchdog_arms_total");
+  arms.inc();
   budget.arm_deadline_ms(delay_ms);
   if (dog != nullptr) {
     dog_ = dog;

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "synat/driver/codec.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/support/fault.h"
 #include "synat/support/frame.h"
 #include "synat/support/subprocess.h"
@@ -80,13 +82,22 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
 
   support::maybe_inject_fault(input.name, static_cast<unsigned>(attempt));
 
+  // Telemetry baseline: the fork copied the supervisor's rings and counter
+  // values, so shed the inherited spans and delta against the inherited
+  // counts — what crosses the pipe is exactly this worker's contribution.
+  obs::Tracer::instance().reset();
+  const obs::MetricsSnapshot obs_base = obs::registry().snapshot();
+
   WorkerPipe pipe{out_fd, {}};
   std::atomic<bool> stop{false};
   std::mutex beat_mu;
   std::condition_variable beat_cv;
   std::thread heartbeat([&] {
     std::unique_lock<std::mutex> lock(beat_mu);
+    static obs::Counter& heartbeats =
+        obs::registry().counter("synat_worker_heartbeats_total", false);
     while (!stop.load(std::memory_order_relaxed)) {
+      heartbeats.inc();
       if (!pipe.send(FrameType::Heartbeat, {})) return;  // supervisor gone
       beat_cv.wait_for(lock, std::chrono::milliseconds(kHeartbeatMs),
                        [&] { return stop.load(std::memory_order_relaxed); });
@@ -118,6 +129,22 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
   }
   beat_cv.notify_all();
   heartbeat.join();
+  if (rc == 0) {
+    // Telemetry travels in its own frame just before the Result. Failure
+    // to send it is not fatal: the supervisor only trusts (and merges)
+    // telemetry that is followed by a decodable Result anyway.
+    std::vector<obs::SpanRecord> spans;
+    if (obs::flags() & obs::kTraceFlag) spans = obs::Tracer::instance().drain();
+    obs::MetricsSnapshot delta =
+        obs::registry().snapshot().delta_from(obs_base);
+    // The supervisor already counted this program in its own run(); the
+    // sub-driver's copy of that increment must not merge back on top of it.
+    for (obs::CounterSample& c : delta.counters)
+      if (c.name == "synat_programs_total") c.value = 0;
+    std::string telem;
+    codec::put_telemetry(telem, spans, delta);
+    pipe.send(FrameType::Telemetry, telem);
+  }
   if (rc == 0 && !pipe.send(FrameType::Result, result)) rc = 111;
   return rc;
 }
@@ -140,6 +167,9 @@ struct Slot {
   FrameReader reader;
   uint64_t last_beat_ms = 0;
   bool live = false;
+  /// Stashed Telemetry payload; merged only when a decodable Result
+  /// follows, so a crashed or retried attempt never double-counts.
+  std::string telemetry;
 };
 
 void close_slot(Slot& s) {
@@ -148,6 +178,27 @@ void close_slot(Slot& s) {
   s.child = Child{};
   s.reader = FrameReader{};
   s.live = false;
+  s.telemetry.clear();
+}
+
+/// Folds a worker's stashed telemetry into the supervisor's registry and
+/// tracer. Lane = task index + 1 (lane 0 is the supervisor), which is
+/// deterministic where a pid would not be.
+void merge_telemetry(Slot& s, const std::vector<ProgramInput>& inputs) {
+  if (s.telemetry.empty()) return;
+  codec::Reader r(s.telemetry);
+  std::vector<obs::SpanRecord> spans;
+  obs::MetricsSnapshot delta;
+  if (codec::get_telemetry(r, spans, delta) && r.at_end()) {
+    obs::registry().merge(delta);
+    if (!spans.empty()) {
+      uint32_t lane = static_cast<uint32_t>(s.index) + 1;
+      obs::Tracer::instance().inject(lane, spans);
+      obs::Tracer::instance().set_lane_name(
+          lane, "worker " + inputs[s.index].name);
+    }
+  }
+  s.telemetry.clear();
 }
 
 }  // namespace
@@ -180,7 +231,13 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
   // A worker died (or was reaped) before delivering its Result: retry with
   // backoff while attempts remain, then contain it as a degraded program.
   auto worker_failed = [&](Slot& s, const std::string& reason) {
+    static obs::Counter& crashes =
+        obs::registry().counter("synat_worker_crashes_total");
+    crashes.inc();
     if (s.attempt <= opts.retries) {
+      static obs::Counter& retries =
+          obs::registry().counter("synat_worker_retries_total");
+      retries.inc();
       pending.push_back({s.index, s.attempt + 1,
                          now_ms() + (kBackoffBaseMs << (s.attempt - 1))});
     } else {
@@ -212,6 +269,10 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
       if (ready == pending.end()) break;  // all remaining are backing off
       Pending task = *ready;
       pending.erase(ready);
+      obs::SpanScope dispatch_span(obs::StageId::Dispatch);
+      static obs::Counter& dispatches =
+          obs::registry().counter("synat_worker_dispatches_total");
+      dispatches.inc();
       s.index = task.index;
       s.attempt = task.attempt;
       s.child = support::spawn_child(
@@ -294,12 +355,20 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
             }
             if (journal.active() && journal_worthy(report))
               journal.append(keys[s.index], report);
+            static obs::Counter& results =
+                obs::registry().counter("synat_worker_results_total");
+            results.inc();
+            merge_telemetry(s, inputs);
             sink.set_program(s.index, std::move(report));
             support::wait_child(s.child.pid);
             close_slot(s);
             --live;
             handled = true;
             break;
+          }
+          if (type == FrameType::Telemetry) {
+            s.telemetry = std::move(payload);
+            continue;
           }
           // Heartbeat (or an unexpected type): liveness either way.
         }

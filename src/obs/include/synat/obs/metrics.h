@@ -1,0 +1,162 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bound
+// histograms, unifying the driver's formerly scattered stderr counters
+// (cache hits/rejections, journal replay, worker retries, watchdog trips)
+// behind one exportable surface.
+//
+// Hot-path cost is one relaxed atomic RMW per event. Metric objects are
+// created once (under the registry mutex) and never move or die, so call
+// sites cache a reference in a function-local static. Every metric is
+// tagged deterministic or not: deterministic values are pure functions of
+// the inputs and options for a given execution mode (procedure counts,
+// cache hits, journal replays), nondeterministic ones depend on wall-clock
+// scheduling (heartbeats, watchdog trips, ring-buffer drops). Only the
+// deterministic set is rendered into the JSON report, which keeps the
+// byte-determinism contract of `synat batch --jobs N` intact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synat/obs/obs.h"
+
+namespace synat::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// In-place zeroing (Registry::reset) — cached references stay valid.
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Duration histogram with fixed bucket bounds (ns): 1µs, 10µs, 100µs,
+/// 1ms, 10ms, 100ms, 1s, 10s, +Inf. Fixed bounds keep every exporter and
+/// the worker-telemetry merge trivially well defined.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 9;
+  static const uint64_t kBounds[kBuckets - 1];  ///< upper bounds, last is +Inf
+
+  void observe(uint64_t ns) {
+    size_t b = 0;
+    while (b < kBuckets - 1 && ns > kBounds[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add(const uint64_t counts[kBuckets], uint64_t sum_ns) {
+    for (size_t i = 0; i < kBuckets; ++i)
+      buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    sum_ns_.fetch_add(sum_ns, std::memory_order_relaxed);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < kBuckets; ++i) n += bucket(i);
+    return n;
+  }
+  /// In-place zeroing (Registry::reset) — cached references stay valid.
+  void reset() {
+    for (size_t i = 0; i < kBuckets; ++i)
+      buckets_[i].store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+// Point-in-time samples; the unit of export, wire transfer, and merging.
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+  bool deterministic = true;
+};
+struct GaugeSample {
+  std::string name;
+  uint64_t value = 0;
+};
+struct HistogramSample {
+  std::string name;
+  uint64_t buckets[Histogram::kBuckets] = {};
+  uint64_t sum_ns = 0;
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (uint64_t b : buckets) n += b;
+    return n;
+  }
+};
+
+/// A full registry snapshot (all vectors sorted by name) or, equally, a
+/// delta between two snapshots — the difference is only how it was made.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// this − base, per metric name (names missing from base count from 0).
+  /// Gauges are carried over as-is: a gauge is a level, not an increment.
+  MetricsSnapshot delta_from(const MetricsSnapshot& base) const;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Get-or-create by name. The deterministic flag is fixed at creation;
+  /// later calls with a different flag keep the original.
+  Counter& counter(std::string_view name, bool deterministic = true);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// The per-stage duration histogram ("synat_pipeline_parse_duration_ns",
+  /// "synat_driver_dispatch_duration_ns", ...). Array-indexed: hot path.
+  Histogram& stage_histogram(StageId s) { return *stage_hist_[static_cast<size_t>(s)]; }
+
+  MetricsSnapshot snapshot() const;
+  /// Adds a delta (decoded worker telemetry) into this registry's
+  /// counters and histograms; gauges are not merged.
+  void merge(const MetricsSnapshot& delta);
+  /// Zeroes every registered metric (forked workers shed inherited counts;
+  /// tests isolate themselves). Registered names survive.
+  void reset();
+
+ private:
+  Registry();
+
+  struct CounterEntry {
+    Counter c;
+    bool deterministic = true;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CounterEntry>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  Histogram* stage_hist_[kNumStages] = {};
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace synat::obs

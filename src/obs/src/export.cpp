@@ -1,0 +1,166 @@
+#include "synat/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace synat::obs {
+
+namespace {
+
+// Minimal JSON string escape. obs cannot use the driver's JsonWriter
+// (driver links against obs, not the other way around) and lane names are
+// the only free-form strings in the document.
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Nanoseconds rendered as microseconds with fixed 3-decimal precision:
+// exact, locale-independent, and byte-stable (no floating point).
+void append_us(std::string& out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::vector<std::pair<uint32_t, std::string>>& lanes) {
+  uint64_t base = UINT64_MAX;
+  for (const auto& s : spans) base = std::min(base, s.start_ns);
+  if (base == UINT64_MAX) base = 0;
+
+  std::string out;
+  out.reserve(128 + spans.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto lanes_sorted = lanes;
+  std::sort(lanes_sorted.begin(), lanes_sorted.end());
+  for (const auto& [lane, name] : lanes_sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":";
+    append_u64(out, lane);
+    out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+    append_escaped(out, name);
+    out += "}},{\"ph\":\"M\",\"pid\":";
+    append_u64(out, lane);
+    out += ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":";
+    append_u64(out, lane);
+    out += "}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    const auto stage = static_cast<StageId>(s.stage);
+    out += "{\"ph\":\"X\",\"name\":\"";
+    out += stage_name(stage);
+    out += "\",\"cat\":\"";
+    out += stage_category(stage);
+    out += "\",\"pid\":";
+    append_u64(out, s.lane);
+    out += ",\"tid\":";
+    append_u64(out, s.tid);
+    out += ",\"ts\":";
+    append_us(out, s.start_ns - base);
+    out += ",\"dur\":";
+    append_us(out, s.dur_ns);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  auto full_name = [](const std::string& name) {
+    const std::string_view suffix = "_total";
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      return name;
+    return name + "_total";
+  };
+  for (const auto& c : snap.counters) {
+    std::string name = full_name(c.name);
+    out += "# HELP " + name + " synat counter";
+    if (!c.deterministic) out += " (nondeterministic)";
+    out += "\n# TYPE " + name + " counter\n" + name + ' ';
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    out += "# HELP " + g.name + " synat gauge\n# TYPE " + g.name +
+           " gauge\n" + g.name + ' ';
+    append_u64(out, g.value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out += "# HELP " + h.name +
+           " synat duration histogram (nanoseconds; sums nondeterministic)\n";
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cum += h.buckets[i];
+      out += h.name + "_bucket{le=\"";
+      if (i < Histogram::kBuckets - 1)
+        append_u64(out, Histogram::kBounds[i]);
+      else
+        out += "+Inf";
+      out += "\"} ";
+      append_u64(out, cum);
+      out += '\n';
+    }
+    out += h.name + "_sum ";
+    append_u64(out, h.sum_ns);
+    out += '\n' + h.name + "_count ";
+    append_u64(out, cum);
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                std::string* err) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (err) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  f.flush();
+  if (!f) {
+    if (err) *err = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace synat::obs

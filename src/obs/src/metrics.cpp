@@ -1,0 +1,178 @@
+#include "synat/obs/metrics.h"
+
+#include <algorithm>
+
+namespace synat::obs {
+
+const uint64_t Histogram::kBounds[Histogram::kBuckets - 1] = {
+    1'000,          // 1µs
+    10'000,         // 10µs
+    100'000,        // 100µs
+    1'000'000,      // 1ms
+    10'000'000,     // 10ms
+    100'000'000,    // 100ms
+    1'000'000'000,  // 1s
+    10'000'000'000, // 10s
+};
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: usable during teardown
+  return *r;
+}
+
+Registry::Registry() {
+  // Eagerly register the well-known metric set so every run exports the
+  // same names regardless of which code paths fired; the JSON counters
+  // section and cross-mode comparisons then never see present-vs-absent
+  // differences.
+  static constexpr struct {
+    const char* name;
+    bool deterministic;
+  } kCounters[] = {
+      {"synat_programs_total", true},
+      {"synat_procs_analyzed_total", true},
+      {"synat_variants_generated_total", true},
+      {"synat_parse_recovered_total", true},
+      {"synat_degraded_total", true},
+      {"synat_cache_hits_total", true},
+      {"synat_cache_misses_total", true},
+      {"synat_cache_rejected_total", true},
+      {"synat_cache_inserts_total", true},
+      {"synat_journal_appended_total", true},
+      {"synat_journal_replayed_total", true},
+      {"synat_journal_rejected_total", true},
+      {"synat_worker_dispatches_total", true},
+      {"synat_worker_results_total", true},
+      {"synat_worker_retries_total", true},
+      {"synat_worker_crashes_total", true},
+      {"synat_watchdog_arms_total", true},
+      {"synat_watchdog_trips_total", false},
+      {"synat_worker_heartbeats_total", false},
+      {"synat_trace_spans_dropped_total", false},
+  };
+  for (const auto& c : kCounters) counter(c.name, c.deterministic);
+  gauge("synat_jobs");
+  for (size_t i = 0; i < kNumStages; ++i) {
+    const auto s = static_cast<StageId>(i);
+    std::string name = "synat_";
+    name += stage_category(s);
+    name += '_';
+    name += stage_name(s);
+    name += "_duration_ns";
+    stage_hist_[i] = &histogram(name);
+  }
+}
+
+Counter& Registry::counter(std::string_view name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    auto entry = std::make_unique<CounterEntry>();
+    entry->deterministic = deterministic;
+    it = counters_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second->c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_)
+    snap.counters.push_back({name, entry->c.value(), entry->deterministic});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) s.buckets[i] = h->bucket(i);
+    s.sum_ns = h->sum_ns();
+    snap.histograms.push_back(std::move(s));
+  }
+  // std::map iteration is already name-sorted; the ordering contract of
+  // MetricsSnapshot is kept explicit here for delta_from and exporters.
+  return snap;
+}
+
+void Registry::merge(const MetricsSnapshot& delta) {
+  for (const auto& c : delta.counters)
+    if (c.value != 0) counter(c.name, c.deterministic).inc(c.value);
+  for (const auto& h : delta.histograms)
+    histogram(h.name).add(h.buckets, h.sum_ns);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) {
+    (void)name;
+    entry->c.reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->set(0);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->reset();
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_from(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  out.gauges = gauges;
+  auto base_counter = [&](const std::string& name) -> uint64_t {
+    auto it = std::lower_bound(
+        base.counters.begin(), base.counters.end(), name,
+        [](const CounterSample& c, const std::string& n) { return c.name < n; });
+    return (it != base.counters.end() && it->name == name) ? it->value : 0;
+  };
+  out.counters.reserve(counters.size());
+  for (const auto& c : counters) {
+    uint64_t b = base_counter(c.name);
+    out.counters.push_back({c.name, c.value >= b ? c.value - b : 0,
+                            c.deterministic});
+  }
+  auto base_hist = [&](const std::string& name) -> const HistogramSample* {
+    auto it = std::lower_bound(base.histograms.begin(), base.histograms.end(),
+                               name,
+                               [](const HistogramSample& h, const std::string& n) {
+                                 return h.name < n;
+                               });
+    return (it != base.histograms.end() && it->name == name) ? &*it : nullptr;
+  };
+  out.histograms.reserve(histograms.size());
+  for (const auto& h : histograms) {
+    HistogramSample s;
+    s.name = h.name;
+    const HistogramSample* b = base_hist(h.name);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t bv = b ? b->buckets[i] : 0;
+      s.buckets[i] = h.buckets[i] >= bv ? h.buckets[i] - bv : 0;
+    }
+    uint64_t bs = b ? b->sum_ns : 0;
+    s.sum_ns = h.sum_ns >= bs ? h.sum_ns - bs : 0;
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace synat::obs

@@ -21,6 +21,7 @@ enum class FrameType : uint32_t {
   Request = 1,    ///< supervisor → worker: one analysis task
   Result = 2,     ///< worker → supervisor: one encoded ProgramReport
   Heartbeat = 3,  ///< worker → supervisor: liveness while a task runs
+  Telemetry = 4,  ///< worker → supervisor: spans + metric deltas (codec.h)
 };
 
 /// Hard cap on a single frame's payload; anything larger is corruption.

@@ -127,6 +127,45 @@ TEST(DegradedRendering, TextSummaryMentionsCrashes) {
 }
 
 // ---------------------------------------------------------------------------
+// Schema v4: the opt-in deterministic counters section
+
+TEST(SchemaV4, JsonReportsVersionFour) {
+  std::string json = to_json(crashed_batch());
+  EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
+}
+
+TEST(SchemaV4, CountersSectionIsOptInAndDeterministicOnly) {
+  Metrics m;
+  m.telemetry.counters.push_back({"synat_procs_analyzed_total", 45, true});
+  m.telemetry.counters.push_back({"synat_watchdog_trips_total", 2, false});
+  ReportSink sink(0);
+  BatchReport r = sink.finish(m, /*jobs=*/1);
+
+  std::string plain = to_json(r);
+  EXPECT_EQ(plain.find("\"counters\""), std::string::npos)
+      << "default output must stay byte-identical to pre-v4 runs modulo "
+         "the version bump";
+
+  RenderOptions opts;
+  opts.counters = true;
+  std::string with = to_json(r, opts);
+  EXPECT_NE(with.find("\"counters\""), std::string::npos);
+  EXPECT_NE(with.find("\"synat_procs_analyzed_total\": 45"),
+            std::string::npos);
+  EXPECT_EQ(with.find("synat_watchdog_trips_total"), std::string::npos)
+      << "nondeterministic counters must never enter the report";
+}
+
+TEST(SchemaV4, FinishCarriesTelemetryIntoTheReport) {
+  Metrics m;
+  m.telemetry.counters.push_back({"synat_cache_hits_total", 9, true});
+  ReportSink sink(0);
+  BatchReport r = sink.finish(m, 1);
+  ASSERT_EQ(r.metrics.telemetry.counters.size(), 1u);
+  EXPECT_EQ(r.metrics.telemetry.counters[0].value, 9u);
+}
+
+// ---------------------------------------------------------------------------
 // Completion-callback semantics (what the write-ahead journal relies on)
 
 TEST(SinkCompletion, FiresExactlyOnceWhenTheLastProcLands) {

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
     synat::fuzz::run_parser(data, bytes.size());
     synat::fuzz::run_pipeline(data, bytes.size());
+    synat::fuzz::run_telemetry(data, bytes.size());
   }
-  std::printf("replayed %zu seed(s) through 2 targets\n", seeds.size());
+  std::printf("replayed %zu seed(s) through 3 targets\n", seeds.size());
   return 0;
 }

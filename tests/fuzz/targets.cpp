@@ -1,8 +1,13 @@
 #include "targets.h"
 
 #include <string_view>
+#include <vector>
 
 #include "synat/atomicity/infer.h"
+#include "synat/driver/codec.h"
+#include "synat/obs/export.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/support/budget.h"
 #include "synat/support/diag.h"
 #include "synat/synl/parser.h"
@@ -50,6 +55,30 @@ int run_pipeline(const uint8_t* data, size_t size) {
   } catch (const BudgetExceeded&) {
     // The sanctioned escape hatch; anything else is a real bug.
   }
+  return 0;
+}
+
+int run_telemetry(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  driver::codec::Reader in(bytes);
+  std::vector<obs::SpanRecord> spans;
+  obs::MetricsSnapshot delta;
+  if (!driver::codec::get_telemetry(in, spans, delta)) return 0;
+  // Decodable payloads must survive the exporters (hostile metric names hit
+  // the JSON/Prometheus escaping paths) and re-encode to a decode fixpoint.
+  obs::to_chrome_trace(spans, {});
+  obs::to_prometheus(delta);
+  std::string wire;
+  driver::codec::put_telemetry(wire, spans, delta);
+  driver::codec::Reader in2(wire);
+  std::vector<obs::SpanRecord> spans2;
+  obs::MetricsSnapshot delta2;
+  SYNAT_ASSERT(driver::codec::get_telemetry(in2, spans2, delta2),
+               "re-encoded telemetry failed to decode");
+  SYNAT_ASSERT(spans2.size() == spans.size() &&
+                   delta2.counters.size() == delta.counters.size() &&
+                   delta2.histograms.size() == delta.histograms.size(),
+               "telemetry re-encode is not a fixpoint");
   return 0;
 }
 

@@ -20,4 +20,10 @@ int run_parser(const uint8_t* data, size_t size);
 /// the one exception the pipeline is allowed to raise.
 int run_pipeline(const uint8_t* data, size_t size);
 
+/// SYNF Telemetry frame payload decoder (codec::get_telemetry) plus the
+/// exporters fed from it. Arbitrary bytes must either fail decode or yield
+/// a payload that re-encodes to a decode fixpoint and renders through the
+/// Chrome-trace and Prometheus exporters without UB.
+int run_telemetry(const uint8_t* data, size_t size);
+
 }  // namespace synat::fuzz

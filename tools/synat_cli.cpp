@@ -22,6 +22,12 @@
 //                --retries N (re-dispatches of a crashed worker; default 1)
 //                --journal FILE (write-ahead journal of finished programs)
 //                --resume (replay FILE, re-analyzing only what is missing)
+//                --trace-out FILE (Chrome trace-event JSON of every
+//                pipeline/driver stage; per-worker lanes under --isolate)
+//                --metrics-out FILE (Prometheus text exposition of the
+//                run's counters/gauges/histograms)
+//                --report-counters (schema v4 "counters" section in the
+//                JSON report: the deterministic obs counters)
 // mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
 //             --por --atomic Proc (repeatable) --arrays N --max-states N
 //
@@ -43,6 +49,9 @@
 #include "synat/corpus/corpus.h"
 #include "synat/driver/driver.h"
 #include "synat/mc/mc.h"
+#include "synat/obs/export.h"
+#include "synat/obs/metrics.h"
+#include "synat/obs/trace.h"
 #include "synat/synat.h"
 #include "synat/synl/printer.h"
 
@@ -136,6 +145,8 @@ int cmd_batch(int argc, char** argv) {
   std::string format = "json";
   std::string out_path;
   std::string cache_file;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> specs;
   bool all = false;
   size_t max_variants = 0;
@@ -208,6 +219,12 @@ int cmd_batch(int argc, char** argv) {
     } else if (a == "--timings") {
       dopts.collect_timings = true;
       ropts.timings = true;
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (a == "--report-counters") {
+      ropts.counters = true;
     } else if (a == "--per-program") {
       dopts.granularity = driver::Granularity::Program;
     } else if (a == "-o" && i + 1 < argc) {
@@ -260,6 +277,16 @@ int cmd_batch(int argc, char** argv) {
     dopts.use_cache = false;
     cache_file.clear();
   }
+  // Observability flags must be set before the driver runs: --isolate
+  // forks its workers from this process, and the flag word (like the rest
+  // of the address space) is inherited at fork time.
+  uint32_t obs_flags = 0;
+  if (!trace_out.empty()) obs_flags |= obs::kTraceFlag;
+  if (!metrics_out.empty()) obs_flags |= obs::kMetricsFlag;
+  obs::set_flags(obs_flags);
+  if (!trace_out.empty())
+    obs::Tracer::instance().set_lane_name(0,
+                                          dopts.isolate ? "supervisor" : "main");
   driver::BatchDriver drv(dopts);
   if (!cache_file.empty()) {
     drv.cache().load(cache_file);
@@ -287,6 +314,27 @@ int cmd_batch(int argc, char** argv) {
                  "warning: rejected %zu corrupt or stale journal record(s) "
                  "in %s; re-analyzing\n",
                  report.metrics.journal_rejected, dopts.journal_path.c_str());
+  if (!trace_out.empty()) {
+    std::vector<obs::SpanRecord> spans = obs::Tracer::instance().drain();
+    std::string trace =
+        obs::to_chrome_trace(spans, obs::Tracer::instance().lane_names());
+    std::string err;
+    if (!obs::write_file(trace_out, trace, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return kExitInternalError;
+    }
+  }
+  if (!metrics_out.empty()) {
+    // The exposition covers this run's registry delta (what the batch did),
+    // not process-lifetime totals, so two runs of the same corpus export
+    // comparable documents.
+    std::string prom = obs::to_prometheus(report.metrics.telemetry);
+    std::string err;
+    if (!obs::write_file(metrics_out, prom, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return kExitInternalError;
+    }
+  }
   std::string doc = format == "json"    ? driver::to_json(report, ropts)
                     : format == "sarif" ? driver::to_sarif(report)
                                         : driver::to_text(report);
