@@ -186,6 +186,15 @@ void emit_driver_json(const char* path) {
   obs::Tracer::instance().drain();  // discard spans from the timed sweep
   obs::registry().reset();
 
+  // Cost of provenance collection (DESIGN.md §3f): the same serial sweep
+  // with derivation records collected and attached on every input.
+  // serial_ms above is the provenance-disabled number the <1% CI gate
+  // (tools/check_overhead.py --prov-budget) holds against its baseline.
+  std::vector<driver::ProgramInput> prov_inputs = inputs;
+  for (driver::ProgramInput& in : prov_inputs) in.opts.provenance = true;
+  double prov_enabled_ms = sweep_ms(serial, prov_inputs, nullptr, kReps);
+  obs::registry().reset();  // discard the volume counters of the timed sweep
+
   // Same sweep through sandboxed one-shot workers (fork per program,
   // rlimits, framed pipes). The ratio against the in-process parallel run
   // is the price of crash containment; the roadmap budget is <= 10% once
@@ -245,6 +254,8 @@ void emit_driver_json(const char* path) {
                "  \"procs_per_sec_parallel\": %.1f,\n"
                "  \"obs_enabled_ms\": %.3f,\n"
                "  \"obs_enabled_overhead\": %.3f,\n"
+               "  \"provenance_enabled_ms\": %.3f,\n"
+               "  \"provenance_overhead\": %.3f,\n"
                "  \"isolate_ms\": %.3f,\n"
                "  \"isolate_overhead\": %.3f,\n"
                "  \"isolate_per_program_ms\": %.3f,\n"
@@ -257,6 +268,8 @@ void emit_driver_json(const char* path) {
                parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0,
                obs_enabled_ms,
                serial_ms > 0 ? obs_enabled_ms / serial_ms - 1.0 : 0.0,
+               prov_enabled_ms,
+               serial_ms > 0 ? prov_enabled_ms / serial_ms - 1.0 : 0.0,
                isolate_ms,
                parallel_ms > 0 ? isolate_ms / parallel_ms - 1.0 : 0.0,
                per_program_ms, cold_ms,

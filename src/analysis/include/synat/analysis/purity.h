@@ -31,13 +31,23 @@ namespace synat::analysis {
 
 using synl::StmtId;
 
+/// One broken purity premise: which of the Section 4 conditions failed
+/// ("i" global updates, "ii" live local updates, "iii" LL/SC containment),
+/// where, and a rendered explanation. Structured so the provenance layer
+/// can cite the exact premise instead of re-parsing a message.
+struct ImpureReason {
+  std::string condition;  ///< "i", "ii", or "iii"
+  std::string message;    ///< human-readable, includes path/kind/line
+  uint32_t line = 0;      ///< source line of the offending event (0 unknown)
+};
+
 struct LoopPurity {
   StmtId loop;
   bool pure = false;
   /// Action events that can occur in a normally terminating iteration.
   std::unordered_set<EventId> normal_events;
-  /// Human-readable reasons the loop is impure (empty when pure).
-  std::vector<std::string> reasons;
+  /// Broken purity premises (empty when pure).
+  std::vector<ImpureReason> reasons;
 };
 
 class PurityAnalysis {

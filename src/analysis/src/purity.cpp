@@ -110,14 +110,17 @@ void PurityAnalysis::analyze_loop(const cfg::LoopInfo& info) {
     if (!success_in_normal) sc_as_read_.insert(n);
   }
 
-  auto impure = [&](EventId n, const std::string& why) {
-    result.reasons.push_back(
-        why + " at " + cfg_.node(n).path.str(prog_) + " (" +
-        std::string(to_string(cfg_.node(n).kind)) + ", line " +
-        std::to_string(cfg_.node(n).stmt.valid()
-                           ? prog_.stmt(cfg_.node(n).stmt).loc.line
-                           : 0) +
-        ")");
+  auto impure = [&](EventId n, const char* condition, const std::string& why) {
+    uint32_t line = cfg_.node(n).stmt.valid()
+                        ? prog_.stmt(cfg_.node(n).stmt).loc.line
+                        : 0;
+    ImpureReason r;
+    r.condition = condition;
+    r.message = why + " at " + cfg_.node(n).path.str(prog_) + " (" +
+                std::string(to_string(cfg_.node(n).kind)) + ", line " +
+                std::to_string(line) + ")";
+    r.line = line;
+    result.reasons.push_back(std::move(r));
   };
 
   for (EventId n : result.normal_events) {
@@ -134,7 +137,7 @@ void PurityAnalysis::analyze_loop(const cfg::LoopInfo& info) {
         // Condition (iii): all matching SCs in the loop, LL on every path.
         for (EventId sc : matching_.matched_by(n)) {
           if (!member[sc.idx]) {
-            impure(n, "LL matched by an SC outside the loop");
+            impure(n, "iii", "LL matched by an SC outside the loop");
             continue;
           }
           // BFS from the head, not expanding past LL(path) nodes; if the SC
@@ -162,17 +165,17 @@ void PurityAnalysis::analyze_loop(const cfg::LoopInfo& info) {
             }
           }
           if (ll_free_path)
-            impure(n, "matching SC reachable without re-executing the LL");
+            impure(n, "iii", "matching SC reachable without re-executing the LL");
         }
         break;
       }
       case EventKind::Write: {
         if (!is_local_action(n)) {
-          impure(n, "global write in a normally terminating iteration");
+          impure(n, "i", "global write in a normally terminating iteration");
           break;
         }
         if (cfg::live_after(prog_, cfg_, info.head, ev.path)) {
-          impure(n, "local update live at the end of the loop body");
+          impure(n, "ii", "local update live at the end of the loop body");
         }
         break;
       }
@@ -183,10 +186,11 @@ void PurityAnalysis::analyze_loop(const cfg::LoopInfo& info) {
           // SC/CAS on an unshared location behaves like a conditional local
           // write; require deadness like any other local update.
           if (cfg::live_after(prog_, cfg_, info.head, ev.path))
-            impure(n, "local SC/CAS update live at the end of the loop body");
+            impure(n, "ii",
+                   "local SC/CAS update live at the end of the loop body");
           break;
         }
-        impure(n, "SC/CAS update in a normally terminating iteration");
+        impure(n, "i", "SC/CAS update in a normally terminating iteration");
         break;
       }
       default:

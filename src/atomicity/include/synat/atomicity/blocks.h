@@ -36,6 +36,13 @@ struct BlockPartition {
 BlockPartition partition_blocks(const synl::Program& prog,
                                 const VariantResult& v);
 
+/// Step-6 provenance for a partition: one record per atomic block (cut
+/// points are where the greedy composition would become N). Deterministic:
+/// records follow block order.
+std::vector<obs::ProvenanceRecord> block_provenance(
+    const synl::Program& prog, const VariantResult& v,
+    const BlockPartition& part);
+
 /// Program-level summary as the paper reports it: an atomic procedure is a
 /// single block; a non-atomic one contributes the largest partition among
 /// its variants (the worst-case shape later verification must handle).

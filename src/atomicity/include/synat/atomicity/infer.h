@@ -24,6 +24,7 @@
 #include "synat/analysis/proc_analysis.h"
 #include "synat/atomicity/types.h"
 #include "synat/atomicity/variants.h"
+#include "synat/obs/provenance.h"
 #include "synat/support/diag.h"
 
 namespace synat::atomicity {
@@ -48,6 +49,11 @@ struct InferOptions {
   /// procedures are identical to a whole-program run. Used by the batch
   /// driver to parallelize at procedure granularity.
   std::vector<std::string> only_procs;
+  /// Record a structured justification for every classification decision
+  /// (DESIGN.md §3f): which step fired, citing which theorem, on which
+  /// event, with conflict witnesses. Off by default — collection costs a
+  /// record per classified event. Part of the driver's cache fingerprint.
+  bool provenance = false;
 };
 
 struct VariantResult {
@@ -56,6 +62,10 @@ struct VariantResult {
   std::unordered_map<uint32_t, Atomicity> event_atom;  ///< EventId.idx -> type
   std::unordered_map<uint32_t, Atomicity> stmt_atom;   ///< StmtId.idx -> type
   std::shared_ptr<analysis::ProcAnalysis> pa;
+  /// Per-event and per-variant derivation records, in deterministic
+  /// (event-index, then emission) order. Empty unless
+  /// InferOptions::provenance.
+  std::vector<obs::ProvenanceRecord> prov;
 };
 
 struct ProcResult {
@@ -65,6 +75,9 @@ struct ProcResult {
   bool no_variants = false;  ///< pure non-terminating loop: trivially atomic
   bool bailed_out = false;
   std::vector<VariantResult> variants;
+  /// Procedure-level derivation records (step 0 variant/purity facts and
+  /// the step 7 verdict). Empty unless InferOptions::provenance.
+  std::vector<obs::ProvenanceRecord> prov;
 };
 
 class AtomicityResult {

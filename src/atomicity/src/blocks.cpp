@@ -74,6 +74,42 @@ BlockPartition partition_blocks(const synl::Program& prog,
   return out;
 }
 
+std::vector<obs::ProvenanceRecord> block_provenance(
+    const synl::Program& prog, const VariantResult& v,
+    const BlockPartition& part) {
+  std::vector<obs::ProvenanceRecord> out;
+  const std::string vname =
+      prog.proc(v.variant).variant_tag.empty()
+          ? std::string(prog.syms().name(prog.proc(v.variant).name))
+          : prog.proc(v.variant).variant_tag;
+  for (size_t b = 0; b < part.blocks.size(); ++b) {
+    const AtomicBlock& blk = part.blocks[b];
+    obs::ProvenanceRecord r;
+    r.step = 6;
+    r.rule = "atomic-block";
+    r.subject = vname + " block " + std::to_string(b + 1);
+    uint32_t end_line = 0;
+    if (!blk.units.empty()) {
+      StmtId first = blk.units.front().stmt;
+      StmtId last = blk.units.back().stmt;
+      if (first.valid()) {
+        r.line = prog.stmt(first).loc.line;
+        r.column = prog.stmt(first).loc.column;
+      }
+      if (last.valid()) end_line = prog.stmt(last).loc.line;
+    }
+    r.atom = std::string(to_string(blk.atom));
+    r.detail = std::to_string(blk.units.size()) +
+               " unit(s) compose to " + r.atom;
+    if (end_line != 0 && end_line != r.line)
+      r.detail += " (through line " + std::to_string(end_line) + ")";
+    if (b + 1 < part.blocks.size())
+      r.detail += "; extending past the cut would reach N";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 BlockSummary summarize_blocks(const synl::Program& prog,
                               const AtomicityResult& result) {
   BlockSummary sum;

@@ -39,6 +39,23 @@ std::string counted_key(const Program& prog, const AccessPath& path) {
   return cls + "." + f;
 }
 
+/// "SC Ready" / "Write Node.val" — stable event rendering for provenance
+/// subjects and conflict witnesses.
+std::string event_text(const Program& prog, const Event& ev) {
+  std::string out{to_string(ev.kind)};
+  if (ev.path.root.valid()) {
+    out += ' ';
+    out += ev.path.str(prog);
+  }
+  return out;
+}
+
+SourceLoc event_loc(const Program& prog, const Event& ev) {
+  if (ev.expr.valid()) return prog.expr(ev.expr).loc;
+  if (ev.stmt.valid()) return prog.stmt(ev.stmt).loc;
+  return {};
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -125,12 +142,34 @@ class InferEngine {
   bool after_protected(const VariantCtx& ctx, const Region& r, EventId e) const;
 
   /// Whether a conflicting access `f` (in ctx_f) is excluded from the slot
-  /// adjacent to `e` (in ctx_e) in the given direction.
+  /// adjacent to `e` (in ctx_e) in the given direction. When it is, `*why`
+  /// (if non-null) names the exclusion theorem: "5.1", "5.4" or "5.5".
   bool excluded(const VariantCtx& ctx_e, EventId e, const VariantCtx& ctx_f,
-                EventId f, bool before) const;
+                EventId f, bool before, const char** why = nullptr) const;
 
-  Atomicity classify_event(const VariantCtx& ctx, EventId e) const;
-  Atomicity step4(const VariantCtx& ctx, EventId e) const;
+  /// Evidence collected by the step-4 conflict scan in provenance mode.
+  struct Step4Info {
+    bool had_conflict = false;  ///< some aliasing conflicting access scanned
+    uint8_t excl = 0;           ///< exclusion theorems fired: 1=5.1 2=5.4 4=5.5
+    const VariantCtx* witness_ctx = nullptr;  ///< first non-excluded conflict
+    EventId witness;
+    const VariantCtx* excl_ctx = nullptr;  ///< first excluded conflict
+    EventId excl_witness;
+    const char* excl_theorem = nullptr;    ///< theorem that excluded it
+  };
+
+  Atomicity classify_event(const VariantCtx& ctx, EventId e,
+                           std::vector<obs::ProvenanceRecord>* prov) const;
+  Atomicity step4(const VariantCtx& ctx, EventId e,
+                  Step4Info* info = nullptr) const;
+
+  std::string variant_name(const VariantCtx& ctx) const {
+    return prog_.proc(ctx.id).variant_tag.empty()
+               ? std::string(prog_.syms().name(prog_.proc(ctx.id).name))
+               : prog_.proc(ctx.id).variant_tag;
+  }
+  void set_witness(obs::ProvenanceRecord* r, const VariantCtx* wctx,
+                   EventId f) const;
 
   void propagate(VariantCtx& ctx, VariantResult& out) const;
   Atomicity stmt_atom(const VariantCtx& ctx, const VariantResult& res,
@@ -357,11 +396,14 @@ bool InferEngine::after_protected(const VariantCtx& ctx, const Region& r,
 
 bool InferEngine::excluded(const VariantCtx& ctx_e, EventId e,
                            const VariantCtx& ctx_f, EventId f,
-                           bool before) const {
+                           bool before, const char** why) const {
   // (a) Theorem 5.1: both hold a common lock.
   for (const AccessPath& le : ctx_e.held[e.idx]) {
     for (const AccessPath& lf : ctx_f.held[f.idx]) {
-      if (may_alias(prog_, le, lf)) return true;
+      if (may_alias(prog_, le, lf)) {
+        if (why != nullptr) *why = "5.1";
+        return true;
+      }
     }
   }
 
@@ -375,8 +417,10 @@ bool InferEngine::excluded(const VariantCtx& ctx_e, EventId e,
     if (opts_.use_window_rule && re.kind == Region::Window) {
       for (const Region& rf : ctx_f.regions) {
         if (rf.kind == Region::Window && rf.members[f.idx] &&
-            may_alias(prog_, re.svar, rf.svar))
+            may_alias(prog_, re.svar, rf.svar)) {
+          if (why != nullptr) *why = "5.4";
           return true;
+        }
       }
     }
 
@@ -393,21 +437,42 @@ bool InferEngine::excluded(const VariantCtx& ctx_e, EventId e,
       Pred want_cond = e_is_llsc ? analysis::negate(*p) : *p;
       for (const Region& rf : ctx_f.regions) {
         if (rf.kind == want && rf.cond == want_cond && rf.members[f.idx] &&
-            may_alias(prog_, re.svar, rf.svar))
+            may_alias(prog_, re.svar, rf.svar)) {
+          if (why != nullptr) *why = "5.5";
           return true;
+        }
       }
     }
   }
   return false;
 }
 
-Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e) const {
+Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e,
+                             Step4Info* info) const {
   // The O(n^2) conflict scan dominates runtime on large programs; poll the
   // budget once per classified event so deadlines trip promptly.
   if (opts_.variant_opts.budget != nullptr)
     opts_.variant_opts.budget->check("mover classification");
   const Event& ev = ctx.pa->cfg().node(e);
   bool conflict_before = false, conflict_after = false;
+
+  auto note_conflict = [&](const VariantCtx& w, EventId f) {
+    if (info != nullptr && info->witness_ctx == nullptr) {
+      info->witness_ctx = &w;
+      info->witness = f;
+    }
+  };
+  auto note_exclusion = [&](const char* why, const VariantCtx& w, EventId f) {
+    if (info == nullptr || why == nullptr) return;
+    if (why[2] == '1') info->excl |= 1;
+    else if (why[2] == '4') info->excl |= 2;
+    else info->excl |= 4;
+    if (info->excl_ctx == nullptr) {
+      info->excl_ctx = &w;
+      info->excl_witness = f;
+      info->excl_theorem = why;
+    }
+  };
 
   for (const VariantCtx& w : vctx_) {
     const cfg::Cfg& wcfg = w.pa->cfg();
@@ -421,10 +486,25 @@ Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e) const {
       if (fe.kind == EventKind::Acquire || fe.kind == EventKind::Release)
         continue;
       if (!may_alias(prog_, ev.path, fe.path)) continue;
-      if (!conflict_before && !excluded(ctx, e, w, f, /*before=*/true))
-        conflict_before = true;
-      if (!conflict_after && !excluded(ctx, e, w, f, /*before=*/false))
-        conflict_after = true;
+      if (info != nullptr) info->had_conflict = true;
+      if (!conflict_before) {
+        const char* why = nullptr;
+        if (!excluded(ctx, e, w, f, /*before=*/true, &why)) {
+          conflict_before = true;
+          note_conflict(w, f);
+        } else {
+          note_exclusion(why, w, f);
+        }
+      }
+      if (!conflict_after) {
+        const char* why = nullptr;
+        if (!excluded(ctx, e, w, f, /*before=*/false, &why)) {
+          conflict_after = true;
+          note_conflict(w, f);
+        } else {
+          note_exclusion(why, w, f);
+        }
+      }
       if (conflict_before && conflict_after) return Atomicity::A;
     }
   }
@@ -433,39 +513,119 @@ Atomicity InferEngine::step4(const VariantCtx& ctx, EventId e) const {
   return Atomicity::R;                        // nothing can be right after it
 }
 
-Atomicity InferEngine::classify_event(const VariantCtx& ctx, EventId e) const {
+void InferEngine::set_witness(obs::ProvenanceRecord* r, const VariantCtx* wctx,
+                              EventId f) const {
+  if (r == nullptr || wctx == nullptr || !f.valid()) return;
+  const Event& fe = wctx->pa->cfg().node(f);
+  r->witness = event_text(prog_, fe) + " in " + variant_name(*wctx);
+  SourceLoc loc = event_loc(prog_, fe);
+  r->witness_line = loc.line;
+  r->witness_column = loc.column;
+}
+
+namespace {
+
+/// "5.1+5.5" for the exclusion bitset of Step4Info::excl.
+std::string excl_theorems(uint8_t excl) {
+  std::string out;
+  if (excl & 1) out += "5.1";
+  if (excl & 2) out += out.empty() ? "5.4" : "+5.4";
+  if (excl & 4) out += out.empty() ? "5.5" : "+5.5";
+  return out;
+}
+
+}  // namespace
+
+Atomicity InferEngine::classify_event(
+    const VariantCtx& ctx, EventId e,
+    std::vector<obs::ProvenanceRecord>* prov) const {
   const Event& ev = ctx.pa->cfg().node(e);
+  auto emit = [&](uint32_t step, std::string theorem, const char* rule,
+                  Atomicity atom,
+                  std::string detail) -> obs::ProvenanceRecord* {
+    if (prov == nullptr) return nullptr;
+    obs::ProvenanceRecord r;
+    r.step = step;
+    r.theorem = std::move(theorem);
+    r.rule = rule;
+    r.subject = event_text(prog_, ev);
+    SourceLoc loc = event_loc(prog_, ev);
+    r.line = loc.line;
+    r.column = loc.column;
+    r.atom = std::string(to_string(atom));
+    r.detail = std::move(detail);
+    prov->push_back(std::move(r));
+    return &prov->back();
+  };
+
   switch (ev.kind) {
     case EventKind::New:
+      emit(1, "", "allocation", Atomicity::B,
+           "fresh allocation performs no shared access");
+      return Atomicity::B;
     case EventKind::Assume:
+      emit(1, "", "assumption", Atomicity::B,
+           "assumption performs no shared access");
       return Atomicity::B;
     case EventKind::Acquire:
-      return Atomicity::R;  // Theorem 3.2
+      emit(1, "3.2", "acquire", Atomicity::R,
+           "lock acquire is a right-mover (Theorem 3.2)");
+      return Atomicity::R;
     case EventKind::Release:
-      return Atomicity::L;  // Theorem 3.2
+      emit(1, "3.2", "release", Atomicity::L,
+           "lock release is a left-mover (Theorem 3.2)");
+      return Atomicity::L;
     default:
       break;
   }
 
   // Step 1: local actions (Theorem 3.1).
-  if (ctx.pa->purity().is_local_action(e)) return Atomicity::B;
+  if (ctx.pa->purity().is_local_action(e)) {
+    emit(1, "3.1", "local-action", Atomicity::B,
+         "access to an unshared or unescaped location is a both-mover "
+         "(Theorem 3.1)");
+    return Atomicity::B;
+  }
 
   Atomicity result = Atomicity::A;  // step-5 default
 
-  // Step 2: Theorem 5.3 (and the counted-CAS analogue).
+  // Step 2: Theorem 5.3 (and the counted-CAS analogue). The firing rule is
+  // remembered so the binding justification can be cited below.
+  const char* s2_rule = nullptr;
+  const char* s2_theorem = "5.3";
+  const char* s2_detail = nullptr;
+  Atomicity s2_atom = Atomicity::A;
   switch (ev.kind) {
     case EventKind::SC:
-      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC))
+      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC)) {
         result = meet(result, Atomicity::L);
+        s2_rule = "sc-discipline";
+        s2_atom = Atomicity::L;
+        s2_detail =
+            "successful SC under the SC-only update discipline is a "
+            "left-mover (Theorem 5.3)";
+      }
       break;
     case EventKind::VL:
-      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC))
+      if (ev.must_succeed && all_updates_via(ev.path, EventKind::SC)) {
         result = meet(result, Atomicity::L);
+        s2_rule = "vl-discipline";
+        s2_atom = Atomicity::L;
+        s2_detail =
+            "successful VL under the SC-only update discipline is a "
+            "left-mover (Theorem 5.3)";
+      }
       break;
     case EventKind::CAS:
       if (ev.must_succeed && counted_cas(ev.path) &&
-          all_updates_via(ev.path, EventKind::CAS))
+          all_updates_via(ev.path, EventKind::CAS)) {
         result = meet(result, Atomicity::L);
+        s2_rule = "counted-cas-discipline";
+        s2_atom = Atomicity::L;
+        s2_detail =
+            "successful CAS on a counted (ABA-protected) target is a "
+            "left-mover (Theorem 5.3 analogue)";
+      }
       break;
     case EventKind::LL: {
       // Matching LL of a successful SC/VL under the SC-only discipline.
@@ -478,6 +638,11 @@ Atomicity InferEngine::classify_event(const VariantCtx& ctx, EventId e) const {
         if (ctx.pa->matching().is_match(prim, e) &&
             all_updates_via(pe.path, EventKind::SC)) {
           result = meet(result, Atomicity::R);
+          s2_rule = "matching-ll";
+          s2_atom = Atomicity::R;
+          s2_detail =
+              "LL matched by a successful SC/VL under the SC-only update "
+              "discipline is a right-mover (Theorem 5.3)";
           break;
         }
       }
@@ -492,6 +657,11 @@ Atomicity InferEngine::classify_event(const VariantCtx& ctx, EventId e) const {
         if (counted_cas(pe.path) && ctx.pa->matching().is_match(prim, e) &&
             all_updates_via(pe.path, EventKind::CAS)) {
           result = meet(result, Atomicity::R);
+          s2_rule = "matching-read";
+          s2_atom = Atomicity::R;
+          s2_detail =
+              "read matched by a successful counted CAS is a right-mover "
+              "(Theorem 5.3 analogue)";
           break;
         }
       }
@@ -507,9 +677,82 @@ Atomicity InferEngine::classify_event(const VariantCtx& ctx, EventId e) const {
   bool may_fail_primitive =
       (ev.kind == EventKind::SC || ev.kind == EventKind::CAS) &&
       !ev.must_succeed;
-  if (!may_fail_primitive) result = meet(result, step4(ctx, e));
+  if (may_fail_primitive) {
+    emit(5, "", "may-fail-primitive", result,
+         "SC/CAS that may fail does not commute past other threads' "
+         "successful updates; Theorem 3.3 does not apply, so it defaults "
+         "to atomic");
+    return result;
+  }
 
-  return result;
+  Step4Info info;
+  Atomicity s4 = step4(ctx, e, prov != nullptr ? &info : nullptr);
+  Atomicity final_atom = meet(result, s4);
+
+  if (prov != nullptr) {
+    auto emit_step4 = [&]() {
+      obs::ProvenanceRecord* r = nullptr;
+      switch (s4) {
+        case Atomicity::A:
+          r = emit(4, "3.3", "conflict", Atomicity::A,
+                   "a conflicting access from another thread can be "
+                   "scheduled adjacent on both sides");
+          set_witness(r, info.witness_ctx, info.witness);
+          break;
+        case Atomicity::B:
+          if (!info.had_conflict) {
+            emit(4, "3.3", "no-conflicts", Atomicity::B,
+                 "no conflicting global access exists in any thread");
+          } else {
+            std::string thms = excl_theorems(info.excl);
+            r = emit(4, thms, "all-excluded", Atomicity::B,
+                     "every conflicting access is excluded from the "
+                     "adjacent slots (Theorem " +
+                         thms + ")");
+            set_witness(r, info.excl_ctx, info.excl_witness);
+          }
+          break;
+        case Atomicity::L: {
+          std::string thms = excl_theorems(info.excl);
+          std::string detail =
+              "no conflicting access can be scheduled immediately before "
+              "it";
+          if (!thms.empty()) detail += " (exclusions: Theorem " + thms + ")";
+          detail += "; one can follow";
+          r = emit(4, thms.empty() ? "3.3" : thms, "no-conflict-before",
+                   Atomicity::L, std::move(detail));
+          set_witness(r, info.witness_ctx, info.witness);
+          break;
+        }
+        case Atomicity::R: {
+          std::string thms = excl_theorems(info.excl);
+          std::string detail =
+              "no conflicting access can be scheduled immediately after it";
+          if (!thms.empty()) detail += " (exclusions: Theorem " + thms + ")";
+          detail += "; one can precede";
+          r = emit(4, thms.empty() ? "3.3" : thms, "no-conflict-after",
+                   Atomicity::R, std::move(detail));
+          set_witness(r, info.witness_ctx, info.witness);
+          break;
+        }
+        case Atomicity::N:
+          break;  // step4 never returns N
+      }
+    };
+    if (s2_rule == nullptr) {
+      emit_step4();
+    } else if (final_atom == s2_atom) {
+      emit(2, s2_theorem, s2_rule, s2_atom, s2_detail);
+    } else if (final_atom == s4) {
+      emit_step4();
+    } else {
+      // Incomparable L/R: the final class is the meet of both citations.
+      emit(2, s2_theorem, s2_rule, s2_atom, s2_detail);
+      emit_step4();
+    }
+  }
+
+  return final_atom;
 }
 
 // ---------------------------------------------------------------------------
@@ -586,17 +829,53 @@ Atomicity InferEngine::stmt_atom(
 void InferEngine::propagate(VariantCtx& ctx, VariantResult& out) const {
   obs::SpanScope span(obs::StageId::Movers);
   const cfg::Cfg& cfg = ctx.pa->cfg();
+  std::vector<obs::ProvenanceRecord>* prov =
+      opts_.provenance ? &out.prov : nullptr;
   for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
     if (opts_.variant_opts.budget != nullptr)
       opts_.variant_opts.budget->check("mover classification");
     EventId e(i);
     if (!cfg.node(e).is_action()) continue;
-    out.event_atom[i] = classify_event(ctx, e);
+    out.event_atom[i] = classify_event(ctx, e, prov);
   }
   std::unordered_map<uint32_t, Atomicity> memo;
   out.atomicity =
       stmt_atom(ctx, out, prog_.proc(ctx.id).body, memo);
   for (auto [idx, a] : memo) out.stmt_atom[idx] = a;
+
+  if (prov != nullptr) {
+    // Step 6: the variant body's composition, and — when it breaks — the
+    // first action whose non-mover class blocks the reduction.
+    obs::ProvenanceRecord r;
+    r.step = 6;
+    r.rule = "body";
+    r.subject = variant_name(ctx);
+    r.line = prog_.proc(ctx.id).loc.line;
+    r.column = prog_.proc(ctx.id).loc.column;
+    r.atom = std::string(to_string(out.atomicity));
+    r.detail = "variant body composes to " + r.atom + " under seq/join/iter";
+    prov->push_back(std::move(r));
+    if (!leq(out.atomicity, Atomicity::A)) {
+      for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+        auto it = out.event_atom.find(i);
+        if (it == out.event_atom.end() || it->second != Atomicity::A) continue;
+        const Event& ev = cfg.node(EventId(i));
+        obs::ProvenanceRecord b;
+        b.step = 6;
+        b.rule = "blocking-action";
+        b.subject = event_text(prog_, ev);
+        SourceLoc loc = event_loc(prog_, ev);
+        b.line = loc.line;
+        b.column = loc.column;
+        b.atom = "A";
+        b.detail =
+            "first atomic non-mover action; the sequential composition "
+            "around it exceeds A";
+        prov->push_back(std::move(b));
+        break;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -620,12 +899,71 @@ AtomicityResult InferEngine::run() {
 
   // Step 0: analyses of the originals + exceptional variants.
   std::vector<VariantSet> sets;
+  std::unordered_map<uint32_t, std::vector<obs::ProvenanceRecord>> step0;
   for (size_t i = 0; i < num_original; ++i) {
     ProcId pid(static_cast<uint32_t>(i));
     if (budget != nullptr) budget->check("variant expansion");
     ProcAnalysis pa(prog_, pid);
     VariantSet vs =
         generate_variants(prog_, pid, pa, diags_, opts_.variant_opts);
+    if (opts_.provenance && selected(pid)) {
+      std::vector<obs::ProvenanceRecord>& recs = step0[pid.idx];
+      for (const cfg::LoopInfo& li : pa.cfg().loops()) {
+        const analysis::LoopPurity* lp = pa.purity().result(li.stmt);
+        if (lp == nullptr) continue;
+        uint32_t line = prog_.stmt(li.stmt).loc.line;
+        uint32_t col = prog_.stmt(li.stmt).loc.column;
+        if (lp->pure) {
+          obs::ProvenanceRecord r;
+          r.step = 0;
+          r.theorem = "4.1";
+          r.rule = "pure-loop";
+          r.subject = "loop";
+          r.line = line;
+          r.column = col;
+          r.detail =
+              "pure loop: normally terminating iterations are deletable; "
+              "exceptional paths become variant slices";
+          recs.push_back(std::move(r));
+        } else {
+          for (const analysis::ImpureReason& ir : lp->reasons) {
+            obs::ProvenanceRecord r;
+            r.step = 0;
+            r.rule = "impure-" + ir.condition;
+            r.subject = "loop";
+            r.line = line;
+            r.column = col;
+            r.detail =
+                "purity condition (" + ir.condition + ") violated: " +
+                ir.message + "; the loop is kept whole";
+            r.witness_line = ir.line;
+            recs.push_back(std::move(r));
+          }
+        }
+      }
+      if (vs.bailed_out) {
+        obs::ProvenanceRecord r;
+        r.step = 0;
+        r.rule = "path-budget";
+        r.subject =
+            std::string(prog_.syms().name(prog_.proc(pid).name));
+        r.line = prog_.proc(pid).loc.line;
+        r.column = prog_.proc(pid).loc.column;
+        r.detail =
+            "path enumeration exceeded the cap; using a single "
+            "unspecialized clone";
+        recs.push_back(std::move(r));
+      }
+      obs::ProvenanceRecord r;
+      r.step = 0;
+      r.rule = "variants";
+      r.subject = std::string(prog_.syms().name(prog_.proc(pid).name));
+      r.line = prog_.proc(pid).loc.line;
+      r.column = prog_.proc(pid).loc.column;
+      r.detail = std::to_string(vs.variants.size()) +
+                 " exceptional variant(s) enter the conflict universe";
+      recs.push_back(std::move(r));
+    }
     if (vs.budget_tripped && selected(pid)) {
       // A non-selected proc over budget stays in the universe as its
       // conservative clone; only the proc being classified degrades.
@@ -654,6 +992,10 @@ AtomicityResult InferEngine::run() {
     pr.proc = vs.original;
     pr.bailed_out = vs.bailed_out;
     pr.no_variants = vs.variants.empty();
+    if (opts_.provenance) {
+      if (auto it = step0.find(vs.original.idx); it != step0.end())
+        pr.prov = std::move(it->second);
+    }
     Atomicity overall = Atomicity::B;
     for (ProcId v : vs.variants) {
       VariantCtx* ctx = nullptr;
@@ -669,6 +1011,47 @@ AtomicityResult InferEngine::run() {
     }
     pr.atomicity = overall;
     pr.atomic = leq(overall, Atomicity::A);
+    if (opts_.provenance) {
+      if (pr.no_variants) {
+        obs::ProvenanceRecord r;
+        r.step = 0;
+        r.theorem = "4.1";
+        r.rule = "no-variants";
+        r.subject =
+            std::string(prog_.syms().name(prog_.proc(pr.proc).name));
+        r.line = prog_.proc(pr.proc).loc.line;
+        r.column = prog_.proc(pr.proc).loc.column;
+        r.detail =
+            "no exceptional variants: the procedure never completes "
+            "normally, so it is trivially atomic";
+        pr.prov.push_back(std::move(r));
+      }
+      obs::ProvenanceRecord r;
+      r.step = 7;
+      r.rule = "verdict";
+      r.subject = std::string(prog_.syms().name(prog_.proc(pr.proc).name));
+      r.line = prog_.proc(pr.proc).loc.line;
+      r.column = prog_.proc(pr.proc).loc.column;
+      r.atom = std::string(to_string(overall));
+      if (pr.atomic) {
+        r.detail = "every variant body is atomic (<= A)";
+      } else {
+        for (const VariantResult& vr : pr.variants) {
+          if (leq(vr.atomicity, Atomicity::A)) continue;
+          r.detail = "variant " + prog_.proc(vr.variant).variant_tag +
+                     " composes to " +
+                     std::string(to_string(vr.atomicity));
+          break;
+        }
+      }
+      pr.prov.push_back(std::move(r));
+      // The records are now part of a reported result: account for them.
+      // Done here (not at creation) so Procedure-granularity totals equal
+      // a whole-program run's.
+      obs::count_provenance(pr.prov);
+      for (const VariantResult& vr : pr.variants)
+        obs::count_provenance(vr.prov);
+    }
     result.procs_.push_back(std::move(pr));
   }
   return result;

@@ -67,4 +67,25 @@ void put_telemetry(std::string& out, const std::vector<obs::SpanRecord>& spans,
 bool get_telemetry(Reader& in, std::vector<obs::SpanRecord>& spans,
                    obs::MetricsSnapshot& delta);
 
+/// Provenance section: derivation records for an already-encoded report,
+/// keyed by procedure and variant index. Kept out of put_proc_report /
+/// put_program_report so the v3 shapes stay byte-stable; consumers that
+/// carry provenance (journal v2, cache v4, the worker Provenance frame)
+/// append this section after the report payload and re-attach on decode.
+/// Counts are sanity-capped (kMaxProvRecords per vector).
+inline constexpr uint64_t kMaxProvRecords = uint64_t{1} << 20;
+void put_prov_records(std::string& out,
+                      const std::vector<obs::ProvenanceRecord>& recs);
+bool get_prov_records(Reader& in, std::vector<obs::ProvenanceRecord>& recs);
+
+/// Whole-program provenance: for each procedure, its records plus each
+/// variant's records, in report order. Attaches into `r` on decode
+/// (procedure/variant counts must match the decoded report).
+void put_program_provenance(std::string& out, const ProgramReport& r);
+bool get_program_provenance(Reader& in, ProgramReport& r);
+
+/// Per-procedure provenance (cache entry suffix).
+void put_proc_provenance(std::string& out, const ProcReport& r);
+bool get_proc_provenance(Reader& in, ProcReport& r);
+
 }  // namespace synat::driver::codec

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "synat/obs/metrics.h"
+#include "synat/obs/provenance.h"
 
 namespace synat::driver {
 
@@ -40,6 +41,10 @@ struct VariantReport {
   std::string atomicity; ///< of the variant body
   std::vector<LineReport> lines;
   std::vector<BlockReport> blocks;
+  /// Derivation records for this variant (per-event mover classes, the
+  /// step-6 composition, atomic-block cuts). Empty unless the run collected
+  /// provenance (DESIGN.md §3f).
+  std::vector<obs::ProvenanceRecord> prov;
 };
 
 /// Per-procedure verdict; the unit stored in the memoization cache.
@@ -52,6 +57,9 @@ struct ProcReport {
   bool bailed_out = false;
   uint64_t key = 0;        ///< content-address this report is cached under
   std::vector<VariantReport> variants;
+  /// Procedure-level derivation records (step-0 variant/purity facts and
+  /// the step-7 verdict). Empty unless the run collected provenance.
+  std::vector<obs::ProvenanceRecord> prov;
 
   /// Graceful degradation (DESIGN.md §3c): the analysis of this procedure
   /// was cut short (parse failure, deadline, variant budget) and
@@ -160,12 +168,21 @@ struct RenderOptions {
   /// stay byte-identical to the uninterrupted run, and journal counters
   /// necessarily differ between the two.
   bool counters = false;
+  /// Include the "provenance" section (schema v5): structured derivation
+  /// records per procedure and variant. Requires the run to have collected
+  /// them (InferOptions::provenance); renders empty arrays otherwise.
+  bool provenance = false;
 };
 
 /// Deterministic renderers (pure functions of the report).
 std::string to_json(const BatchReport& report, const RenderOptions& opts = {});
 std::string to_sarif(const BatchReport& report);
 std::string to_text(const BatchReport& report);
+/// Human-readable derivation trees for `synat explain`: per-event mover
+/// class → per-statement atomicity → verdict, citing the recorded theorems.
+/// When `proc_filter` is non-empty only that procedure is rendered.
+std::string to_explain(const BatchReport& report,
+                       const std::string& proc_filter = {});
 
 /// Thread-safe collector: workers publish per-program and per-procedure
 /// results by index; finish() assembles the deterministic BatchReport.

@@ -14,17 +14,19 @@ namespace synat::driver {
 
 namespace {
 
-// Snapshot format v3: magic, format version, entry count, then per entry
+// Snapshot format v4: magic, format version, entry count, then per entry
 // [key][payload length][payload bytes][CRC32 of payload], where the payload
-// is one codec-encoded ProcReport (shared with the journal and the worker
-// result frames — see codec.h). The explicit framing plus per-entry checksum
+// is one codec-encoded ProcReport plus its provenance section (shared with
+// the journal and the worker result frames — see codec.h). The explicit
+// framing plus per-entry checksum
 // lets load() skip a corrupted entry (bit flips) and salvage the intact
 // prefix of a truncated file, instead of dropping the whole snapshot.
 // Entries are written in key order so snapshots of equal caches are
-// byte-identical. v3 bumps v2 because the shared ProcReport encoding
-// carries the degradation fields; old snapshots reject cleanly on magic.
-constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '3'};
-constexpr uint64_t kFormatVersion = 3;
+// byte-identical. v4 bumps v3 because every entry payload now appends the
+// provenance section (codec.h) after the ProcReport; old snapshots reject
+// cleanly on magic, exactly as pre-v3 ones did.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '4'};
+constexpr uint64_t kFormatVersion = 4;
 
 void put_u64(std::ostream& out, uint64_t v) {
   char buf[8];
@@ -118,6 +120,7 @@ bool ResultCache::save(const std::string& path) const {
   for (const auto& [key, report] : sorted) {
     std::string bytes;
     codec::put_proc_report(bytes, *report);
+    codec::put_proc_provenance(bytes, *report);
     put_u64(out, key);
     put_u64(out, bytes.size());
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -171,7 +174,8 @@ bool ResultCache::load(const std::string& path) {
     }
     codec::Reader payload(bytes);
     auto report = std::make_shared<ProcReport>();
-    if (!codec::get_proc_report(payload, *report) || !payload.at_end()) {
+    if (!codec::get_proc_report(payload, *report) ||
+        !codec::get_proc_provenance(payload, *report) || !payload.at_end()) {
       reject();  // checksum matched but the encoding didn't: skip it
       continue;
     }

@@ -248,4 +248,77 @@ bool get_telemetry(Reader& in, std::vector<obs::SpanRecord>& spans,
   return true;
 }
 
+void put_prov_records(std::string& out,
+                      const std::vector<obs::ProvenanceRecord>& recs) {
+  put_u64(out, recs.size());
+  for (const obs::ProvenanceRecord& r : recs) {
+    put_u32(out, r.step);
+    put_str(out, r.theorem);
+    put_str(out, r.rule);
+    put_str(out, r.subject);
+    put_u32(out, r.line);
+    put_u32(out, r.column);
+    put_str(out, r.atom);
+    put_str(out, r.detail);
+    put_str(out, r.witness);
+    put_u32(out, r.witness_line);
+    put_u32(out, r.witness_column);
+  }
+}
+
+bool get_prov_records(Reader& in, std::vector<obs::ProvenanceRecord>& recs) {
+  uint64_t n = 0;
+  if (!in.get_u64(n) || n > kMaxProvRecords) return false;
+  recs.resize(n);
+  for (obs::ProvenanceRecord& r : recs) {
+    if (!in.get_u32(r.step) || !in.get_str(r.theorem) ||
+        !in.get_str(r.rule) || !in.get_str(r.subject) ||
+        !in.get_u32(r.line) || !in.get_u32(r.column) ||
+        !in.get_str(r.atom) || !in.get_str(r.detail) ||
+        !in.get_str(r.witness) || !in.get_u32(r.witness_line) ||
+        !in.get_u32(r.witness_column))
+      return false;
+  }
+  return true;
+}
+
+void put_proc_provenance(std::string& out, const ProcReport& r) {
+  put_prov_records(out, r.prov);
+  put_u64(out, r.variants.size());
+  for (const VariantReport& v : r.variants) put_prov_records(out, v.prov);
+}
+
+bool get_proc_provenance(Reader& in, ProcReport& r) {
+  if (!get_prov_records(in, r.prov)) return false;
+  uint64_t nv = 0;
+  if (!in.get_u64(nv) || nv != r.variants.size()) return false;
+  for (VariantReport& v : r.variants)
+    if (!get_prov_records(in, v.prov)) return false;
+  return true;
+}
+
+void put_program_provenance(std::string& out, const ProgramReport& r) {
+  put_u64(out, r.procs.size());
+  for (const auto& p : r.procs) {
+    put_u64(out, p != nullptr ? 1 : 0);
+    if (p != nullptr) put_proc_provenance(out, *p);
+  }
+}
+
+bool get_program_provenance(Reader& in, ProgramReport& r) {
+  uint64_t np = 0;
+  if (!in.get_u64(np) || np != r.procs.size()) return false;
+  for (auto& p : r.procs) {
+    uint64_t has = 0;
+    if (!in.get_u64(has) || (has != 0) != (p != nullptr)) return false;
+    if (p == nullptr) continue;
+    // Reports are shared immutable once published; this decode path owns
+    // the freshly decoded report, so the const_cast is attaching to a
+    // not-yet-published object.
+    auto* mut = const_cast<ProcReport*>(p.get());
+    if (!get_proc_provenance(in, *mut)) return false;
+  }
+  return true;
+}
+
 }  // namespace synat::driver::codec

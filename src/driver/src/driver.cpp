@@ -104,7 +104,7 @@ void collect_lines(const synl::Program& prog,
 
 std::shared_ptr<const ProcReport> make_proc_report(
     const synl::Program& prog, const atomicity::ProcResult& pr,
-    uint64_t key) {
+    uint64_t key, bool provenance) {
   static obs::Counter& procs_analyzed =
       obs::registry().counter("synat_procs_analyzed_total");
   procs_analyzed.inc();
@@ -116,6 +116,7 @@ std::shared_ptr<const ProcReport> make_proc_report(
   report->no_variants = pr.no_variants;
   report->bailed_out = pr.bailed_out;
   report->key = key;
+  report->prov = pr.prov;
   for (const atomicity::VariantResult& v : pr.variants) {
     VariantReport vr;
     const synl::ProcInfo& vp = prog.proc(v.variant);
@@ -123,11 +124,20 @@ std::shared_ptr<const ProcReport> make_proc_report(
                  ? std::string(prog.syms().name(vp.name))
                  : vp.variant_tag;
     vr.atomicity = std::string(to_string(v.atomicity));
+    vr.prov = v.prov;
     collect_lines(prog, v, vp.body, vr.lines);
     atomicity::BlockPartition part = atomicity::partition_blocks(prog, v);
     for (const atomicity::AtomicBlock& b : part.blocks)
       vr.blocks.push_back(
           {std::string(to_string(b.atom)), b.units.size()});
+    if (provenance) {
+      // Atomic-block cuts are computed here, not in the infer engine, so
+      // their step-6 records join the variant's derivation at report time.
+      std::vector<obs::ProvenanceRecord> blk =
+          atomicity::block_provenance(prog, v, part);
+      obs::count_provenance(blk);
+      for (obs::ProvenanceRecord& r : blk) vr.prov.push_back(std::move(r));
+    }
     report->variants.push_back(std::move(vr));
   }
   return report;
@@ -169,6 +179,9 @@ uint64_t options_fingerprint(const atomicity::InferOptions& opts) {
   h.mix(static_cast<uint64_t>(opts.variant_opts.max_variants));
   h.mix(static_cast<uint64_t>(opts.use_window_rule));
   h.mix(static_cast<uint64_t>(opts.use_local_conditions));
+  // Provenance changes what a cached/journaled report carries (derivation
+  // records), so runs with and without it must not share entries.
+  h.mix(static_cast<uint64_t>(opts.provenance));
   std::vector<std::string> counted = opts.counted_cas;
   std::sort(counted.begin(), counted.end());
   counted.erase(std::unique(counted.begin(), counted.end()), counted.end());
@@ -292,7 +305,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       const atomicity::ProcResult* pr = result.result_for(pid);
       SYNAT_ASSERT(pr != nullptr, "missing procedure result");
       std::shared_ptr<const ProcReport> report =
-          make_proc_report(prog, *pr, keys[p]);
+          make_proc_report(prog, *pr, keys[p], iopts.provenance);
       if (opts_.use_cache) report = cache_->insert(keys[p], report);
       sink.set_proc(index, p, report);
     }
@@ -343,7 +356,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
           StageTimer tr(sink, Stage::Report, opts_.collect_timings);
           const atomicity::ProcResult* pr = result.result_for(pid);
           SYNAT_ASSERT(pr != nullptr, "missing procedure result");
-          report = make_proc_report(prog, *pr, key);
+          report = make_proc_report(prog, *pr, key, opts.provenance);
         }
         if (opts_.use_cache) report = cache_->insert(key, report);
         sink.set_proc(index, p, std::move(report));

@@ -12,8 +12,11 @@ namespace synat::driver {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'J', 'L', '1'};
-constexpr uint64_t kFormatVersion = 1;
+// v2 appends the provenance section to every record payload (codec.h), so
+// a --resume of a provenance-collecting run replays the derivation records
+// too and stays byte-identical. v1 journals reject cleanly on magic.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'J', 'L', '2'};
+constexpr uint64_t kFormatVersion = 2;
 
 bool get_u64(std::istream& in, uint64_t& v) {
   char buf[8];
@@ -74,7 +77,8 @@ JournalReplay read_journal(const std::string& path,
     codec::Reader r(payload);
     JournalRecord rec;
     rec.key = key;
-    if (!codec::get_program_report(r, rec.report) || !r.at_end()) {
+    if (!codec::get_program_report(r, rec.report) ||
+        !codec::get_program_provenance(r, rec.report) || !r.at_end()) {
       ++out.rejected_records;
       continue;
     }
@@ -112,6 +116,7 @@ bool JournalWriter::write_record_locked(uint64_t key,
                                         const ProgramReport& report) {
   std::string payload;
   codec::put_program_report(payload, report);
+  codec::put_program_provenance(payload, report);
   std::string frame;
   codec::put_u64(frame, key);
   codec::put_u64(frame, payload.size());

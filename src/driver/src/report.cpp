@@ -271,14 +271,38 @@ std::string hex64_str(uint64_t v) {
   return s;
 }
 
+// Every record field is always emitted (possibly empty/zero) so the schema
+// validator can require a fixed shape and diff_provenance compares like
+// with like.
+void emit_prov(JsonWriter& w, const std::vector<obs::ProvenanceRecord>& recs) {
+  w.key("provenance").begin_array();
+  for (const obs::ProvenanceRecord& r : recs) {
+    w.begin_object();
+    w.key("step").value(r.step);
+    w.key("theorem").value(r.theorem);
+    w.key("rule").value(r.rule);
+    w.key("subject").value(r.subject);
+    w.key("line").value(r.line);
+    w.key("column").value(r.column);
+    w.key("atom").value(r.atom);
+    w.key("detail").value(r.detail);
+    w.key("witness").value(r.witness);
+    w.key("witness_line").value(r.witness_line);
+    w.key("witness_column").value(r.witness_column);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 }  // namespace
 
 std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("synat-batch-report");
-  // v4 adds the optional metrics "counters" section (RenderOptions).
-  w.key("version").value(4);
+  // v5 adds the optional "provenance" sections (RenderOptions::provenance);
+  // v4 added the optional metrics "counters" section.
+  w.key("version").value(5);
   w.key("programs").begin_array();
   for (const ProgramReport& prog : report.programs) {
     w.begin_object();
@@ -312,11 +336,13 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
         w.key("degrade_reason").value(p->degrade_reason);
       }
       w.key("cache_key").value(hex64_str(p->key));
+      if (opts.provenance) emit_prov(w, p->prov);
       w.key("variants").begin_array();
       for (const VariantReport& v : p->variants) {
         w.begin_object();
         w.key("tag").value(v.tag);
         w.key("atomicity").value(v.atomicity);
+        if (opts.provenance) emit_prov(w, v.prov);
         w.key("lines").begin_array();
         for (const LineReport& l : v.lines) {
           w.begin_object();
@@ -501,6 +527,42 @@ std::string to_sarif(const BatchReport& report) {
         w.key("text").value(text);
         w.end_object();
         location(prog.name, p->line);
+        // Conflict witnesses recorded by step 4 become relatedLocations:
+        // both sides of each conflicting access pair, in variant order.
+        bool have_witness = false;
+        for (const VariantReport& v : p->variants)
+          for (const obs::ProvenanceRecord& r : v.prov)
+            if (r.step == 4 && r.rule == "conflict" && !r.witness.empty())
+              have_witness = true;
+        if (have_witness) {
+          auto related = [&](const std::string& msg, uint32_t line) {
+            w.begin_object();
+            w.key("physicalLocation").begin_object();
+            w.key("artifactLocation").begin_object();
+            w.key("uri").value(prog.name);
+            w.end_object();
+            if (line > 0) {
+              w.key("region").begin_object();
+              w.key("startLine").value(line);
+              w.end_object();
+            }
+            w.end_object();
+            w.key("message").begin_object();
+            w.key("text").value(msg);
+            w.end_object();
+            w.end_object();
+          };
+          w.key("relatedLocations").begin_array();
+          for (const VariantReport& v : p->variants) {
+            for (const obs::ProvenanceRecord& r : v.prov) {
+              if (r.step != 4 || r.rule != "conflict" || r.witness.empty())
+                continue;
+              related(r.subject, r.line);
+              related("conflicts with " + r.witness, r.witness_line);
+            }
+          }
+          w.end_array();
+        }
         w.end_object();
       }
       if (p->bailed_out) {
@@ -580,6 +642,89 @@ std::string to_text(const BatchReport& report) {
            " rejected snapshot entr" +
            (report.metrics.cache_rejected == 1 ? "y" : "ies");
   out += "\n";
+  return out;
+}
+
+namespace {
+
+std::string loc_str(uint32_t line, uint32_t column) {
+  if (line == 0) return {};
+  std::string s = "line " + std::to_string(line);
+  if (column > 0) s += ":" + std::to_string(column);
+  return s;
+}
+
+/// One derivation record as an indented bullet:
+///   - step 4 [commutativity] conflict: read Head (line 7) => A  [Thm 3.3]
+///       a conflicting access exists in an adjacent slot
+///       witness: SC Head in Enq'1 (line 12)
+void render_record(std::string& out, const obs::ProvenanceRecord& r,
+                   const std::string& indent) {
+  out += indent + "- step " + std::to_string(r.step) + " [" +
+         std::string(obs::provenance_step_title(r.step)) + "] " + r.rule;
+  if (!r.subject.empty()) out += ": " + r.subject;
+  std::string loc = loc_str(r.line, r.column);
+  if (!loc.empty()) out += " (" + loc + ")";
+  if (!r.atom.empty()) out += " => " + r.atom;
+  if (!r.theorem.empty()) out += "  [Thm " + r.theorem + "]";
+  out += '\n';
+  if (!r.detail.empty()) out += indent + "    " + r.detail + "\n";
+  if (!r.witness.empty()) {
+    out += indent + "    witness: " + r.witness;
+    std::string wloc = loc_str(r.witness_line, r.witness_column);
+    if (!wloc.empty()) out += " (" + wloc + ")";
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string to_explain(const BatchReport& report,
+                       const std::string& proc_filter) {
+  std::string out;
+  bool matched = proc_filter.empty();
+  for (const ProgramReport& prog : report.programs) {
+    out += "== " + prog.name + " (" + std::string(to_string(prog.status)) +
+           ") ==\n";
+    if (prog.status != ProgramStatus::Ok) {
+      for (const DiagReport& d : prog.diagnostics)
+        out += "  " + d.severity + " " + std::to_string(d.line) + ":" +
+               std::to_string(d.column) + ": " + d.message + "\n";
+      continue;
+    }
+    for (const auto& p : prog.procs) {
+      if (!proc_filter.empty() && p->name != proc_filter) continue;
+      matched = true;
+      out += "\nprocedure " + p->name;
+      if (p->line > 0) out += " (line " + std::to_string(p->line) + ")";
+      if (p->degraded) {
+        out += ": unknown (degraded: " + p->degrade_kind + ") — " +
+               p->degrade_reason + "\n";
+        continue;
+      }
+      out += ": ";
+      out += p->atomic ? "atomic" : "NOT atomic";
+      out += " (" + p->atomicity + ")\n";
+      bool any = !p->prov.empty();
+      // Step-0 facts (variant enumeration, purity) lead; the step-7
+      // verdict closes the tree after the variants it judges.
+      for (const obs::ProvenanceRecord& r : p->prov)
+        if (r.step != 7) render_record(out, r, "  ");
+      for (const VariantReport& v : p->variants) {
+        if (!v.prov.empty()) any = true;
+        out += "  variant " + v.tag + ": composes to " + v.atomicity + "\n";
+        for (const obs::ProvenanceRecord& r : v.prov)
+          render_record(out, r, "    ");
+      }
+      for (const obs::ProvenanceRecord& r : p->prov)
+        if (r.step == 7) render_record(out, r, "  ");
+      if (!any)
+        out += "  (no derivation records; the run did not collect "
+               "provenance)\n";
+    }
+  }
+  if (!matched)
+    out += "procedure '" + proc_filter + "' not found\n";
   return out;
 }
 

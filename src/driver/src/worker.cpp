@@ -115,11 +115,15 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
   sub.journal_path.clear();
   sub.resume = false;
   int rc = 0;
-  std::string result;
+  std::string result, prov;
   try {
     BatchDriver driver(sub);
     BatchReport report = driver.run({input});
     codec::put_program_report(result, report.programs.at(0));
+    // Provenance rides in its own frame so the Result payload stays
+    // byte-identical to the non-provenance wire shape.
+    if (input.opts.provenance)
+      codec::put_program_provenance(prov, report.programs.at(0));
   } catch (...) {
     rc = 112;
   }
@@ -144,6 +148,9 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
     std::string telem;
     codec::put_telemetry(telem, spans, delta);
     pipe.send(FrameType::Telemetry, telem);
+    // Like telemetry, the Provenance frame is only trusted when a decodable
+    // Result follows; a send failure here surfaces on the Result send.
+    if (!prov.empty()) pipe.send(FrameType::Provenance, prov);
   }
   if (rc == 0 && !pipe.send(FrameType::Result, result)) rc = 111;
   return rc;
@@ -170,6 +177,9 @@ struct Slot {
   /// Stashed Telemetry payload; merged only when a decodable Result
   /// follows, so a crashed or retried attempt never double-counts.
   std::string telemetry;
+  /// Stashed Provenance payload; attached to the decoded Result the same
+  /// way (and discarded with the slot on crash/retry).
+  std::string provenance;
 };
 
 void close_slot(Slot& s) {
@@ -179,6 +189,7 @@ void close_slot(Slot& s) {
   s.reader = FrameReader{};
   s.live = false;
   s.telemetry.clear();
+  s.provenance.clear();
 }
 
 /// Folds a worker's stashed telemetry into the supervisor's registry and
@@ -346,7 +357,15 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
           if (type == FrameType::Result) {
             codec::Reader r(payload);
             ProgramReport report;
-            if (!codec::get_program_report(r, report) || !r.at_end()) {
+            bool ok = codec::get_program_report(r, report) && r.at_end();
+            if (ok && !s.provenance.empty()) {
+              // A corrupt provenance section fails the whole attempt: a
+              // report silently missing its derivation records would break
+              // the explain byte-identity contract.
+              codec::Reader pr(s.provenance);
+              ok = codec::get_program_provenance(pr, report) && pr.at_end();
+            }
+            if (!ok) {
               ::kill(s.child.pid, SIGKILL);
               support::wait_child(s.child.pid);
               worker_failed(s, "crashed: undecodable result");
@@ -368,6 +387,10 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
           }
           if (type == FrameType::Telemetry) {
             s.telemetry = std::move(payload);
+            continue;
+          }
+          if (type == FrameType::Provenance) {
+            s.provenance = std::move(payload);
             continue;
           }
           // Heartbeat (or an unexpected type): liveness either way.

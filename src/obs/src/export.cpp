@@ -101,18 +101,28 @@ std::string to_chrome_trace(
 
 std::string to_prometheus(const MetricsSnapshot& snap) {
   std::string out;
-  auto full_name = [](const std::string& name) {
-    const std::string_view suffix = "_total";
-    if (name.size() >= suffix.size() &&
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
-      return name;
-    return name + "_total";
-  };
+  // Counter names may carry Prometheus labels (`name{k="v"}`); the `_total`
+  // suffix and the HELP/TYPE header apply to the base name only, and the
+  // header is emitted once per base (labeled variants of one family are
+  // adjacent: snapshots are name-sorted).
+  std::string prev_base;
   for (const auto& c : snap.counters) {
-    std::string name = full_name(c.name);
-    out += "# HELP " + name + " synat counter";
-    if (!c.deterministic) out += " (nondeterministic)";
-    out += "\n# TYPE " + name + " counter\n" + name + ' ';
+    size_t brace = c.name.find('{');
+    std::string base =
+        brace == std::string::npos ? c.name : c.name.substr(0, brace);
+    std::string labels =
+        brace == std::string::npos ? std::string() : c.name.substr(brace);
+    const std::string_view suffix = "_total";
+    if (base.size() < suffix.size() ||
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) != 0)
+      base += suffix;
+    if (base != prev_base) {
+      out += "# HELP " + base + " synat counter";
+      if (!c.deterministic) out += " (nondeterministic)";
+      out += "\n# TYPE " + base + " counter\n";
+      prev_base = base;
+    }
+    out += base + labels + ' ';
     append_u64(out, c.value);
     out += '\n';
   }

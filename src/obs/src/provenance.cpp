@@ -1,0 +1,37 @@
+#include "synat/obs/provenance.h"
+
+#include "synat/obs/metrics.h"
+
+namespace synat::obs {
+
+std::string_view provenance_step_title(uint32_t step) {
+  switch (step) {
+    case 0: return "variants & purity";
+    case 1: return "local actions & locks";
+    case 2: return "synchronization discipline";
+    case 3: return "local conditions";
+    case 4: return "commutativity";
+    case 5: return "default";
+    case 6: return "atomicity propagation";
+    case 7: return "verdict";
+    default: return "unknown";
+  }
+}
+
+std::string provenance_counter_name(const ProvenanceRecord& r) {
+  std::string name = "synat_provenance_records{step=\"";
+  name += std::to_string(r.step);
+  name += "\",theorem=\"";
+  name += r.theorem.empty() ? std::string("none") : r.theorem;
+  name += "\"}";
+  return name;
+}
+
+void count_provenance(const std::vector<ProvenanceRecord>& records) {
+  if (records.empty()) return;
+  Registry& reg = registry();
+  for (const ProvenanceRecord& r : records)
+    reg.counter(provenance_counter_name(r)).inc();
+}
+
+}  // namespace synat::obs

@@ -18,10 +18,11 @@
 namespace synat::support {
 
 enum class FrameType : uint32_t {
-  Request = 1,    ///< supervisor → worker: one analysis task
-  Result = 2,     ///< worker → supervisor: one encoded ProgramReport
-  Heartbeat = 3,  ///< worker → supervisor: liveness while a task runs
-  Telemetry = 4,  ///< worker → supervisor: spans + metric deltas (codec.h)
+  Request = 1,     ///< supervisor → worker: one analysis task
+  Result = 2,      ///< worker → supervisor: one encoded ProgramReport
+  Heartbeat = 3,   ///< worker → supervisor: liveness while a task runs
+  Telemetry = 4,   ///< worker → supervisor: spans + metric deltas (codec.h)
+  Provenance = 5,  ///< worker → supervisor: derivation records (codec.h)
 };
 
 /// Hard cap on a single frame's payload; anything larger is corruption.

@@ -1,0 +1,256 @@
+// Tests for verdict provenance (DESIGN.md §3f): the codec round-trip for
+// the wire provenance sections, rejection of truncated/mismatched
+// payloads, byte-identity of `synat explain` output across in-process,
+// --jobs N and --isolate runs, the rendered derivation tree itself, the
+// SARIF relatedLocations carried by conflict witnesses, and the
+// volume-counter naming scheme.
+#include "synat/driver/codec.h"
+#include "synat/driver/driver.h"
+#include "synat/driver/report.h"
+#include "synat/obs/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synat/corpus/corpus.h"
+
+namespace synat::driver {
+namespace {
+
+obs::ProvenanceRecord sample_record() {
+  obs::ProvenanceRecord r;
+  r.step = 4;
+  r.theorem = "3.3";
+  r.rule = "conflict";
+  r.subject = "read Slot";
+  r.line = 27;
+  r.column = 16;
+  r.atom = "A";
+  r.detail = "a conflicting access from another thread";
+  r.witness = "SC Slot in Publish'2";
+  r.witness_line = 19;
+  r.witness_column = 13;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trips and corruption rejection
+
+TEST(ProvCodec, RecordsRoundTripIncludingEmptyFields) {
+  std::vector<obs::ProvenanceRecord> recs;
+  recs.push_back(sample_record());
+  obs::ProvenanceRecord empty;  // informational record: no witness, no atom
+  empty.step = 0;
+  empty.rule = "pure-loop";
+  recs.push_back(empty);
+
+  std::string wire;
+  codec::put_prov_records(wire, recs);
+  codec::Reader in(wire);
+  std::vector<obs::ProvenanceRecord> back;
+  ASSERT_TRUE(codec::get_prov_records(in, back));
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back, recs);
+}
+
+TEST(ProvCodec, EveryTruncationOfAValidPayloadFailsDecode) {
+  std::string wire;
+  codec::put_prov_records(wire, {sample_record()});
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    codec::Reader in(std::string_view(wire).substr(0, cut));
+    std::vector<obs::ProvenanceRecord> back;
+    // A truncated payload either fails outright or (when the cut lands on
+    // the count prefix of an empty tail) cannot decode the full record.
+    if (codec::get_prov_records(in, back))
+      EXPECT_NE(back, std::vector<obs::ProvenanceRecord>{sample_record()})
+          << "cut at " << cut << " decoded the full payload";
+  }
+}
+
+TEST(ProvCodec, OversizedRecordCountIsRejectedBeforeAllocation) {
+  std::string wire;
+  codec::put_u64(wire, codec::kMaxProvRecords + 1);
+  codec::Reader in(wire);
+  std::vector<obs::ProvenanceRecord> back;
+  EXPECT_FALSE(codec::get_prov_records(in, back));
+}
+
+TEST(ProvCodec, ProcProvenanceRejectsVariantCountMismatch) {
+  ProcReport p;
+  p.prov.push_back(sample_record());
+  p.variants.resize(2);
+  p.variants[0].prov.push_back(sample_record());
+  std::string wire;
+  codec::put_proc_provenance(wire, p);
+
+  ProcReport same;
+  same.variants.resize(2);
+  codec::Reader ok(wire);
+  ASSERT_TRUE(codec::get_proc_provenance(ok, same));
+  EXPECT_TRUE(ok.at_end());
+  EXPECT_EQ(same.prov, p.prov);
+  EXPECT_EQ(same.variants[0].prov, p.variants[0].prov);
+
+  ProcReport fewer;  // decoded report has 1 variant, payload says 2
+  fewer.variants.resize(1);
+  codec::Reader bad(wire);
+  EXPECT_FALSE(codec::get_proc_provenance(bad, fewer));
+}
+
+TEST(ProvCodec, ProgramProvenanceRejectsNullFlagMismatch) {
+  ProgramReport r;
+  auto proc = std::make_shared<ProcReport>();
+  proc->prov.push_back(sample_record());
+  r.procs.push_back(proc);
+  std::string wire;
+  codec::put_program_provenance(wire, r);
+
+  ProgramReport missing;  // the report decoded without this proc slot filled
+  missing.procs.push_back(nullptr);
+  codec::Reader bad(wire);
+  EXPECT_FALSE(codec::get_program_provenance(bad, missing));
+
+  ProgramReport same;
+  same.procs.push_back(std::make_shared<ProcReport>());
+  codec::Reader ok(wire);
+  ASSERT_TRUE(codec::get_program_provenance(ok, same));
+  EXPECT_TRUE(ok.at_end());
+  EXPECT_EQ(same.procs[0]->prov, proc->prov);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: explain output is byte-identical across execution modes
+
+std::vector<ProgramInput> corpus_inputs_with_provenance() {
+  std::vector<ProgramInput> inputs;
+  for (const corpus::Entry& e : corpus::all()) {
+    ProgramInput in;
+    in.name = "corpus:" + std::string(e.name);
+    in.source = std::string(e.source);
+    for (auto c : e.counted_cas) in.opts.counted_cas.emplace_back(c);
+    in.opts.provenance = true;
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+std::string run_explain(DriverOptions opts) {
+  BatchDriver drv(opts);
+  return to_explain(drv.run(corpus_inputs_with_provenance()));
+}
+
+TEST(ProvDeterminism, ExplainByteIdenticalAcrossJobsAndIsolate) {
+  DriverOptions serial;
+  std::string baseline = run_explain(serial);
+  EXPECT_FALSE(baseline.empty());
+
+  DriverOptions jobs;
+  jobs.jobs = 8;
+  EXPECT_EQ(run_explain(jobs), baseline) << "--jobs 8 diverged";
+
+  DriverOptions iso;
+  iso.isolate = true;
+  iso.jobs = 4;
+  EXPECT_EQ(run_explain(iso), baseline) << "--isolate diverged";
+}
+
+TEST(ProvDeterminism, JsonProvenanceSectionsSurviveIsolation) {
+  RenderOptions ropts;
+  ropts.provenance = true;
+  DriverOptions serial;
+  BatchDriver a(serial);
+  std::string in_process = to_json(a.run(corpus_inputs_with_provenance()), ropts);
+  ASSERT_NE(in_process.find("\"provenance\""), std::string::npos);
+
+  DriverOptions iso;
+  iso.isolate = true;
+  iso.jobs = 4;
+  BatchDriver b(iso);
+  std::string isolated = to_json(b.run(corpus_inputs_with_provenance()), ropts);
+  // Everything before the metrics block (which holds wall-clock values)
+  // must match, provenance arrays included.
+  EXPECT_EQ(in_process.substr(0, in_process.find("\"metrics\"")),
+            isolated.substr(0, isolated.find("\"metrics\"")));
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: the explain tree and the SARIF witness locations
+
+BatchReport analyze_one(const char* spec_name, bool provenance = true) {
+  const corpus::Entry& entry = corpus::get(spec_name);
+  ProgramInput in;
+  in.name = std::string("corpus:") + spec_name;
+  in.source = std::string(entry.source);
+  for (auto c : entry.counted_cas) in.opts.counted_cas.emplace_back(c);
+  in.opts.provenance = provenance;
+  DriverOptions opts;
+  BatchDriver drv(opts);
+  std::vector<ProgramInput> inputs;
+  inputs.push_back(std::move(in));
+  return drv.run(inputs);
+}
+
+TEST(ProvExplain, NotAtomicVerdictNamesBlockingActionAndWitness) {
+  std::string text = to_explain(analyze_one("racy_counter"));
+  EXPECT_NE(text.find("NOT atomic"), std::string::npos);
+  EXPECT_NE(text.find("conflict"), std::string::npos);
+  EXPECT_NE(text.find("witness:"), std::string::npos);
+  EXPECT_NE(text.find("step 7 [verdict]"), std::string::npos);
+}
+
+TEST(ProvExplain, AtomicDerivationCitesDisciplineTheorems) {
+  std::string text = to_explain(analyze_one("nfq_prime"));
+  EXPECT_NE(text.find("[Thm 5.3]"), std::string::npos);
+  EXPECT_NE(text.find("[Thm 5.4]"), std::string::npos);
+  EXPECT_NE(text.find("[Thm 5.5]"), std::string::npos);
+  EXPECT_NE(text.find("pure-loop"), std::string::npos);
+}
+
+TEST(ProvExplain, ProcFilterSelectsAndReportsUnknownNames) {
+  BatchReport r = analyze_one("nfq_prime");
+  std::string only = to_explain(r, "Deq");
+  EXPECT_NE(only.find("procedure Deq"), std::string::npos);
+  EXPECT_EQ(only.find("procedure AddNode"), std::string::npos);
+  std::string missing = to_explain(r, "NoSuchProc");
+  EXPECT_NE(missing.find("not found"), std::string::npos);
+}
+
+TEST(ProvExplain, RunWithoutProvenanceSaysSo) {
+  std::string text = to_explain(analyze_one("nfq_prime", false));
+  EXPECT_NE(text.find("did not collect provenance"), std::string::npos);
+}
+
+TEST(ProvSarif, ConflictWitnessBecomesRelatedLocations) {
+  std::string sarif = to_sarif(analyze_one("racy_counter"));
+  EXPECT_NE(sarif.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(sarif.find("conflicts with"), std::string::npos);
+}
+
+TEST(ProvSarif, NoProvenanceNoRelatedLocations) {
+  std::string sarif = to_sarif(analyze_one("racy_counter", false));
+  EXPECT_EQ(sarif.find("\"relatedLocations\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Volume counters
+
+TEST(ProvCounters, NameCarriesStepAndTheoremLabels) {
+  obs::ProvenanceRecord r = sample_record();
+  EXPECT_EQ(obs::provenance_counter_name(r),
+            "synat_provenance_records{step=\"4\",theorem=\"3.3\"}");
+  r.theorem.clear();
+  EXPECT_EQ(obs::provenance_counter_name(r),
+            "synat_provenance_records{step=\"4\",theorem=\"none\"}");
+}
+
+TEST(ProvCounters, StepTitlesCoverAllStepsAndClampUnknown) {
+  for (uint32_t step = 0; step <= 7; ++step)
+    EXPECT_FALSE(obs::provenance_step_title(step).empty()) << step;
+  EXPECT_EQ(obs::provenance_step_title(8), obs::provenance_step_title(99));
+}
+
+}  // namespace
+}  // namespace synat::driver

@@ -129,9 +129,9 @@ TEST(DegradedRendering, TextSummaryMentionsCrashes) {
 // ---------------------------------------------------------------------------
 // Schema v4: the opt-in deterministic counters section
 
-TEST(SchemaV4, JsonReportsVersionFour) {
+TEST(SchemaV4, JsonReportsVersionFive) {
   std::string json = to_json(crashed_batch());
-  EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 5"), std::string::npos);
 }
 
 TEST(SchemaV4, CountersSectionIsOptInAndDeterministicOnly) {

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     synat::fuzz::run_parser(data, bytes.size());
     synat::fuzz::run_pipeline(data, bytes.size());
     synat::fuzz::run_telemetry(data, bytes.size());
+    synat::fuzz::run_provenance(data, bytes.size());
   }
-  std::printf("replayed %zu seed(s) through 3 targets\n", seeds.size());
+  std::printf("replayed %zu seed(s) through 4 targets\n", seeds.size());
   return 0;
 }

@@ -82,4 +82,23 @@ int run_telemetry(const uint8_t* data, size_t size) {
   return 0;
 }
 
+int run_provenance(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  driver::codec::Reader in(bytes);
+  std::vector<obs::ProvenanceRecord> recs;
+  if (!driver::codec::get_prov_records(in, recs)) return 0;
+  // Decodable payloads must survive the counter-name builder (hostile
+  // theorem strings hit the label escaping) and re-encode to a fixpoint.
+  for (const obs::ProvenanceRecord& r : recs) obs::provenance_counter_name(r);
+  std::string wire;
+  driver::codec::put_prov_records(wire, recs);
+  driver::codec::Reader in2(wire);
+  std::vector<obs::ProvenanceRecord> recs2;
+  SYNAT_ASSERT(driver::codec::get_prov_records(in2, recs2),
+               "re-encoded provenance failed to decode");
+  SYNAT_ASSERT(in2.at_end() && recs2 == recs,
+               "provenance re-encode is not a fixpoint");
+  return 0;
+}
+
 }  // namespace synat::fuzz

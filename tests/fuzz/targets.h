@@ -26,4 +26,10 @@ int run_pipeline(const uint8_t* data, size_t size);
 /// Chrome-trace and Prometheus exporters without UB.
 int run_telemetry(const uint8_t* data, size_t size);
 
+/// SYNF Provenance frame payload decoder (codec::get_prov_records) plus the
+/// counter-name builder fed from it. Arbitrary bytes must either fail
+/// decode (truncated frames, over-cap record counts) or yield records that
+/// re-encode to a decode fixpoint.
+int run_provenance(const uint8_t* data, size_t size);
+
 }  // namespace synat::fuzz

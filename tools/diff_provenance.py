@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare the provenance sections of two synat JSON reports and print the
+first divergence.
+
+The driver guarantees that in-process, --jobs N and --isolate runs of the
+same inputs produce identical derivations; this tool is the check. It walks
+both reports' procedure- and variant-level provenance arrays in order and
+reports the first record (or record count, or procedure set) that differs,
+with enough context to see which mode diverged where. Non-provenance
+report fields (timings, metrics) are deliberately ignored.
+
+Exit codes: 0 identical provenance, 1 divergence, 2 usage/load error.
+
+Usage: diff_provenance.py A.json B.json
+"""
+
+import json
+import sys
+
+
+def index_programs(report):
+    progs = {}
+    for prog in report.get("programs", []):
+        procs = {}
+        for proc in prog.get("procedures", []):
+            procs[proc.get("name")] = {
+                "provenance": proc.get("provenance", []),
+                "variants": [(v.get("tag"), v.get("provenance", []))
+                             for v in proc.get("variants", [])],
+            }
+        progs[prog.get("name")] = procs
+    return progs
+
+
+def first_diff(a, b, path):
+    """Return a human-readable divergence between record lists, or None."""
+    if len(a) != len(b):
+        return f"{path}: {len(a)} record(s) vs {len(b)}"
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb:
+            keys = sorted(set(ra) | set(rb))
+            fields = [f"  {k}: {ra.get(k)!r} vs {rb.get(k)!r}"
+                      for k in keys if ra.get(k) != rb.get(k)]
+            return "\n".join([f"{path}[{i}]:"] + fields)
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            a = index_programs(json.load(f))
+        with open(sys.argv[2], encoding="utf-8") as f:
+            b = index_programs(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"diff_provenance: {e}", file=sys.stderr)
+        return 2
+
+    if sorted(a) != sorted(b):
+        print(f"diff_provenance: program sets differ: "
+              f"{sorted(a)} vs {sorted(b)}", file=sys.stderr)
+        return 1
+
+    total = 0
+    for name in sorted(a):
+        if sorted(a[name]) != sorted(b[name]):
+            print(f"diff_provenance: {name}: procedure sets differ: "
+                  f"{sorted(a[name])} vs {sorted(b[name])}", file=sys.stderr)
+            return 1
+        for pname in sorted(a[name]):
+            pa, pb = a[name][pname], b[name][pname]
+            d = first_diff(pa["provenance"], pb["provenance"],
+                           f"{name}:{pname}.provenance")
+            if d:
+                print(f"diff_provenance: {d}", file=sys.stderr)
+                return 1
+            total += len(pa["provenance"])
+            if [t for t, _ in pa["variants"]] != [t for t, _ in pb["variants"]]:
+                print(f"diff_provenance: {name}:{pname}: variant tags differ",
+                      file=sys.stderr)
+                return 1
+            for (tag, va), (_, vb) in zip(pa["variants"], pb["variants"]):
+                d = first_diff(va, vb, f"{name}:{pname}.{tag}.provenance")
+                if d:
+                    print(f"diff_provenance: {d}", file=sys.stderr)
+                    return 1
+                total += len(va)
+
+    print(f"diff_provenance: identical ({total} record(s) in "
+          f"{len(a)} program(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 //   synat corpus                          list the embedded corpus
 //   synat analyze  <prog> [options]      atomicity inference + listing
 //   synat batch    [options] <progs...>  parallel batch analysis + report
+//   synat explain  <prog> [proc] [opts]  derivation tree for every verdict
 //   synat variants <prog> [proc]         print exceptional variants
 //   synat blocks   <prog>                atomic-block partition
 //   synat cfg      <prog> <proc>         event-CFG dump
@@ -28,6 +29,13 @@
 //                run's counters/gauges/histograms)
 //                --report-counters (schema v4 "counters" section in the
 //                JSON report: the deterministic obs counters)
+//                --provenance (collect derivation records and emit the
+//                schema v5 "provenance" sections in the JSON report)
+//                --no-variants --no-windows --no-conds (the analyze
+//                ablation flags, applied to every input)
+// explain options: --jobs N --isolate plus the analyze ablation flags
+//                (--no-variants --no-windows --no-conds --counted <k>);
+//                output is byte-identical across --jobs/--isolate modes
 // mc options: --run Proc[:intarg] (repeatable) --init Proc --tinit Proc
 //             --por --atomic Proc (repeatable) --arrays N --max-states N
 //
@@ -69,7 +77,8 @@ constexpr int kExitInternalError = 4;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: synat <corpus|analyze|batch|variants|blocks|cfg|dot|disasm|mc> "
+      "usage: synat "
+      "<corpus|analyze|batch|explain|variants|blocks|cfg|dot|disasm|mc> "
       "[args]\n(see the header of tools/synat_cli.cpp)\n");
   return kExitUsage;
 }
@@ -149,6 +158,10 @@ int cmd_batch(int argc, char** argv) {
   std::string metrics_out;
   std::vector<std::string> specs;
   bool all = false;
+  bool provenance = false;
+  bool no_variants = false;
+  bool no_windows = false;
+  bool no_conds = false;
   size_t max_variants = 0;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
@@ -225,6 +238,15 @@ int cmd_batch(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (a == "--report-counters") {
       ropts.counters = true;
+    } else if (a == "--provenance") {
+      provenance = true;
+      ropts.provenance = true;
+    } else if (a == "--no-variants") {
+      no_variants = true;
+    } else if (a == "--no-windows") {
+      no_windows = true;
+    } else if (a == "--no-conds") {
+      no_conds = true;
     } else if (a == "--per-program") {
       dopts.granularity = driver::Granularity::Program;
     } else if (a == "-o" && i + 1 < argc) {
@@ -261,8 +283,13 @@ int cmd_batch(int argc, char** argv) {
     std::fprintf(stderr, "batch needs program specs or --all\n");
     return kExitUsage;
   }
-  for (driver::ProgramInput& in : inputs)
+  for (driver::ProgramInput& in : inputs) {
     in.opts.variant_opts.max_variants = max_variants;
+    in.opts.provenance = provenance;
+    if (no_variants) in.opts.variant_opts.disable = true;
+    if (no_windows) in.opts.use_window_rule = false;
+    if (no_conds) in.opts.use_local_conditions = false;
+  }
   if (dopts.resume && dopts.journal_path.empty()) {
     std::fprintf(stderr, "--resume needs --journal FILE\n");
     return kExitUsage;
@@ -355,6 +382,59 @@ int cmd_batch(int argc, char** argv) {
   if (dopts.strict && report.metrics.journal_rejected > 0)
     code = driver::combine_exit_codes(code, kExitInternalError);
   return code;
+}
+
+/// `synat explain <prog> [proc]` — run the batch driver with provenance
+/// collection on and render the derivation tree. Deliberately goes through
+/// BatchDriver (not infer_atomicity directly) so --jobs and --isolate
+/// exercise the same paths as `synat batch`; the output is a pure function
+/// of the report and therefore byte-identical across those modes.
+int cmd_explain(const std::string& spec, int argc, char** argv) {
+  driver::DriverOptions dopts;
+  std::string proc_filter;
+  atomicity::InferOptions iopts = spec_options(spec);
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 1024) {
+        std::fprintf(stderr, "--jobs expects a thread count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      dopts.jobs = static_cast<unsigned>(n);
+    } else if (a == "--isolate") {
+      dopts.isolate = true;
+    } else if (a == "--no-variants") {
+      iopts.variant_opts.disable = true;
+    } else if (a == "--no-windows") {
+      iopts.use_window_rule = false;
+    } else if (a == "--no-conds") {
+      iopts.use_local_conditions = false;
+    } else if (a == "--counted" && i + 1 < argc) {
+      iopts.counted_cas.emplace_back(argv[++i]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown explain option %s\n", a.c_str());
+      return kExitUsage;
+    } else if (proc_filter.empty()) {
+      proc_filter = a;
+    } else {
+      std::fprintf(stderr, "explain takes at most one procedure name\n");
+      return kExitUsage;
+    }
+  }
+  driver::ProgramInput in;
+  in.name = spec;
+  if (!load_source(spec, in.source))
+    in.load_error = "cannot open input '" + spec + "'";
+  in.opts = iopts;
+  in.opts.provenance = true;
+  driver::BatchDriver drv(dopts);
+  driver::BatchReport report = drv.run({in});
+  std::string doc = driver::to_explain(report, proc_filter);
+  std::fwrite(doc.data(), 1, doc.size(), stdout);
+  return report.exit_code();
 }
 
 int cmd_analyze(const std::string& spec, int argc, char** argv) {
@@ -510,6 +590,7 @@ int main(int argc, char** argv) {
     if (argc < 3) return usage();
     std::string spec = argv[2];
     if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);
+    if (cmd == "explain") return cmd_explain(spec, argc - 3, argv + 3);
     if (cmd == "variants")
       return cmd_variants(spec, argc - 3, argv + 3);
     if (cmd == "blocks") return cmd_blocks(spec);

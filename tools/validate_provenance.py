@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate the provenance sections of a synat --format json --provenance
+report against tools/provenance_schema.json.
+
+Self-contained: implements exactly the JSON-Schema subset the checked-in
+schema uses (type, required, properties, items, enum, minimum, maximum),
+so CI does not need the third-party jsonschema package. On top of the
+structural check it enforces the provenance semantics the ISSUE pins down:
+
+  * the report is schema version >= 5 and at least one provenance record
+    exists somewhere (unless --allow-empty);
+  * every record with a witness_line also names the witness, and every
+    step-4 "conflict" record carries a witness with a location — a
+    conflict justification must point at both sides;
+  * every "verdict" record sits at step 7 and every step-7 record is a
+    verdict;
+  * with --require-theorems 5.4,5.5 the named theorems must each be cited
+    by some record; with --forbid-theorems they must not be (the ablation
+    check: turning a rule off removes its citations, not the verdict).
+
+Usage: validate_provenance.py REPORT.json [--schema SCHEMA.json]
+           [--require-theorems T1,T2] [--forbid-theorems T1,T2]
+           [--allow-empty]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def validate(value, schema, path, errors):
+    """Check `value` against the supported JSON-Schema subset."""
+    t = schema.get("type")
+    if t is not None and not TYPE_CHECKS[t](value):
+        errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "maximum" in schema and isinstance(value, (int, float)):
+        if value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def walk_records(report):
+    """Yield (json_path, record) for every provenance record in the report."""
+    for pi, prog in enumerate(report.get("programs", [])):
+        for qi, proc in enumerate(prog.get("procedures", [])):
+            base = f"$.programs[{pi}].procedures[{qi}]"
+            for ri, rec in enumerate(proc.get("provenance", [])):
+                yield f"{base}.provenance[{ri}]", rec
+            for vi, var in enumerate(proc.get("variants", [])):
+                for ri, rec in enumerate(var.get("provenance", [])):
+                    yield f"{base}.variants[{vi}].provenance[{ri}]", rec
+
+
+def check_semantics(path, rec, errors):
+    if not isinstance(rec, dict):
+        return
+    if rec.get("witness_line", 0) > 0 and not rec.get("witness"):
+        errors.append(f"{path}: witness_line set but witness is empty")
+    if rec.get("rule") == "conflict" and rec.get("step") == 4:
+        if not rec.get("witness") or rec.get("witness_line", 0) <= 0:
+            errors.append(f"{path}: step-4 conflict without a located witness")
+    if (rec.get("rule") == "verdict") != (rec.get("step") == 7):
+        errors.append(f"{path}: verdict records and step 7 must coincide")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "provenance_schema.json"))
+    ap.add_argument("--require-theorems", default="",
+                    help="comma-separated theorems that must be cited")
+    ap.add_argument("--forbid-theorems", default="",
+                    help="comma-separated theorems that must not be cited")
+    ap.add_argument("--allow-empty", action="store_true",
+                    help="accept a report with no provenance records")
+    args = ap.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        report = json.load(f)
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    if report.get("version", 0) < 5:
+        errors.append(f"$.version: {report.get('version')!r} < 5 "
+                      "(provenance needs schema v5)")
+
+    records = list(walk_records(report))
+    if not records and not args.allow_empty:
+        errors.append("no provenance records found "
+                      "(was the report produced with --provenance?)")
+    cited = set()
+    for path, rec in records:
+        validate(rec, schema, path, errors)
+        check_semantics(path, rec, errors)
+        if isinstance(rec, dict) and rec.get("theorem"):
+            # all-excluded records cite a '+'-joined theorem list.
+            cited.update(rec["theorem"].split("+"))
+
+    for thm in filter(None, args.require_theorems.split(",")):
+        if thm not in cited:
+            errors.append(f"required theorem {thm} is never cited "
+                          f"(cited: {sorted(cited)})")
+    for thm in filter(None, args.forbid_theorems.split(",")):
+        if thm in cited:
+            errors.append(f"forbidden theorem {thm} is cited")
+
+    if errors:
+        for e in errors[:50]:
+            print(f"validate_provenance: {e}", file=sys.stderr)
+        print(f"validate_provenance: FAIL ({len(errors)} error(s)) "
+              f"{args.report}", file=sys.stderr)
+        return 1
+    print(f"validate_provenance: OK {args.report} "
+          f"({len(records)} record(s), theorems cited: "
+          f"{','.join(sorted(cited)) or 'none'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
