@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <thread>
 
 #include "synat/atomicity/infer.h"
@@ -17,6 +18,7 @@
 #include "synat/obs/metrics.h"
 #include "synat/obs/obs.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/service.h"
 #include "synat/synl/parser.h"
 
 using namespace synat;
@@ -152,6 +154,24 @@ double sweep_ms(const driver::DriverOptions& opts,
   return best;
 }
 
+/// One analyze round-trip through the serve Service — decode, dispatch on
+/// the pool, encode the response frame — best of `reps`. The reply arrives
+/// on a pool worker, so each iteration waits on a promise.
+double serve_rpc_ms(serve::Service& svc, const std::string& line, int reps) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    std::promise<void> done;
+    std::future<void> got = done.get_future();
+    auto t0 = std::chrono::steady_clock::now();
+    svc.handle(line, [&done](std::string) { done.set_value(); });
+    got.wait();
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
 /// Measures the driver speedups the roadmap tracks (serial vs. --jobs 8,
 /// cold vs. warm cache) and records them in BENCH_driver.json so future
 /// changes have a perf trajectory to compare against.
@@ -219,6 +239,33 @@ void emit_driver_json(const char* path) {
   size_t warm_hits = cache.hits() - h0;
   size_t warm_total = warm_hits + (cache.misses() - m0);
 
+  // Daemon round-trip (DESIGN.md §3g): one program analyzed through the
+  // serve RPC layer end to end (decode → pool dispatch → schema-v5 encode).
+  // The warm number is the latency a long-lived client sees once the
+  // per-procedure cache is hot — the incremental-reanalysis payoff.
+  serve::ServiceOptions sopts;
+  sopts.jobs = 1;
+  serve::Service svc(sopts);
+  const corpus::Entry& nfq = corpus::get("nfq_prime");
+  serve::JsonValue params = serve::JsonValue::make_object();
+  params.add("program",
+             serve::JsonValue::make_string(std::string(nfq.source)));
+  params.add("name", serve::JsonValue::make_string("corpus:nfq_prime"));
+  serve::JsonValue counted = serve::JsonValue::make_array();
+  for (auto c : nfq.counted_cas)
+    counted.push(serve::JsonValue::make_string(std::string(c)));
+  params.add("counted", std::move(counted));
+  serve::JsonValue reqv = serve::JsonValue::make_object();
+  reqv.add("jsonrpc", serve::JsonValue::make_string("2.0"));
+  reqv.add("id", serve::JsonValue::make_number(int64_t{1}));
+  reqv.add("method", serve::JsonValue::make_string("analyze"));
+  reqv.add("params", std::move(params));
+  std::string rpc_line = serve::encode_json(reqv);
+  double serve_cold_rpc_ms = serve_rpc_ms(svc, rpc_line, 1);
+  double serve_warm_rpc_ms = serve_rpc_ms(svc, rpc_line, kReps);
+  svc.drain();
+  obs::registry().reset();  // discard the serve counters of the timed calls
+
   double procs = static_cast<double>(report.metrics.procedures);
   double hit_rate =
       warm_total == 0 ? 0.0
@@ -262,7 +309,9 @@ void emit_driver_json(const char* path) {
                "  \"cache_cold_ms\": %.3f,\n"
                "  \"cache_warm_ms\": %.3f,\n"
                "  \"cache_warm_speedup\": %.3f,\n"
-               "  \"cache_warm_hit_rate\": %.3f\n"
+               "  \"cache_warm_hit_rate\": %.3f,\n"
+               "  \"serve_cold_rpc_ms\": %.3f,\n"
+               "  \"serve_warm_rpc_ms\": %.3f\n"
                "}\n",
                serial_ms > 0 ? procs * 1000.0 / serial_ms : 0.0,
                parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0,
@@ -273,12 +322,14 @@ void emit_driver_json(const char* path) {
                isolate_ms,
                parallel_ms > 0 ? isolate_ms / parallel_ms - 1.0 : 0.0,
                per_program_ms, cold_ms,
-               warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_rate);
+               warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_rate,
+               serve_cold_rpc_ms, serve_warm_rpc_ms);
   std::fclose(f);
   std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, --isolate %.1fms, "
-              "obs on %.1fms, warm cache %.1fms, hit rate %.0f%%)\n",
+              "obs on %.1fms, warm cache %.1fms, hit rate %.0f%%, "
+              "serve rpc %.2fms cold / %.2fms warm)\n",
               path, serial_ms, kJobs, parallel_ms, isolate_ms, obs_enabled_ms,
-              warm_ms, hit_rate * 100);
+              warm_ms, hit_rate * 100, serve_cold_rpc_ms, serve_warm_rpc_ms);
 }
 
 }  // namespace

@@ -109,4 +109,38 @@ class AtomicityResult {
 AtomicityResult infer_atomicity(synl::Program& prog, DiagEngine& diags,
                                 const InferOptions& opts = {});
 
+/// Content/interference fingerprints for fine-grained result caching.
+///
+/// A procedure's verdict is a function of (a) its own body and source
+/// layout, (b) the program's declarations, and (c) the *interference
+/// signature* of every procedure in the program — the projection of each
+/// variant context that steps 2/4 read across contexts: region lists
+/// (kind, shared-variable alias class, condition), global-action events
+/// (kind, path alias class, lock set, region membership). Two programs
+/// with equal `content[p]` and equal `universe` therefore give procedure
+/// `p` byte-identical reports, even if other procedure bodies differ —
+/// this is what lets the driver cache (and `synat serve`) re-analyze only
+/// edited procedures instead of the whole program.
+struct ProgramFingerprint {
+  /// False when the program could not be fingerprinted precisely (broken
+  /// procedures, variant budget trip mid-fingerprint, reparse failure);
+  /// callers must fall back to whole-program keying.
+  bool complete = false;
+  /// Declarations + every procedure's interference signature. Shared by
+  /// all procedures of the program.
+  uint64_t universe = 0;
+  /// Per original procedure, in declaration order: the procedure's own
+  /// printed body plus its statement source layout (reports render line
+  /// numbers, so layout is part of the result's identity).
+  std::vector<uint64_t> content;
+};
+
+/// Computes the fingerprint without running steps 1-7 (it pays variant
+/// generation and per-variant CFG analysis, not the quadratic conflict
+/// scan). Never appends to `prog`: the universe is built from a private
+/// reparse. Honors `opts.variant_opts.budget`; a trip yields an incomplete
+/// fingerprint instead of throwing.
+ProgramFingerprint fingerprint_program(const synl::Program& prog,
+                                       const InferOptions& opts = {});
+
 }  // namespace synat::atomicity

@@ -6,6 +6,8 @@
 
 #include "synat/analysis/expr_util.h"
 #include "synat/obs/trace.h"
+#include "synat/support/hash.h"
+#include "synat/synl/parser.h"
 #include "synat/synl/printer.h"
 
 namespace synat::atomicity {
@@ -67,6 +69,11 @@ class InferEngine {
       : prog_(prog), diags_(diags), opts_(opts) {}
 
   AtomicityResult run();
+
+  /// Hash of every procedure's interference signature — the cross-context
+  /// observables steps 2/4 read (see ProgramFingerprint). Runs step 0 and
+  /// context building only; throws BudgetExceeded under a tripped budget.
+  uint64_t interference_universe();
 
  private:
   /// A mutual-exclusion region inside one variant (Theorems 5.4/5.5).
@@ -170,6 +177,8 @@ class InferEngine {
   }
   void set_witness(obs::ProvenanceRecord* r, const VariantCtx* wctx,
                    EventId f) const;
+
+  void mix_variant_signature(Hasher& h, const VariantCtx& ctx) const;
 
   void propagate(VariantCtx& ctx, VariantResult& out) const;
   Atomicity stmt_atom(const VariantCtx& ctx, const VariantResult& res,
@@ -1164,6 +1173,199 @@ std::string AtomicityResult::full_listing(const Program& prog) const {
 AtomicityResult infer_atomicity(Program& prog, DiagEngine& diags,
                                 const InferOptions& opts) {
   return InferEngine(prog, diags, opts).run();
+}
+
+// ---------------------------------------------------------------------------
+// Content/interference fingerprints
+
+namespace {
+
+/// Encodes exactly what `may_alias` (expr_util.cpp) can observe about an
+/// access path: an invalid root aliases everything; plain variables alias
+/// only the same declaration (program-level vars are identified by
+/// kind+name; proc-level vars never alias across procedures, so kind+name
+/// is faithful for cross-context queries); selector paths compare the final
+/// selector only — field symbol plus holder type for fields, element type
+/// for indices. `type_str` is injective on type structure, so hashing it
+/// preserves `types_definitely_differ`.
+void mix_path_sig(Hasher& h, const Program& prog, const AccessPath& path) {
+  if (!path.root.valid()) {
+    h.mix("p?");
+    return;
+  }
+  if (path.is_plain_var()) {
+    const synl::VarInfo& v = prog.var(path.root);
+    h.mix("pv");
+    h.mix(static_cast<uint64_t>(v.kind));
+    h.mix(prog.syms().name(v.name));
+    return;
+  }
+  const cfg::Selector& sel = path.sels.back();
+  if (sel.kind == cfg::Selector::Field) {
+    h.mix("pf");
+    h.mix(sel.field.valid() ? prog.syms().name(sel.field)
+                            : std::string_view("?"));
+    h.mix(prog.type_str(analysis::path_prefix_type(prog, path)));
+  } else {
+    h.mix("pi");
+    h.mix(prog.type_str(analysis::path_type(prog, path)));
+  }
+}
+
+/// Declarations the alias analysis can consult: classes with their typed
+/// fields, program-level variables with their kinds and types.
+void mix_decls(Hasher& h, const Program& prog) {
+  h.mix(static_cast<uint64_t>(prog.num_classes()));
+  for (size_t i = 0; i < prog.num_classes(); ++i) {
+    const synl::ClassInfo& c = prog.cls(synl::ClassId(static_cast<uint32_t>(i)));
+    h.mix(prog.syms().name(c.name));
+    h.mix(static_cast<uint64_t>(c.defined));
+    h.mix(static_cast<uint64_t>(c.fields.size()));
+    for (const synl::FieldInfo& f : c.fields) {
+      h.mix(prog.syms().name(f.name));
+      h.mix(prog.type_str(f.type));
+    }
+  }
+  auto mix_vars = [&](const std::vector<synl::VarId>& ids) {
+    h.mix(static_cast<uint64_t>(ids.size()));
+    for (synl::VarId id : ids) {
+      const synl::VarInfo& v = prog.var(id);
+      h.mix(prog.syms().name(v.name));
+      h.mix(static_cast<uint64_t>(v.kind));
+      h.mix(prog.type_str(v.type));
+    }
+  };
+  mix_vars(prog.globals());
+  mix_vars(prog.threadlocals());
+}
+
+/// Statement source layout, pre-order. Reports render statement line
+/// numbers (proc headers, per-line listings, variant assumptions inherit
+/// statement locs), so layout is part of a result's identity. Expression
+/// locations are only rendered by provenance records, and provenance runs
+/// never use content keys.
+void mix_stmt_locs(Hasher& h, const Program& prog, synl::StmtId id) {
+  if (!id.valid()) return;
+  const Stmt& s = prog.stmt(id);
+  h.mix(static_cast<uint64_t>(s.loc.line));
+  h.mix(static_cast<uint64_t>(s.loc.column));
+  if (s.s1.valid()) mix_stmt_locs(h, prog, s.s1);
+  if (s.s2.valid()) mix_stmt_locs(h, prog, s.s2);
+  for (synl::StmtId c : s.stmts) mix_stmt_locs(h, prog, c);
+}
+
+}  // namespace
+
+void InferEngine::mix_variant_signature(Hasher& h, const VariantCtx& ctx) const {
+  h.mix("variant");
+  h.mix(static_cast<uint64_t>(ctx.regions.size()));
+  for (const Region& r : ctx.regions) {
+    h.mix("region");
+    h.mix(static_cast<uint64_t>(r.kind));
+    mix_path_sig(h, prog_, r.svar);
+    h.mix(static_cast<uint64_t>(r.cond));
+  }
+  // Global-action events in EventId order: everything the step-4 conflict
+  // scan, all_updates_via and llsc_premise read from this context — event
+  // kind, path alias class, held lock set, region membership. Local
+  // actions are invisible across contexts and stay out of the signature.
+  const cfg::Cfg& cfg = ctx.pa->cfg();
+  for (uint32_t i = 0; i < cfg.num_nodes(); ++i) {
+    EventId e(i);
+    if (!is_global_action(ctx, e)) continue;
+    const Event& ev = cfg.node(e);
+    h.mix("event");
+    h.mix(static_cast<uint64_t>(ev.kind));
+    mix_path_sig(h, prog_, ev.path);
+    h.mix(static_cast<uint64_t>(ctx.held[i].size()));
+    for (const AccessPath& l : ctx.held[i]) mix_path_sig(h, prog_, l);
+    for (size_t ri = 0; ri < ctx.regions.size(); ++ri)
+      if (ctx.regions[ri].members[i]) h.mix(static_cast<uint64_t>(ri));
+    h.mix("end");
+  }
+}
+
+uint64_t InferEngine::interference_universe() {
+  const size_t num_original = prog_.num_procs();
+  ExecBudget* budget = opts_.variant_opts.budget;
+
+  // Mirror run()'s universe construction: step 0 for every procedure (a
+  // budget-tripped procedure contributes its conservative clone, exactly as
+  // it does to a real run's universe), then contexts for every variant.
+  std::vector<VariantSet> sets;
+  sets.reserve(num_original);
+  for (size_t i = 0; i < num_original; ++i) {
+    ProcId pid(static_cast<uint32_t>(i));
+    if (budget != nullptr) budget->check("fingerprint");
+    ProcAnalysis pa(prog_, pid);
+    sets.push_back(generate_variants(prog_, pid, pa, diags_, opts_.variant_opts));
+  }
+  for (const VariantSet& vs : sets)
+    for (ProcId v : vs.variants) {
+      if (budget != nullptr) budget->check("fingerprint");
+      build_variant_ctx(v);
+    }
+
+  Hasher h;
+  size_t next = 0;
+  for (const VariantSet& vs : sets) {
+    h.mix("proc");
+    h.mix(prog_.syms().name(prog_.proc(vs.original).name));
+    h.mix(static_cast<uint64_t>(vs.variants.size()));
+    for (ProcId v : vs.variants) {
+      const VariantCtx& ctx = vctx_[next++];
+      SYNAT_ASSERT(ctx.id == v, "variant context order mismatch");
+      mix_variant_signature(h, ctx);
+    }
+  }
+  return h.value();
+}
+
+ProgramFingerprint fingerprint_program(const Program& prog,
+                                       const InferOptions& opts) {
+  ProgramFingerprint fp;
+  const size_t n = prog.num_procs();
+
+  // Per-procedure content: printed body + statement layout, from the
+  // caller's program so original source locations are captured.
+  fp.content.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ProcId pid(static_cast<uint32_t>(i));
+    const synl::ProcInfo& pi = prog.proc(pid);
+    if (pi.broken || pi.variant_of.valid()) return fp;  // incomplete
+    Hasher h;
+    h.mix(synl::print_proc(prog, pid));
+    h.mix(static_cast<uint64_t>(pi.loc.line));
+    h.mix(static_cast<uint64_t>(pi.loc.column));
+    mix_stmt_locs(h, prog, pi.body);
+    fp.content.push_back(h.value());
+  }
+
+  // Interference universe, built on a private reparse: variant generation
+  // appends procedures to (and re-runs sema over) its Program, and the
+  // caller's must stay untouched. Printing is a fixpoint, so the reparse
+  // is semantically identical to `prog` up to source locations — which the
+  // signature never reads.
+  DiagEngine diags;
+  synl::FrontEnd fe = synl::parse_and_recover(synl::print_program(prog), diags);
+  if (diags.has_errors() || !fe.contained || fe.prog.num_procs() != n)
+    return fp;
+  InferOptions fopts = opts;
+  fopts.only_procs.clear();
+  fopts.provenance = false;
+  uint64_t universe = 0;
+  try {
+    InferEngine eng(fe.prog, diags, fopts);
+    universe = eng.interference_universe();
+  } catch (const BudgetExceeded&) {
+    return fp;  // incomplete: caller falls back to whole-program keys
+  }
+  Hasher h;
+  mix_decls(h, fe.prog);
+  h.mix(universe);
+  fp.universe = h.value();
+  fp.complete = true;
+  return fp;
 }
 
 }  // namespace synat::atomicity

@@ -1,13 +1,21 @@
 // Content-addressed memoization cache for per-procedure analysis results.
 //
-// The key is an FNV-1a hash of (pretty-printed whole program, analysis
-// option fingerprint, procedure name). The whole program — not just the one
-// procedure — must be part of the address because the atomicity of a
-// procedure depends on the conflicting accesses of every other procedure's
-// variants (paper step 4, the cross-thread conflict universe); two textually
-// identical procedures in different programs can legitimately get different
-// verdicts. The printer is a fixpoint under re-parsing, so the printed form
-// is a canonical content address: formatting differences in the input do not
+// The address is an FNV-1a hash over everything a procedure's verdict can
+// depend on. A procedure cannot be keyed by its own text alone: its
+// atomicity depends on the conflicting accesses of every other procedure's
+// variants (paper step 4, the cross-thread conflict universe). The driver
+// therefore addresses entries by (analysis option fingerprint, the
+// procedure's own printed body + source layout, the program's interference
+// universe hash) — see atomicity::ProgramFingerprint. The universe hash
+// covers only the projection of other procedures that step 4 can actually
+// read (alias classes, lock sets, region structure), so editing one
+// procedure re-analyzes that procedure and, at worst, procedures whose
+// interference it changed — the keying behind `synat serve`'s incremental
+// re-analysis. When a program cannot be fingerprinted precisely (broken
+// procedures, provenance runs, budget trips) the driver falls back to the
+// coarse key (pretty-printed whole program, option fingerprint, procedure
+// name). Both forms are canonical content addresses: the printer is a
+// fixpoint under re-parsing, so formatting differences in the input do not
 // cause spurious misses.
 //
 // Sharded to keep lock hold times negligible next to an analysis run.

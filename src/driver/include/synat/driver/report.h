@@ -21,6 +21,11 @@
 
 namespace synat::driver {
 
+/// Build version, reported by `synat serve` status and `--cache-stats`.
+inline constexpr std::string_view kSynatVersion = "0.6.0";
+/// Version of the "synat-batch-report" JSON schema emitted by to_json.
+inline constexpr int kReportSchemaVersion = 5;
+
 /// One annotated source line of a variant listing: the statement head with
 /// its inferred atomicity type (the paper's Figure 3 presentation).
 struct LineReport {

@@ -22,11 +22,15 @@ namespace {
 // lets load() skip a corrupted entry (bit flips) and salvage the intact
 // prefix of a truncated file, instead of dropping the whole snapshot.
 // Entries are written in key order so snapshots of equal caches are
-// byte-identical. v4 bumps v3 because every entry payload now appends the
-// provenance section (codec.h) after the ProcReport; old snapshots reject
-// cleanly on magic, exactly as pre-v3 ones did.
-constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '4'};
-constexpr uint64_t kFormatVersion = 4;
+// byte-identical. v4 bumped v3 because every entry payload now appends the
+// provenance section (codec.h) after the ProcReport. v5 bumps v4 because
+// the keying scheme changed (fine-grained content/interference addresses,
+// cache.h): v4 snapshots hold whole-program keys that a v5 process would
+// never look up, and vice versa, so mixing them would silently waste the
+// warm start. Old snapshots reject cleanly on magic, exactly as pre-v4
+// ones did.
+constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '5'};
+constexpr uint64_t kFormatVersion = 5;
 
 void put_u64(std::ostream& out, uint64_t v) {
   char buf[8];

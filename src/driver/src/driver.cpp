@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "synat/atomicity/blocks.h"
+#include "synat/atomicity/infer.h"
 #include "synat/driver/journal.h"
 #include "synat/driver/worker.h"
 #include "synat/obs/metrics.h"
@@ -164,6 +165,18 @@ std::shared_ptr<const ProcReport> make_degraded_report(std::string name,
   return report;
 }
 
+/// A report's `cache_key` field carries the whole-program identity key of
+/// the run being reported. A content-addressed hit can come from a run of a
+/// *different* program text, so the resident report is cloned to re-stamp
+/// the key it is reported under (shared reports are immutable).
+std::shared_ptr<const ProcReport> with_key(std::shared_ptr<const ProcReport> r,
+                                           uint64_t key) {
+  if (r == nullptr || r->key == key) return r;
+  auto copy = std::make_shared<ProcReport>(*r);
+  copy->key = key;
+  return copy;
+}
+
 }  // namespace
 
 uint64_t options_fingerprint(const atomicity::InferOptions& opts) {
@@ -222,11 +235,38 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
                       diag_reports(diags));
     return;
   }
-  uint64_t program_fp = Hasher()
-                            .mix(synl::print_program(prog))
-                            .mix(options_fingerprint(input.opts))
-                            .value();
+  const uint64_t opts_fp = options_fingerprint(input.opts);
+  uint64_t program_fp =
+      Hasher().mix(synl::print_program(prog)).mix(opts_fp).value();
   sink.open_program(index, input.name, hex64(program_fp), num_procs);
+
+  // Fine-grained cache addressing (DESIGN.md §3g): when the program
+  // fingerprints completely, each procedure's result is cached under
+  // H(options, own content, interference universe) instead of the
+  // whole-program key, so an edit that leaves a procedure's body and the
+  // program's interference signature unchanged still hits. This is what
+  // makes `synat serve` re-analyze only edited procedures. Reports keep
+  // the whole-program identity key in their `cache_key` field either way.
+  // Provenance runs stay on whole-program keys: derivation records quote
+  // other variants' source text and locations.
+  std::shared_ptr<const atomicity::ProgramFingerprint> fng;
+  if (opts_.use_cache && !input.opts.provenance && !recovered) {
+    obs::SpanScope fp_span(obs::StageId::Schedule);
+    ExecBudget fbudget;
+    Watchdog::Scope fscope(watchdog_.get(), fbudget, opts_.deadline_ms);
+    atomicity::InferOptions fopts = input.opts;
+    fopts.variant_opts.budget = &fbudget;
+    auto f = std::make_shared<atomicity::ProgramFingerprint>(
+        atomicity::fingerprint_program(prog, fopts));
+    if (f->complete && f->content.size() == num_procs) fng = std::move(f);
+  }
+  auto content_key = [&fng, opts_fp](size_t p) {
+    return Hasher()
+        .mix(opts_fp)
+        .mix(fng->content[p])
+        .mix(fng->universe)
+        .value();
+  };
   if (recovered) sink.add_diagnostics(index, diag_reports(diags));
   auto degrade_parse = [&prog, &sink, index](size_t p) {
     synl::ProcId pid(static_cast<uint32_t>(p));
@@ -240,7 +280,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
   // Program granularity (and the single-procedure fast path): analyze in
   // this task, reusing the Program we just parsed.
   if (opts_.granularity == Granularity::Program || num_procs <= 1) {
-    std::vector<uint64_t> keys(num_procs);
+    std::vector<uint64_t> keys(num_procs), addrs(num_procs);
     bool all_hit = opts_.use_cache;
     std::vector<std::shared_ptr<const ProcReport>> hits(num_procs);
     for (size_t p = 0; p < num_procs; ++p) {
@@ -250,8 +290,9 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
                     .mix(program_fp)
                     .mix(prog.syms().name(prog.proc(pid).name))
                     .value();
+      addrs[p] = fng ? content_key(p) : keys[p];
       if (opts_.use_cache) {
-        hits[p] = cache_->lookup(keys[p]);
+        hits[p] = with_key(cache_->lookup(addrs[p]), keys[p]);
         all_hit = all_hit && hits[p] != nullptr;
       }
     }
@@ -306,7 +347,8 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       SYNAT_ASSERT(pr != nullptr, "missing procedure result");
       std::shared_ptr<const ProcReport> report =
           make_proc_report(prog, *pr, keys[p], iopts.provenance);
-      if (opts_.use_cache) report = cache_->insert(keys[p], report);
+      if (opts_.use_cache)
+        report = with_key(cache_->insert(addrs[p], report), keys[p]);
       sink.set_proc(index, p, report);
     }
     return;
@@ -321,7 +363,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       degrade_parse(p);  // no task: there is nothing to analyze
       continue;
     }
-    pool.submit([this, &input, index, p, program_fp, &sink] {
+    pool.submit([this, &input, index, p, program_fp, opts_fp, fng, &sink] {
       std::string name;  // filled before analysis so a budget trip can
       uint32_t line = 0;  // still name its victim
       try {
@@ -336,8 +378,15 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
         name = std::string(prog.syms().name(prog.proc(pid).name));
         line = prog.proc(pid).loc.line;
         uint64_t key = Hasher().mix(program_fp).mix(name).value();
+        uint64_t addr = fng ? Hasher()
+                                  .mix(opts_fp)
+                                  .mix(fng->content[p])
+                                  .mix(fng->universe)
+                                  .value()
+                            : key;
         if (opts_.use_cache) {
-          if (std::shared_ptr<const ProcReport> hit = cache_->lookup(key)) {
+          if (std::shared_ptr<const ProcReport> hit =
+                  with_key(cache_->lookup(addr), key)) {
             sink.set_proc(index, p, std::move(hit));
             return;
           }
@@ -358,7 +407,8 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
           SYNAT_ASSERT(pr != nullptr, "missing procedure result");
           report = make_proc_report(prog, *pr, key, opts.provenance);
         }
-        if (opts_.use_cache) report = cache_->insert(key, report);
+        if (opts_.use_cache)
+          report = with_key(cache_->insert(addr, report), key);
         sink.set_proc(index, p, std::move(report));
       } catch (const BudgetExceeded& e) {
         if (opts_.strict) {

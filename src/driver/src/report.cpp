@@ -302,7 +302,7 @@ std::string to_json(const BatchReport& report, const RenderOptions& opts) {
   w.key("schema").value("synat-batch-report");
   // v5 adds the optional "provenance" sections (RenderOptions::provenance);
   // v4 added the optional metrics "counters" section.
-  w.key("version").value(5);
+  w.key("version").value(kReportSchemaVersion);
   w.key("programs").begin_array();
   for (const ProgramReport& prog : report.programs) {
     w.begin_object();

@@ -38,13 +38,17 @@ enum class StageId : uint8_t {
   Dispatch,       ///< supervisor: fork + request write for one worker
   JournalAppend,
   JournalReplay,
+  // Serve stages (category "serve"): the `synat serve` daemon.
+  RpcDecode,      ///< request line parse + JSON-RPC validation
+  RpcExecute,     ///< method execution (analysis runs inside)
+  RpcRequest,     ///< whole request lifetime: decode, queue wait, execute
   COUNT
 };
 
 inline constexpr size_t kNumStages = static_cast<size_t>(StageId::COUNT);
 
 std::string_view stage_name(StageId s);      ///< "parse", "cfg_liveness", ...
-std::string_view stage_category(StageId s);  ///< "pipeline" or "driver"
+std::string_view stage_category(StageId s);  ///< "pipeline", "driver", "serve"
 
 /// Observability flags, one process-wide atomic word.
 enum : uint32_t {

@@ -49,9 +49,20 @@ Registry::Registry() {
       {"synat_watchdog_trips_total", false},
       {"synat_worker_heartbeats_total", false},
       {"synat_trace_spans_dropped_total", false},
+      // Serve counters are non-deterministic by design: their values depend
+      // on client arrival order, so they are exported live (Prometheus /
+      // status RPC) but never enter the report's deterministic counters
+      // section.
+      {"synat_serve_requests_total", false},
+      {"synat_serve_invalid_total", false},
+      {"synat_serve_rejected_total", false},
+      {"synat_serve_cache_hits_total", false},
+      {"synat_serve_cache_misses_total", false},
+      {"synat_serve_procedures_reanalyzed_total", false},
   };
   for (const auto& c : kCounters) counter(c.name, c.deterministic);
   gauge("synat_jobs");
+  gauge("synat_serve_in_flight");
   for (size_t i = 0; i < kNumStages; ++i) {
     const auto s = static_cast<StageId>(i);
     std::string name = "synat_";

@@ -34,15 +34,20 @@ std::string_view stage_name(StageId s) {
     case StageId::Dispatch: return "dispatch";
     case StageId::JournalAppend: return "journal_append";
     case StageId::JournalReplay: return "journal_replay";
+    case StageId::RpcDecode: return "rpc_decode";
+    case StageId::RpcExecute: return "rpc_execute";
+    case StageId::RpcRequest: return "rpc_request";
     case StageId::COUNT: break;
   }
   return "unknown";
 }
 
 std::string_view stage_category(StageId s) {
-  return static_cast<uint8_t>(s) < static_cast<uint8_t>(StageId::Analyze)
-             ? "pipeline"
-             : "driver";
+  if (static_cast<uint8_t>(s) < static_cast<uint8_t>(StageId::Analyze))
+    return "pipeline";
+  if (static_cast<uint8_t>(s) < static_cast<uint8_t>(StageId::RpcDecode))
+    return "driver";
+  return "serve";
 }
 
 namespace {

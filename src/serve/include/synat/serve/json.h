@@ -1,0 +1,84 @@
+// Minimal JSON document model + parser for the `synat serve` RPC layer.
+//
+// The driver's JsonWriter is a streaming pretty-printer for reports; the
+// daemon additionally needs to *read* untrusted request bodies and emit
+// single-line response frames, so this header provides the other half: a
+// small value tree, a strict recursive-descent parser with hard resource
+// limits (depth, size — requests come from arbitrary clients and feed a
+// fuzz target), and a compact encoder whose output never contains a
+// newline, which is what makes newline-delimited framing trivial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace synat::serve {
+
+/// Resource bounds enforced during parsing. Exceeding either is a parse
+/// error, not a crash: the decoder is the daemon's attack surface.
+struct JsonLimits {
+  size_t max_depth = 64;         ///< nesting of arrays/objects
+  size_t max_bytes = 8u << 20;   ///< refuse documents larger than this
+};
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  /// Original number token when parsed (or set by make_number for
+  /// integers); the encoder re-emits it verbatim so ids and large counts
+  /// round-trip exactly, without double-formatting artifacts.
+  std::string num_raw;
+  std::string str;
+  std::vector<JsonValue> items;                              ///< Array
+  std::vector<std::pair<std::string, JsonValue>> members;    ///< Object
+
+  static JsonValue make_null() { return {}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(int64_t n);
+  static JsonValue make_number(uint64_t n);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Object member by key (first occurrence), or nullptr.
+  const JsonValue* get(std::string_view key) const;
+
+  /// Builder conveniences; `add` asserts nothing — calling them on the
+  /// wrong kind simply switches the value into that kind.
+  JsonValue& add(std::string key, JsonValue v);  ///< object member, in order
+  JsonValue& push(JsonValue v);                  ///< array element
+};
+
+struct JsonParse {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  ///< "offset N: message" when !ok
+};
+
+/// Parses exactly one JSON value (plus surrounding whitespace); trailing
+/// garbage is an error. Accepts the full RFC 8259 grammar including
+/// \uXXXX escapes with surrogate pairs.
+JsonParse parse_json(std::string_view text, const JsonLimits& limits = {});
+
+/// Compact single-line encoding: no spaces, no newlines. Control
+/// characters in strings are escaped (\n, \t, ... or \u00XX), so the
+/// output is always safe as one newline-delimited frame.
+std::string encode_json(const JsonValue& v);
+void encode_json(const JsonValue& v, std::string& out);
+
+}  // namespace synat::serve

@@ -1,0 +1,103 @@
+// The `synat serve` method layer: decodes JSON-RPC requests, runs analysis
+// methods on a thread pool against a shared hot result cache, and produces
+// single-line response frames. Transport-agnostic — Server (server.h) feeds
+// it lines from sockets, tests and the bench feed it lines directly.
+//
+// Methods:
+//   analyze    {program, name?, provenance?, no_variants?, no_windows?,
+//               no_conds?, counted?, max_paths?, max_variants?}
+//              → {report, exit_code, cache_hits, procedures_reanalyzed}
+//              `report` is the full schema-v5 batch JSON document,
+//              byte-identical to `synat batch --format json` on the same
+//              input and options (ServerDeterminism).
+//   explain    analyze params + {proc?} → {explanation, exit_code}
+//   status     {} → {version, schema_version, uptime_ms, cache_entries,
+//                    options_fingerprint, in_flight, jobs}
+//   metrics    {} → {content_type, prometheus}  (Prometheus 0.0.4 text)
+//   invalidate {} → {invalidated}               (drops the result cache)
+//   shutdown   {} → {ok}; marks the service draining and fires the
+//              shutdown hook so the owning server exits its accept loop.
+//
+// Concurrency/backpressure: analyze/explain are queued on the pool;
+// at most `max_queue` may be queued or running — beyond that the request
+// is refused immediately with kErrOverloaded (the 429 analogue), bounding
+// both memory and latency under saturation. Cheap methods (status,
+// metrics, invalidate, shutdown) are answered inline on the calling
+// thread and never queue. After drain() begins, analysis methods are
+// refused with kErrShuttingDown while in-flight work completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "synat/driver/cache.h"
+#include "synat/driver/thread_pool.h"
+#include "synat/serve/rpc.h"
+
+namespace synat::serve {
+
+struct ServiceOptions {
+  unsigned jobs = 0;            ///< pool workers; 0 = hardware concurrency
+  size_t max_queue = 64;        ///< queued+running analysis request cap
+  size_t max_request_bytes = 8u << 20;
+};
+
+class Service {
+ public:
+  /// Called with one complete response frame (no trailing newline).
+  /// Notifications (requests without an id) produce no callback. May be
+  /// invoked from a pool worker thread after handle() returned.
+  using Reply = std::function<void(std::string)>;
+
+  explicit Service(ServiceOptions opts);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Decodes and dispatches one request line. Thread-safe: transports may
+  /// call this concurrently from many connection readers.
+  void handle(std::string line, Reply reply);
+
+  /// Stops accepting analysis work and blocks until in-flight requests
+  /// (and their replies) finish. Idempotent.
+  void drain();
+
+  /// True once a shutdown request was received or drain() began.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Invoked (once) when a shutdown RPC is accepted, from the handling
+  /// thread; the owning transport should leave its accept loop and drain.
+  void set_shutdown_hook(std::function<void()> hook);
+
+  /// The shared result cache (snapshot load/save is the owner's business).
+  driver::ResultCache& cache() { return cache_; }
+
+  uint64_t uptime_ms() const;
+  unsigned jobs() const { return jobs_; }
+  size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string dispatch(const RpcRequest& req);
+  std::string do_analyze(const RpcRequest& req, bool explain);
+  std::string do_status(const RpcRequest& req);
+  std::string do_metrics(const RpcRequest& req);
+  std::string do_invalidate(const RpcRequest& req);
+  std::string do_shutdown(const RpcRequest& req);
+
+  ServiceOptions opts_;
+  unsigned jobs_ = 1;
+  driver::ResultCache cache_;
+  std::unique_ptr<driver::ThreadPool> pool_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_request_{0};
+  std::function<void()> shutdown_hook_;
+  std::atomic<bool> hook_fired_{false};
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace synat::serve

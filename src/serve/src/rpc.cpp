@@ -1,0 +1,57 @@
+#include "synat/serve/rpc.h"
+
+namespace synat::serve {
+
+RpcError decode_request(std::string_view line, RpcRequest& out,
+                        const JsonLimits& limits) {
+  JsonParse parsed = parse_json(line, limits);
+  if (!parsed.ok) return {kErrParse, "parse error: " + parsed.error};
+  JsonValue& doc = parsed.value;
+  if (!doc.is_object()) return {kErrInvalidRequest, "request must be an object"};
+
+  // Populate the id first: even an invalid request should echo a usable id.
+  if (const JsonValue* id = doc.get("id")) {
+    if (!id->is_string() && !id->is_number() && !id->is_null())
+      return {kErrInvalidRequest, "id must be a string, number or null"};
+    out.id = *id;
+    out.has_id = true;
+  }
+
+  const JsonValue* version = doc.get("jsonrpc");
+  if (version == nullptr || !version->is_string() || version->str != "2.0")
+    return {kErrInvalidRequest, "jsonrpc must be the string \"2.0\""};
+
+  const JsonValue* method = doc.get("method");
+  if (method == nullptr || !method->is_string() || method->str.empty())
+    return {kErrInvalidRequest, "method must be a non-empty string"};
+  out.method = method->str;
+
+  if (const JsonValue* params = doc.get("params")) {
+    if (!params->is_object() && !params->is_array())
+      return {kErrInvalidRequest, "params must be an object or array"};
+    out.params = *params;
+  }
+  return {};
+}
+
+std::string encode_result(const JsonValue& id, JsonValue result) {
+  JsonValue doc = JsonValue::make_object();
+  doc.add("jsonrpc", JsonValue::make_string("2.0"));
+  doc.add("id", id);
+  doc.add("result", std::move(result));
+  return encode_json(doc);
+}
+
+std::string encode_error(const JsonValue* id, int code,
+                         std::string_view message) {
+  JsonValue doc = JsonValue::make_object();
+  doc.add("jsonrpc", JsonValue::make_string("2.0"));
+  doc.add("id", id != nullptr ? *id : JsonValue::make_null());
+  JsonValue err = JsonValue::make_object();
+  err.add("code", JsonValue::make_number(static_cast<int64_t>(code)));
+  err.add("message", JsonValue::make_string(std::string(message)));
+  doc.add("error", std::move(err));
+  return encode_json(doc);
+}
+
+}  // namespace synat::serve

@@ -1,0 +1,8 @@
+// libFuzzer entry point for the `synat serve` JSON-RPC request decoder
+// (SYNAT_FUZZ=ON, Clang):
+//   ./synat_fuzz_rpc tests/fuzz/corpus
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return synat::fuzz::run_rpc(data, size);
+}

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     synat::fuzz::run_pipeline(data, bytes.size());
     synat::fuzz::run_telemetry(data, bytes.size());
     synat::fuzz::run_provenance(data, bytes.size());
+    synat::fuzz::run_rpc(data, bytes.size());
   }
-  std::printf("replayed %zu seed(s) through 4 targets\n", seeds.size());
+  std::printf("replayed %zu seed(s) through 5 targets\n", seeds.size());
   return 0;
 }

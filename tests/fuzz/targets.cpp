@@ -8,6 +8,7 @@
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/rpc.h"
 #include "synat/support/budget.h"
 #include "synat/support/diag.h"
 #include "synat/synl/parser.h"
@@ -98,6 +99,30 @@ int run_provenance(const uint8_t* data, size_t size) {
                "re-encoded provenance failed to decode");
   SYNAT_ASSERT(in2.at_end() && recs2 == recs,
                "provenance re-encode is not a fixpoint");
+  return 0;
+}
+
+int run_rpc(const uint8_t* data, size_t size) {
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+  serve::RpcRequest req;
+  serve::RpcError err = serve::decode_request(line, req);
+  if (err.code != 0) {
+    // Typed rejection; the error response must still encode (it may echo
+    // a partially decoded id).
+    serve::encode_error(req.has_id ? &req.id : nullptr, err.code, err.message);
+    return 0;
+  }
+  // Decoded requests re-encode compactly and parse back to an equal shape
+  // (the parser accepts what the encoder emits).
+  serve::JsonValue result = serve::JsonValue::make_object();
+  result.add("method", serve::JsonValue::make_string(req.method));
+  result.add("params", req.params);
+  std::string frame = serve::encode_result(
+      req.has_id ? req.id : serve::JsonValue::make_null(), std::move(result));
+  serve::JsonParse back = serve::parse_json(frame);
+  SYNAT_ASSERT(back.ok, "encoded response failed to reparse");
+  SYNAT_ASSERT(serve::encode_json(back.value) == frame,
+               "response encoding is not a reparse fixpoint");
   return 0;
 }
 

@@ -32,4 +32,11 @@ int run_telemetry(const uint8_t* data, size_t size);
 /// re-encode to a decode fixpoint.
 int run_provenance(const uint8_t* data, size_t size);
 
+/// The `synat serve` request decoder: JSON parsing under resource limits
+/// plus JSON-RPC request validation. Arbitrary bytes must produce a typed
+/// error or a decoded request whose compact re-encoding parses back to the
+/// same document — never UB or an exception (requests come straight off the
+/// daemon's sockets).
+int run_rpc(const uint8_t* data, size_t size);
+
 }  // namespace synat::fuzz

@@ -1,0 +1,120 @@
+// JSON-RPC 2.0 framing: request decoding with the standard error-code
+// discrimination, id echoing, response encoding.
+#include "synat/serve/rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace synat::serve {
+namespace {
+
+TEST(ServeRpc, DecodesFullRequest) {
+  RpcRequest req;
+  RpcError err = decode_request(
+      R"({"jsonrpc":"2.0","id":7,"method":"analyze","params":{"program":"p"}})",
+      req);
+  EXPECT_EQ(err.code, 0);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id.number, 7);
+  EXPECT_EQ(req.method, "analyze");
+  ASSERT_TRUE(req.params.is_object());
+  EXPECT_EQ(req.params.get("program")->str, "p");
+}
+
+TEST(ServeRpc, DecodesNotification) {
+  RpcRequest req;
+  RpcError err = decode_request(R"({"jsonrpc":"2.0","method":"shutdown"})", req);
+  EXPECT_EQ(err.code, 0);
+  EXPECT_FALSE(req.has_id);
+  EXPECT_TRUE(req.params.is_null());
+}
+
+TEST(ServeRpc, StringAndNullIds) {
+  RpcRequest req;
+  EXPECT_EQ(decode_request(
+                R"({"jsonrpc":"2.0","id":"abc","method":"status"})", req).code,
+            0);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id.str, "abc");
+
+  RpcRequest req2;
+  EXPECT_EQ(decode_request(
+                R"({"jsonrpc":"2.0","id":null,"method":"status"})", req2).code,
+            0);
+  EXPECT_TRUE(req2.has_id);
+  EXPECT_TRUE(req2.id.is_null());
+}
+
+TEST(ServeRpc, ParseErrors) {
+  RpcRequest req;
+  EXPECT_EQ(decode_request("", req).code, kErrParse);
+  EXPECT_EQ(decode_request("{", req).code, kErrParse);
+  EXPECT_EQ(decode_request("not json", req).code, kErrParse);
+}
+
+TEST(ServeRpc, InvalidRequests) {
+  RpcRequest req;
+  EXPECT_EQ(decode_request("[1,2]", req).code, kErrInvalidRequest);
+  EXPECT_EQ(decode_request("42", req).code, kErrInvalidRequest);
+  EXPECT_EQ(decode_request(R"({"method":"status"})", req).code,
+            kErrInvalidRequest);  // missing jsonrpc
+  EXPECT_EQ(decode_request(R"({"jsonrpc":"1.0","method":"m"})", req).code,
+            kErrInvalidRequest);
+  EXPECT_EQ(decode_request(R"({"jsonrpc":"2.0"})", req).code,
+            kErrInvalidRequest);  // missing method
+  EXPECT_EQ(decode_request(R"({"jsonrpc":"2.0","method":""})", req).code,
+            kErrInvalidRequest);
+  EXPECT_EQ(decode_request(R"({"jsonrpc":"2.0","method":7})", req).code,
+            kErrInvalidRequest);
+  EXPECT_EQ(
+      decode_request(R"({"jsonrpc":"2.0","method":"m","params":"s"})", req)
+          .code,
+      kErrInvalidRequest);
+  EXPECT_EQ(
+      decode_request(R"({"jsonrpc":"2.0","method":"m","id":{"k":1}})", req)
+          .code,
+      kErrInvalidRequest);
+  EXPECT_EQ(
+      decode_request(R"({"jsonrpc":"2.0","method":"m","id":[1]})", req).code,
+      kErrInvalidRequest);
+}
+
+TEST(ServeRpc, InvalidRequestStillEchoesId) {
+  // A request with a usable id but a bad method shape: the error response
+  // must be correlatable.
+  RpcRequest req;
+  RpcError err =
+      decode_request(R"({"jsonrpc":"2.0","id":9,"method":42})", req);
+  EXPECT_EQ(err.code, kErrInvalidRequest);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id.number, 9);
+}
+
+TEST(ServeRpc, EncodeResult) {
+  JsonValue result = JsonValue::make_object();
+  result.add("ok", JsonValue::make_bool(true));
+  EXPECT_EQ(encode_result(JsonValue::make_number(int64_t{3}),
+                          std::move(result)),
+            R"({"jsonrpc":"2.0","id":3,"result":{"ok":true}})");
+}
+
+TEST(ServeRpc, EncodeError) {
+  JsonValue id = JsonValue::make_string("x");
+  EXPECT_EQ(encode_error(&id, kErrMethodNotFound, "no such method"),
+            R"({"jsonrpc":"2.0","id":"x","error":)"
+            R"({"code":-32601,"message":"no such method"}})");
+  EXPECT_EQ(encode_error(nullptr, kErrParse, "bad"),
+            R"({"jsonrpc":"2.0","id":null,"error":)"
+            R"({"code":-32700,"message":"bad"}})");
+}
+
+TEST(ServeRpc, RequestSurvivesDeepNesting) {
+  std::string deep = R"({"jsonrpc":"2.0","id":1,"method":"m","params":)";
+  deep += std::string(200, '[');
+  deep += std::string(200, ']');
+  deep += "}";
+  RpcRequest req;
+  EXPECT_EQ(decode_request(deep, req).code, kErrParse);
+}
+
+}  // namespace
+}  // namespace synat::serve

@@ -10,8 +10,10 @@
 //   synat dot      <prog> <proc>         event-CFG in Graphviz dot
 //   synat disasm   <prog>                bytecode disassembly
 //   synat mc       <prog> [mc options]   explicit-state model checking
+//   synat serve    [serve options]       long-lived analysis daemon
 //
-// <prog> is a file path or `corpus:<name>` (see `synat corpus`).
+// <prog> is a file path, `corpus:<name>` (see `synat corpus`), or `-` for
+// standard input (analyze/batch/explain).
 // analyze options: --no-variants --no-windows --no-conds --counted <k>
 // batch options: --all (whole corpus) --jobs N (0 = one per hardware
 //                thread) --cache --cache-file FILE --format json|sarif|text
@@ -33,6 +35,19 @@
 //                schema v5 "provenance" sections in the JSON report)
 //                --no-variants --no-windows --no-conds (the analyze
 //                ablation flags, applied to every input)
+//                --cache-stats (print the result-cache summary — the same
+//                fields as the serve `status` RPC — to stderr)
+// serve options: --listen ADDR (required; a path binds a unix socket,
+//                host:port binds TCP) --jobs N (analysis pool workers,
+//                0 = one per hardware thread) --max-queue N (queued+running
+//                request cap before -32003 rejections; default 64)
+//                --cache-file FILE (warm-start snapshot, saved on shutdown)
+//                --trace-out FILE (Chrome trace with per-request lanes,
+//                written on shutdown)
+//                The wire protocol is newline-delimited JSON-RPC 2.0:
+//                methods analyze, explain, status, metrics, invalidate,
+//                shutdown (see src/serve/include/synat/serve/service.h and
+//                tools/synat_client.py).
 // explain options: --jobs N --isolate plus the analyze ablation flags
 //                (--no-variants --no-windows --no-conds --counted <k>);
 //                output is byte-identical across --jobs/--isolate modes
@@ -50,6 +65,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,6 +76,7 @@
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/server.h"
 #include "synat/synat.h"
 #include "synat/synl/printer.h"
 
@@ -78,12 +95,18 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: synat "
-      "<corpus|analyze|batch|explain|variants|blocks|cfg|dot|disasm|mc> "
+      "<corpus|analyze|batch|explain|variants|blocks|cfg|dot|disasm|mc|serve> "
       "[args]\n(see the header of tools/synat_cli.cpp)\n");
   return kExitUsage;
 }
 
 bool load_source(const std::string& spec, std::string& out) {
+  if (spec == "-") {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
   if (spec.rfind("corpus:", 0) == 0) {
     for (const corpus::Entry& e : corpus::all()) {
       if (e.name == spec.substr(7)) {
@@ -119,6 +142,13 @@ bool parse(const std::string& spec, Parsed& p) {
     return false;
   }
   return true;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 /// Counted-CAS defaults: if the program came from the corpus, use its
@@ -158,6 +188,7 @@ int cmd_batch(int argc, char** argv) {
   std::string metrics_out;
   std::vector<std::string> specs;
   bool all = false;
+  bool cache_stats = false;
   bool provenance = false;
   bool no_variants = false;
   bool no_windows = false;
@@ -223,6 +254,8 @@ int cmd_batch(int argc, char** argv) {
     } else if (a == "--cache-file" && i + 1 < argc) {
       dopts.use_cache = true;
       cache_file = argv[++i];
+    } else if (a == "--cache-stats") {
+      cache_stats = true;
     } else if (a == "--format" && i + 1 < argc) {
       format = argv[++i];
       if (format != "json" && format != "sarif" && format != "text") {
@@ -251,7 +284,7 @@ int cmd_batch(int argc, char** argv) {
       dopts.granularity = driver::Granularity::Program;
     } else if (a == "-o" && i + 1 < argc) {
       out_path = argv[++i];
-    } else if (!a.empty() && a[0] == '-') {
+    } else if (a != "-" && !a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown batch option %s\n", a.c_str());
       return kExitUsage;
     } else {
@@ -331,6 +364,18 @@ int cmd_batch(int argc, char** argv) {
   }
   driver::BatchReport report = drv.run(inputs);
   if (!cache_file.empty()) drv.cache().save(cache_file);
+  if (cache_stats) {
+    // The same fields the serve `status` RPC reports, so a batch run and a
+    // daemon are comparable; stderr keeps the stdout document deterministic.
+    std::fprintf(stderr,
+                 "cache-stats: version=%s schema_version=%d cache_entries=%zu "
+                 "options_fingerprint=%s hits=%zu misses=%zu\n",
+                 std::string(driver::kSynatVersion).c_str(),
+                 driver::kReportSchemaVersion, drv.cache().size(),
+                 hex64(driver::options_fingerprint(atomicity::InferOptions{}))
+                     .c_str(),
+                 drv.cache().hits(), drv.cache().misses());
+  }
   // Journal traffic goes to stderr only: rendered documents must stay
   // byte-identical between a resumed run and an uninterrupted one.
   if (report.metrics.journal_replayed > 0)
@@ -579,6 +624,54 @@ int cmd_mc(const std::string& spec, int argc, char** argv) {
   return r.error_found ? kExitNotAtomic : kExitOk;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions sopts;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--listen" && i + 1 < argc) {
+      sopts.listen = argv[++i];
+    } else if (a == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 1024) {
+        std::fprintf(stderr, "--jobs expects a thread count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.jobs = static_cast<unsigned>(n);
+    } else if (a == "--max-queue" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--max-queue expects a count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.max_queue = static_cast<size_t>(n);
+    } else if (a == "--cache-file" && i + 1 < argc) {
+      sopts.cache_file = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      sopts.trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
+      return kExitUsage;
+    }
+  }
+  if (sopts.listen.empty()) {
+    std::fprintf(stderr, "serve needs --listen <socket-path|host:port>\n");
+    return kExitUsage;
+  }
+  // The daemon's stage histograms back the live `metrics` RPC, so metrics
+  // recording is always on; span tracing only when a trace file is wanted.
+  uint32_t obs_flags = obs::kMetricsFlag;
+  if (!sopts.trace_out.empty()) obs_flags |= obs::kTraceFlag;
+  obs::set_flags(obs_flags);
+  if (!sopts.trace_out.empty())
+    obs::Tracer::instance().set_lane_name(0, "serve");
+  serve::Server server(std::move(sopts));
+  return server.serve();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,6 +680,7 @@ int main(int argc, char** argv) {
     std::string cmd = argv[1];
     if (cmd == "corpus") return cmd_corpus();
     if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (argc < 3) return usage();
     std::string spec = argv[2];
     if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);

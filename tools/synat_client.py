@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Reference client for the `synat serve` daemon.
+
+The wire protocol is newline-delimited JSON-RPC 2.0 over a unix-domain
+socket or TCP (see src/serve/include/synat/serve/service.h for the method
+surface). This module is both a library (used by the tests and CI) and a
+small CLI:
+
+    synat_client.py --connect /tmp/synat.sock status
+    synat_client.py --connect 127.0.0.1:9123 analyze prog.synl [--provenance]
+    synat_client.py --connect /tmp/synat.sock analyze -        # stdin
+    synat_client.py --connect /tmp/synat.sock explain prog.synl [PROC]
+    synat_client.py --connect /tmp/synat.sock metrics
+    synat_client.py --connect /tmp/synat.sock invalidate
+    synat_client.py --connect /tmp/synat.sock shutdown
+
+`analyze` prints the batch-report JSON document (byte-identical to
+`synat batch --format json` on the same input) to stdout and exits with
+the analysis exit code; the other commands print their result object.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class RpcError(Exception):
+    """A JSON-RPC error response. `code` follows the spec (-32700 parse,
+    -32600 invalid request, ...) plus synat's server-defined codes
+    (-32003 overloaded, -32002 shutting down)."""
+
+    def __init__(self, code, message):
+        super().__init__(f"RPC error {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class Client:
+    """One connection to a synat serve daemon. Not thread-safe; open one
+    Client per thread (the daemon handles any number of connections)."""
+
+    # A daemon that was just launched may not be accepting yet (its unix
+    # socket path appears at bind(), a moment before listen()), so a
+    # refused/absent endpoint is retried briefly before giving up.
+    _CONNECT_RETRY_SECS = 2.0
+
+    def __init__(self, address, timeout=None):
+        deadline = time.monotonic() + self._CONNECT_RETRY_SECS
+        while True:
+            try:
+                if "/" in address:
+                    self._sock = socket.socket(socket.AF_UNIX,
+                                               socket.SOCK_STREAM)
+                    self._sock.settimeout(timeout)
+                    self._sock.connect(address)
+                else:
+                    host, _, port = address.rpartition(":")
+                    self._sock = socket.create_connection(
+                        (host or "127.0.0.1", int(port)), timeout=timeout)
+                break
+            except (ConnectionRefusedError, FileNotFoundError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+        self._next_id = 0
+
+    def close(self):
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def call(self, method, params=None):
+        """One request/response round trip. Returns the result object;
+        raises RpcError on an error response, EOFError if the daemon
+        closed the connection."""
+        self._next_id += 1
+        req = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
+        if params is not None:
+            req["params"] = params
+        self._file.write(json.dumps(req) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise EOFError("daemon closed the connection")
+        resp = json.loads(line)
+        if "error" in resp:
+            raise RpcError(resp["error"]["code"], resp["error"]["message"])
+        return resp["result"]
+
+    def notify(self, method, params=None):
+        """Fire-and-forget notification (no id, no response)."""
+        req = {"jsonrpc": "2.0", "method": method}
+        if params is not None:
+            req["params"] = params
+        self._file.write(json.dumps(req) + "\n")
+        self._file.flush()
+
+    # Convenience wrappers for the method surface.
+
+    def analyze(self, program, name=None, **options):
+        params = {"program": program, **options}
+        if name is not None:
+            params["name"] = name
+        return self.call("analyze", params)
+
+    def explain(self, program, name=None, proc=None, **options):
+        params = {"program": program, **options}
+        if name is not None:
+            params["name"] = name
+        if proc is not None:
+            params["proc"] = proc
+        return self.call("explain", params)
+
+    def status(self):
+        return self.call("status")
+
+    def metrics(self):
+        return self.call("metrics")
+
+    def invalidate(self):
+        return self.call("invalidate")
+
+    def shutdown(self):
+        return self.call("shutdown")
+
+
+def _read_program(spec):
+    if spec == "-":
+        return sys.stdin.read(), "<stdin>"
+    with open(spec, "r", encoding="utf-8") as f:
+        return f.read(), spec
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--connect", required=True,
+                    help="unix socket path (contains '/') or host:port")
+    ap.add_argument("--timeout", type=float, default=60.0)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    ana = sub.add_parser("analyze")
+    ana.add_argument("program", help="SYNL file, or - for stdin")
+    ana.add_argument("--provenance", action="store_true")
+    ana.add_argument("--no-variants", action="store_true")
+    ana.add_argument("--no-windows", action="store_true")
+    ana.add_argument("--no-conds", action="store_true")
+    ana.add_argument("--counted", action="append", default=[])
+
+    exp = sub.add_parser("explain")
+    exp.add_argument("program", help="SYNL file, or - for stdin")
+    exp.add_argument("proc", nargs="?")
+
+    for name in ("status", "metrics", "invalidate", "shutdown"):
+        sub.add_parser(name)
+
+    args = ap.parse_args(argv)
+    try:
+        client = Client(args.connect, timeout=args.timeout)
+    except OSError as e:
+        print(f"synat_client: cannot connect to {args.connect}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with client:
+            if args.command == "analyze":
+                source, name = _read_program(args.program)
+                options = {}
+                if args.provenance:
+                    options["provenance"] = True
+                if args.no_variants:
+                    options["no_variants"] = True
+                if args.no_windows:
+                    options["no_windows"] = True
+                if args.no_conds:
+                    options["no_conds"] = True
+                if args.counted:
+                    options["counted"] = args.counted
+                result = client.analyze(source, name=args.program
+                                        if args.program != "-" else name,
+                                        **options)
+                sys.stdout.write(result["report"])
+                return result["exit_code"]
+            if args.command == "explain":
+                source, _ = _read_program(args.program)
+                result = client.explain(source, name=args.program,
+                                        proc=args.proc)
+                sys.stdout.write(result["explanation"])
+                return result["exit_code"]
+            if args.command == "metrics":
+                sys.stdout.write(client.metrics()["prometheus"])
+                return 0
+            result = client.call(args.command)
+            print(json.dumps(result, indent=2))
+            return 0
+    except RpcError as e:
+        print(f"synat_client: {e}", file=sys.stderr)
+        return 2
+    except (EOFError, OSError) as e:
+        print(f"synat_client: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
