@@ -264,6 +264,17 @@ void emit_driver_json(const char* path) {
   double serve_cold_rpc_ms = serve_rpc_ms(svc, rpc_line, 1);
   double serve_warm_rpc_ms = serve_rpc_ms(svc, rpc_line, kReps);
   svc.drain();
+
+  // Sandboxed round-trip (DESIGN.md §3h): the same cold request through a
+  // --sandbox daemon, so the fork + CacheDelta + reassembly tax is a
+  // tracked number rather than folklore. Cold only — a sandboxed warm hit
+  // still pays the fork, which is exactly what this field prices.
+  serve::ServiceOptions sandbox_opts;
+  sandbox_opts.jobs = 1;
+  sandbox_opts.sandbox = true;
+  serve::Service sandbox_svc(sandbox_opts);
+  double serve_sandbox_rpc_ms = serve_rpc_ms(sandbox_svc, rpc_line, 1);
+  sandbox_svc.drain();
   obs::registry().reset();  // discard the serve counters of the timed calls
 
   double procs = static_cast<double>(report.metrics.procedures);
@@ -311,7 +322,8 @@ void emit_driver_json(const char* path) {
                "  \"cache_warm_speedup\": %.3f,\n"
                "  \"cache_warm_hit_rate\": %.3f,\n"
                "  \"serve_cold_rpc_ms\": %.3f,\n"
-               "  \"serve_warm_rpc_ms\": %.3f\n"
+               "  \"serve_warm_rpc_ms\": %.3f,\n"
+               "  \"serve_sandbox_rpc_ms\": %.3f\n"
                "}\n",
                serial_ms > 0 ? procs * 1000.0 / serial_ms : 0.0,
                parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0,
@@ -323,13 +335,14 @@ void emit_driver_json(const char* path) {
                parallel_ms > 0 ? isolate_ms / parallel_ms - 1.0 : 0.0,
                per_program_ms, cold_ms,
                warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0, hit_rate,
-               serve_cold_rpc_ms, serve_warm_rpc_ms);
+               serve_cold_rpc_ms, serve_warm_rpc_ms, serve_sandbox_rpc_ms);
   std::fclose(f);
   std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, --isolate %.1fms, "
               "obs on %.1fms, warm cache %.1fms, hit rate %.0f%%, "
-              "serve rpc %.2fms cold / %.2fms warm)\n",
+              "serve rpc %.2fms cold / %.2fms warm / %.2fms sandboxed)\n",
               path, serial_ms, kJobs, parallel_ms, isolate_ms, obs_enabled_ms,
-              warm_ms, hit_rate * 100, serve_cold_rpc_ms, serve_warm_rpc_ms);
+              warm_ms, hit_rate * 100, serve_cold_rpc_ms, serve_warm_rpc_ms,
+              serve_sandbox_rpc_ms);
 }
 
 }  // namespace

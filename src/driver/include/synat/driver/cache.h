@@ -27,6 +27,8 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "synat/driver/report.h"
 
@@ -44,6 +46,18 @@ class ResultCache {
   void clear();
   size_t size() const;
 
+  /// Delta capture for the sandboxed serve path (worker.h). A forked
+  /// request worker inherits the daemon's cache as a copy-on-write image;
+  /// inserts it performs exist only in the child. start_capture() makes
+  /// every subsequent insert also append (key, report) to an internal log,
+  /// which take_capture() drains — the worker ships the log back over a
+  /// CacheDelta frame so the supervisor can re-insert the entries into the
+  /// live cache and keep later forks warm. Not used concurrently with
+  /// multi-threaded inserts (the capturing sub-driver runs jobs=1).
+  void start_capture();
+  std::vector<std::pair<uint64_t, std::shared_ptr<const ProcReport>>>
+  take_capture();
+
   /// Persistence for warm starts across processes (`synat batch
   /// --cache-file`). The format is a versioned binary snapshot with a
   /// CRC32 checksum per entry. Corruption is never an error — the cache is
@@ -54,6 +68,9 @@ class ResultCache {
   ///  - an entry whose checksum or encoding does not verify is skipped,
   ///    keeping every other entry (truncation keeps the intact prefix).
   /// Every rejected snapshot or entry increments rejected().
+  /// save() writes to `path + ".tmp"` and renames over `path`, so a crash
+  /// (or SIGKILL — the serve daemon snapshots periodically) mid-write never
+  /// clobbers the previous good snapshot with a truncated one.
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
@@ -75,6 +92,10 @@ class ResultCache {
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> rejected_{0};
+
+  std::mutex capture_mu_;
+  bool capturing_ = false;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const ProcReport>>> capture_;
 };
 
 }  // namespace synat::driver

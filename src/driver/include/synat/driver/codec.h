@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "synat/driver/report.h"
@@ -87,5 +89,18 @@ bool get_program_provenance(Reader& in, ProgramReport& r);
 /// Per-procedure provenance (cache entry suffix).
 void put_proc_provenance(std::string& out, const ProcReport& r);
 bool get_proc_provenance(Reader& in, ProcReport& r);
+
+/// Cache-delta payload (worker CacheDelta frame unit, sandboxed serve):
+/// the child's cache hit/miss deltas plus every entry it inserted into its
+/// copy-on-write cache image, as (address, report + provenance) pairs. The
+/// supervisor re-inserts them into the live cache so subsequent forks
+/// inherit a warm image. Entry count is sanity-capped — a single request
+/// analyzes one program, so anything near the cap is corruption.
+inline constexpr uint64_t kMaxCacheDeltaEntries = uint64_t{1} << 16;
+using CacheDeltaEntry = std::pair<uint64_t, std::shared_ptr<const ProcReport>>;
+void put_cache_delta(std::string& out, uint64_t hits, uint64_t misses,
+                     const std::vector<CacheDeltaEntry>& entries);
+bool get_cache_delta(Reader& in, uint64_t& hits, uint64_t& misses,
+                     std::vector<CacheDeltaEntry>& entries);
 
 }  // namespace synat::driver::codec

@@ -30,6 +30,43 @@ namespace synat::driver {
 int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
                 const DriverOptions& opts);
 
+/// Outcome of one sandboxed request execution (serve --sandbox). Either a
+/// decoded report (ok) or a containment verdict: the degraded reason plus
+/// the failure taxonomy the serve layer turns into counters. Worker deaths
+/// are counted per kind across every attempt, retries included, so the
+/// counters reflect fork bandwidth actually burned.
+struct SandboxOutcome {
+  enum class FailKind : uint8_t { None, Crash, Timeout, Oom };
+
+  bool ok = false;
+  ProgramReport report;        ///< valid only when ok
+  std::string reason;          ///< degraded reason when !ok ("crashed: ...")
+  FailKind kind = FailKind::None;  ///< final failure class when !ok
+  unsigned retries = 0;        ///< re-forks performed after a death
+  unsigned deaths_crash = 0;   ///< segfault / bad frame / unclassified exit
+  unsigned deaths_timeout = 0; ///< heartbeat stall or RLIMIT_CPU (SIGXCPU)
+  unsigned deaths_oom = 0;     ///< bad_alloc exit (114) or abort under rss cap
+  uint64_t cache_hits = 0;     ///< child's cache-delta hit count
+  uint64_t cache_misses = 0;   ///< child's cache-delta miss count (reanalyzed)
+};
+
+/// Runs one request in a forked one-shot worker: the child inherits the
+/// daemon's state (including `cache` as a copy-on-write image, when
+/// non-null), analyzes `input` under opts.deadline_ms / opts.max_rss_mb /
+/// opts.retries, and ships the report back over SYNF frames. New cache
+/// entries the child computed return via a CacheDelta frame and are folded
+/// into `cache`, so subsequent forks stay warm. Worker telemetry merges
+/// into the live registry, spans injected at `lane` (0 = drop spans).
+/// Unlike run_supervised this is called from a pool thread of a
+/// multi-threaded daemon. fork() from a threaded process is safe here
+/// because glibc reinitializes its malloc locks across fork; the residual
+/// hazard — the child inheriting some other subsystem's mutex mid-hold —
+/// manifests as a child that never heartbeats, which the stall detector
+/// reaps and retries like any other hang (DESIGN.md §3h).
+SandboxOutcome run_sandboxed(const ProgramInput& input,
+                             const DriverOptions& opts, ResultCache* cache,
+                             uint32_t lane);
+
 /// Supervisor-side driver: runs every input whose `done` flag is false
 /// through the worker pool (at most `jobs` live workers), delivering
 /// finished reports into `sink` and appending journal-worthy ones to

@@ -1,6 +1,7 @@
 #include "synat/driver/cache.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <vector>
@@ -89,9 +90,32 @@ std::shared_ptr<const ProcReport> ResultCache::insert(
       obs::registry().counter("synat_cache_inserts_total");
   inserts.inc();
   Shard& s = shard(key);
-  std::lock_guard<std::mutex> lock(s.mu);
-  auto [it, inserted] = s.map.emplace(key, std::move(report));
-  return it->second;
+  std::shared_ptr<const ProcReport> resident;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [it, inserted] = s.map.emplace(key, std::move(report));
+    resident = it->second;
+    fresh = inserted;
+  }
+  if (fresh) {
+    std::lock_guard<std::mutex> lock(capture_mu_);
+    if (capturing_) capture_.emplace_back(key, resident);
+  }
+  return resident;
+}
+
+void ResultCache::start_capture() {
+  std::lock_guard<std::mutex> lock(capture_mu_);
+  capturing_ = true;
+  capture_.clear();
+}
+
+std::vector<std::pair<uint64_t, std::shared_ptr<const ProcReport>>>
+ResultCache::take_capture() {
+  std::lock_guard<std::mutex> lock(capture_mu_);
+  capturing_ = false;
+  return std::move(capture_);
 }
 
 void ResultCache::clear() {
@@ -116,21 +140,35 @@ bool ResultCache::save(const std::string& path) const {
     std::lock_guard<std::mutex> lock(s.mu);
     sorted.insert(s.map.begin(), s.map.end());
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(kMagic, sizeof kMagic);
-  put_u64(out, kFormatVersion);
-  put_u64(out, sorted.size());
-  for (const auto& [key, report] : sorted) {
-    std::string bytes;
-    codec::put_proc_report(bytes, *report);
-    codec::put_proc_provenance(bytes, *report);
-    put_u64(out, key);
-    put_u64(out, bytes.size());
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    put_u32(out, crc32(bytes));
+  // Write-then-rename: the serve daemon snapshots the live cache on a
+  // timer, so a crash mid-write must leave the previous snapshot intact
+  // (crash-only design — the snapshot on disk is always a complete one).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, sizeof kMagic);
+    put_u64(out, kFormatVersion);
+    put_u64(out, sorted.size());
+    for (const auto& [key, report] : sorted) {
+      std::string bytes;
+      codec::put_proc_report(bytes, *report);
+      codec::put_proc_provenance(bytes, *report);
+      put_u64(out, key);
+      put_u64(out, bytes.size());
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      put_u32(out, crc32(bytes));
+    }
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  return static_cast<bool>(out);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool ResultCache::load(const std::string& path) {

@@ -321,4 +321,35 @@ bool get_program_provenance(Reader& in, ProgramReport& r) {
   return true;
 }
 
+void put_cache_delta(std::string& out, uint64_t hits, uint64_t misses,
+                     const std::vector<CacheDeltaEntry>& entries) {
+  put_u64(out, hits);
+  put_u64(out, misses);
+  put_u64(out, entries.size());
+  for (const CacheDeltaEntry& e : entries) {
+    put_u64(out, e.first);
+    put_proc_report(out, *e.second);
+    put_proc_provenance(out, *e.second);
+  }
+}
+
+bool get_cache_delta(Reader& in, uint64_t& hits, uint64_t& misses,
+                     std::vector<CacheDeltaEntry>& entries) {
+  uint64_t n = 0;
+  if (!in.get_u64(hits) || !in.get_u64(misses) || !in.get_u64(n) ||
+      n > kMaxCacheDeltaEntries)
+    return false;
+  entries.clear();
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    auto report = std::make_shared<ProcReport>();
+    if (!in.get_u64(key) || !get_proc_report(in, *report) ||
+        !get_proc_provenance(in, *report))
+      return false;
+    entries.emplace_back(key, std::move(report));
+  }
+  return true;
+}
+
 }  // namespace synat::driver::codec

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "synat/driver/codec.h"
@@ -57,30 +58,22 @@ struct WorkerPipe {
   }
 };
 
-}  // namespace
-
-int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
-                const DriverOptions& opts) {
-  // The Request tells this one-shot worker which captured input to run.
-  FrameReader reader;
-  std::string payload;
-  FrameType type{};
-  while (true) {
-    FrameReader::Next n = reader.next(type, payload);
-    if (n == FrameReader::Next::Frame) break;
-    if (n == FrameReader::Next::Corrupt) return 110;
-    FrameReader::Fill f = reader.fill(in_fd);
-    if (f == FrameReader::Fill::Eof || f == FrameReader::Fill::Failed)
-      return 110;
-  }
-  codec::Reader req(payload);
-  uint64_t index = 0, attempt = 0;
-  if (type != FrameType::Request || !req.get_u64(index) ||
-      !req.get_u64(attempt) || !req.at_end() || index >= inputs.size())
-    return 110;
-  const ProgramInput& input = inputs[index];
-
-  support::maybe_inject_fault(input.name, static_cast<unsigned>(attempt));
+/// Shared body of a one-shot worker process, used by both the batch worker
+/// (after it has decoded its Request frame) and the sandboxed serve worker
+/// (which is forked with its input already bound). Runs the analysis with
+/// an in-process sub-driver, streams heartbeats, and ships Telemetry /
+/// Provenance / CacheDelta / Result frames to `out_fd`.
+///
+/// `cache` is non-null only on the serve path: the fork inherited the
+/// daemon's hot cache as a copy-on-write image, so the sub-driver runs
+/// against it (use_cache on) and the entries it adds are captured and
+/// shipped back as a CacheDelta frame — the child's image dies with it.
+/// `zero_program_counter` is set by the batch worker, whose supervisor
+/// already counted the program in its own run().
+int worker_body(int out_fd, const ProgramInput& input, unsigned attempt,
+                const DriverOptions& opts, ResultCache* cache,
+                bool zero_program_counter) {
+  support::maybe_inject_fault(input.name, attempt);
 
   // Telemetry baseline: the fork copied the supervisor's rings and counter
   // values, so shed the inherited spans and delta against the inherited
@@ -110,20 +103,34 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
   DriverOptions sub = opts;
   sub.jobs = 1;
   sub.isolate = false;
-  sub.use_cache = false;
+  sub.use_cache = cache != nullptr;
   sub.collect_timings = false;
   sub.journal_path.clear();
   sub.resume = false;
+  uint64_t hits_base = 0, misses_base = 0;
+  if (cache != nullptr) {
+    hits_base = cache->hits();
+    misses_base = cache->misses();
+    cache->start_capture();
+  }
   int rc = 0;
-  std::string result, prov;
+  std::string result, prov, delta_frame;
   try {
-    BatchDriver driver(sub);
+    BatchDriver driver(sub, cache);
     BatchReport report = driver.run({input});
     codec::put_program_report(result, report.programs.at(0));
     // Provenance rides in its own frame so the Result payload stays
     // byte-identical to the non-provenance wire shape.
     if (input.opts.provenance)
       codec::put_program_provenance(prov, report.programs.at(0));
+    if (cache != nullptr)
+      codec::put_cache_delta(delta_frame, cache->hits() - hits_base,
+                             cache->misses() - misses_base,
+                             cache->take_capture());
+  } catch (const std::bad_alloc&) {
+    // Distinct exit code so the supervisor can classify an allocation
+    // failure under RLIMIT_AS as an OOM kill rather than a crash.
+    rc = 114;
   } catch (...) {
     rc = 112;
   }
@@ -141,19 +148,49 @@ int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
     if (obs::flags() & obs::kTraceFlag) spans = obs::Tracer::instance().drain();
     obs::MetricsSnapshot delta =
         obs::registry().snapshot().delta_from(obs_base);
-    // The supervisor already counted this program in its own run(); the
-    // sub-driver's copy of that increment must not merge back on top of it.
-    for (obs::CounterSample& c : delta.counters)
-      if (c.name == "synat_programs_total") c.value = 0;
+    // The batch supervisor already counted this program in its own run();
+    // the sub-driver's copy of that increment must not merge back on top
+    // of it. The serve daemon never counts it itself, so the sandboxed
+    // worker's increment is the only one and merges through.
+    if (zero_program_counter)
+      for (obs::CounterSample& c : delta.counters)
+        if (c.name == "synat_programs_total") c.value = 0;
     std::string telem;
     codec::put_telemetry(telem, spans, delta);
     pipe.send(FrameType::Telemetry, telem);
-    // Like telemetry, the Provenance frame is only trusted when a decodable
-    // Result follows; a send failure here surfaces on the Result send.
+    // Like telemetry, the Provenance and CacheDelta frames are only
+    // trusted when a decodable Result follows; a send failure here
+    // surfaces on the Result send.
     if (!prov.empty()) pipe.send(FrameType::Provenance, prov);
+    if (!delta_frame.empty()) pipe.send(FrameType::CacheDelta, delta_frame);
   }
   if (rc == 0 && !pipe.send(FrameType::Result, result)) rc = 111;
   return rc;
+}
+
+}  // namespace
+
+int worker_main(int in_fd, int out_fd, const std::vector<ProgramInput>& inputs,
+                const DriverOptions& opts) {
+  // The Request tells this one-shot worker which captured input to run.
+  FrameReader reader;
+  std::string payload;
+  FrameType type{};
+  while (true) {
+    FrameReader::Next n = reader.next(type, payload);
+    if (n == FrameReader::Next::Frame) break;
+    if (n == FrameReader::Next::Corrupt) return 110;
+    FrameReader::Fill f = reader.fill(in_fd);
+    if (f == FrameReader::Fill::Eof || f == FrameReader::Fill::Failed)
+      return 110;
+  }
+  codec::Reader req(payload);
+  uint64_t index = 0, attempt = 0;
+  if (type != FrameType::Request || !req.get_u64(index) ||
+      !req.get_u64(attempt) || !req.at_end() || index >= inputs.size())
+    return 110;
+  return worker_body(out_fd, inputs[index], static_cast<unsigned>(attempt),
+                     opts, nullptr, /*zero_program_counter=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -413,6 +450,215 @@ void run_supervised(const std::vector<ProgramInput>& inputs,
   }
 
   sigaction(SIGPIPE, &saved, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Single-request sandbox (serve --sandbox)
+
+namespace {
+
+/// Maps a reaped wait status onto the sandbox failure taxonomy. SIGXCPU is
+/// the RLIMIT_CPU backstop firing (the in-process watchdog missed a spin);
+/// exit 114 is worker_body's std::bad_alloc path; SIGABRT under an
+/// RLIMIT_AS cap is glibc aborting on an allocation the limit refused
+/// (raw mallocs bypass the bad_alloc path). Everything else is a crash.
+SandboxOutcome::FailKind classify_death(int status,
+                                        const DriverOptions& opts) {
+  if (WIFSIGNALED(status)) {
+    if (WTERMSIG(status) == SIGXCPU) return SandboxOutcome::FailKind::Timeout;
+    if (WTERMSIG(status) == SIGABRT && opts.max_rss_mb > 0)
+      return SandboxOutcome::FailKind::Oom;
+    return SandboxOutcome::FailKind::Crash;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 114)
+    return SandboxOutcome::FailKind::Oom;
+  return SandboxOutcome::FailKind::Crash;
+}
+
+}  // namespace
+
+SandboxOutcome run_sandboxed(const ProgramInput& input,
+                             const DriverOptions& opts, ResultCache* cache,
+                             uint32_t lane) {
+  // The daemon's pool threads write into worker pipes; a worker can die
+  // between our poll and our write, and unlike the server's sockets
+  // (MSG_NOSIGNAL) a pipe write has no per-call opt-out, so SIGPIPE is
+  // ignored process-wide once. The daemon never wants the default anyway.
+  static std::once_flag sigpipe_once;
+  std::call_once(sigpipe_once, [] {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ignore, nullptr);
+  });
+
+  const uint64_t stall_ms = opts.deadline_ms > 0
+                                ? opts.deadline_ms + kStallGraceMs
+                                : kStallDefaultMs;
+  support::ChildLimits limits;
+  limits.max_rss_mb = opts.max_rss_mb;
+  if (opts.deadline_ms > 0)
+    limits.cpu_seconds = opts.deadline_ms * kCpuLimitFactor / 1000 + 1;
+
+  SandboxOutcome out;
+  for (unsigned attempt = 1;; ++attempt) {
+    Child child = support::spawn_child(
+        [&input, attempt, &opts, cache](int, int out_fd) {
+          return worker_body(out_fd, input, attempt, opts, cache,
+                             /*zero_program_counter=*/false);
+        },
+        limits);
+
+    auto kind = SandboxOutcome::FailKind::Crash;
+    std::string reason;
+    bool reaped = false;
+    bool failed = false;
+    std::string telemetry, provenance, cache_delta;
+
+    if (!child.valid()) {
+      reason = "crashed: fork failed";
+      failed = true;
+      reaped = true;  // nothing to reap
+    } else {
+      FrameReader reader;
+      uint64_t last_beat = now_ms();
+      while (!failed) {
+        struct pollfd pfd = {child.from_child, POLLIN, 0};
+        ::poll(&pfd, 1, static_cast<int>(kHeartbeatMs));
+        uint64_t now = now_ms();
+        bool closed = false;
+        if (pfd.revents != 0) {
+          for (;;) {
+            FrameReader::Fill f = reader.fill(child.from_child);
+            if (f == FrameReader::Fill::Blocked) break;
+            if (f == FrameReader::Fill::Eof ||
+                f == FrameReader::Fill::Failed) {
+              closed = true;
+              break;
+            }
+            last_beat = now;
+          }
+        }
+        bool done = false;
+        for (;;) {
+          FrameType type{};
+          std::string payload;
+          FrameReader::Next n = reader.next(type, payload);
+          if (n == FrameReader::Next::Need) break;
+          if (n == FrameReader::Next::Corrupt) {
+            ::kill(child.pid, SIGKILL);
+            support::wait_child(child.pid);
+            reaped = true;
+            reason = "crashed: corrupt result frame";
+            failed = true;
+            break;
+          }
+          if (type == FrameType::Telemetry) {
+            telemetry = std::move(payload);
+            continue;
+          }
+          if (type == FrameType::Provenance) {
+            provenance = std::move(payload);
+            continue;
+          }
+          if (type == FrameType::CacheDelta) {
+            cache_delta = std::move(payload);
+            continue;
+          }
+          if (type != FrameType::Result) continue;  // heartbeat: liveness
+          codec::Reader r(payload);
+          ProgramReport report;
+          bool ok = codec::get_program_report(r, report) && r.at_end();
+          if (ok && !provenance.empty()) {
+            codec::Reader pr(provenance);
+            ok = codec::get_program_provenance(pr, report) && pr.at_end();
+          }
+          std::vector<codec::CacheDeltaEntry> entries;
+          if (ok && !cache_delta.empty()) {
+            codec::Reader dr(cache_delta);
+            ok = codec::get_cache_delta(dr, out.cache_hits, out.cache_misses,
+                                        entries) &&
+                 dr.at_end();
+          }
+          if (!ok) {
+            ::kill(child.pid, SIGKILL);
+            support::wait_child(child.pid);
+            reaped = true;
+            reason = "crashed: undecodable result";
+            failed = true;
+            break;
+          }
+          // The child computed these entries against its copy-on-write
+          // cache image; folding them into the live cache is what keeps
+          // the next fork warm.
+          if (cache != nullptr)
+            for (codec::CacheDeltaEntry& e : entries)
+              cache->insert(e.first, std::move(e.second));
+          if (!telemetry.empty()) {
+            codec::Reader tr(telemetry);
+            std::vector<obs::SpanRecord> spans;
+            obs::MetricsSnapshot delta;
+            if (codec::get_telemetry(tr, spans, delta) && tr.at_end()) {
+              obs::registry().merge(delta);
+              if (!spans.empty() && lane != 0)
+                obs::Tracer::instance().inject(lane, spans);
+            }
+          }
+          support::wait_child(child.pid);
+          out.ok = true;
+          out.report = std::move(report);
+          done = true;
+          break;
+        }
+        if (done) {
+          ::close(child.to_child);
+          ::close(child.from_child);
+          return out;
+        }
+        if (failed) break;
+        if (closed) {
+          int status = support::wait_child(child.pid);
+          reaped = true;
+          reason = "crashed: " + support::describe_wait_status(status);
+          kind = classify_death(status, opts);
+          failed = true;
+          break;
+        }
+        if (now_ms() - last_beat > stall_ms) {
+          ::kill(child.pid, SIGKILL);
+          support::wait_child(child.pid);
+          reaped = true;
+          // Deterministic text (the limit, not the measured silence):
+          // degraded reasons land in rendered documents.
+          reason = "crashed: stalled (no heartbeat within " +
+                   std::to_string(stall_ms) + " ms)";
+          kind = SandboxOutcome::FailKind::Timeout;
+          failed = true;
+          break;
+        }
+      }
+    }
+
+    if (child.valid()) {
+      if (!reaped) support::wait_child(child.pid);
+      ::close(child.to_child);
+      ::close(child.from_child);
+    }
+    switch (kind) {
+      case SandboxOutcome::FailKind::Timeout: ++out.deaths_timeout; break;
+      case SandboxOutcome::FailKind::Oom: ++out.deaths_oom; break;
+      default: ++out.deaths_crash; break;
+    }
+    if (attempt <= opts.retries) {
+      ++out.retries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kBackoffBaseMs << (attempt - 1)));
+      continue;
+    }
+    out.ok = false;
+    out.kind = kind;
+    out.reason = std::move(reason);
+    return out;
+  }
 }
 
 }  // namespace synat::driver

@@ -42,6 +42,7 @@ enum class StageId : uint8_t {
   RpcDecode,      ///< request line parse + JSON-RPC validation
   RpcExecute,     ///< method execution (analysis runs inside)
   RpcRequest,     ///< whole request lifetime: decode, queue wait, execute
+  RpcSandbox,     ///< sandboxed execution: fork, worker attempts, reap
   COUNT
 };
 

@@ -37,6 +37,7 @@ std::string_view stage_name(StageId s) {
     case StageId::RpcDecode: return "rpc_decode";
     case StageId::RpcExecute: return "rpc_execute";
     case StageId::RpcRequest: return "rpc_request";
+    case StageId::RpcSandbox: return "rpc_sandbox";
     case StageId::COUNT: break;
   }
   return "unknown";

@@ -1,0 +1,47 @@
+// Minimal HTTP/1.1 GET shim for the serve socket (DESIGN.md §3h). The
+// daemon speaks newline-delimited JSON-RPC, but operational tooling wants
+// plain HTTP: a stock Prometheus scrapes /metrics, and orchestrators probe
+// /healthz and /readyz. Rather than a second listener, the connection
+// reader sniffs the first line — "GET " or "HEAD " can never begin a JSON
+// frame — answers the one request, and closes (Connection: close), so the
+// shim needs no keep-alive, chunking, or header parsing.
+//
+// Routes:
+//   /metrics  200 text/plain; version=0.0.4 (Prometheus text exposition)
+//   /healthz  200 while the daemon is up and not draining, else 503
+//   /readyz   200 while accepting analysis work (not draining, admission
+//             queue below its cap), else 503
+//   anything else: 404; non-GET/HEAD methods: 405; malformed line: 400
+//
+// Pure functions over the request line so the fuzz harness (targets.h
+// run_rpc) can drive the dispatcher byte-for-byte without sockets.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace synat::serve {
+
+/// True when `line` opens an HTTP request this shim handles ("GET " /
+/// "HEAD " verbatim — HTTP methods are case-sensitive). Other HTTP verbs
+/// return false here and fall through to the JSON-RPC decoder, whose
+/// kErrParse reply is the correct answer for a protocol we don't speak.
+bool is_http_request(std::string_view line);
+
+/// State the responses depend on, sampled at dispatch time.
+struct HttpProbeState {
+  bool draining = false;    ///< shutdown/drain began
+  bool overloaded = false;  ///< admission queue at its cap
+};
+
+/// Builds the complete HTTP/1.1 response (status line, headers, body) for
+/// one request line (without its terminator). `metrics_body` is invoked
+/// only when the route is /metrics, so probe endpoints never pay for a
+/// registry snapshot. Total: every input maps to some valid response.
+std::string handle_http_request(
+    std::string_view request_line,
+    const std::function<std::string()>& metrics_body,
+    const HttpProbeState& state);
+
+}  // namespace synat::serve

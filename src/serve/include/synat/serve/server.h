@@ -1,7 +1,9 @@
 // The `synat serve` transport: a long-lived daemon accepting many
 // concurrent clients over a unix-domain socket or TCP, speaking
 // newline-delimited JSON-RPC 2.0 (rpc.h) and dispatching to a shared
-// Service (service.h).
+// Service (service.h). Connections whose first line is an HTTP GET/HEAD
+// are answered by the HTTP shim (http.h: /metrics, /healthz, /readyz)
+// and closed.
 //
 // Lifecycle: serve() binds, accepts, and blocks until a shutdown RPC or
 // SIGTERM/SIGINT, then drains gracefully — stop accepting, let in-flight
@@ -37,6 +39,13 @@ struct ServerOptions {
   /// Result-cache snapshot: loaded before accepting (warm start), saved
   /// after the drain. Empty disables persistence.
   std::string cache_file;
+  /// Crash-only recovery (--snapshot-interval-s): with a cache_file set,
+  /// also snapshot the cache every this many seconds while serving, so a
+  /// SIGKILL loses at most one interval of warm cache and the restarted
+  /// daemon resumes warm. 0 keeps snapshot-on-drain only. Writes are
+  /// atomic (tmp + rename, cache.h), so a kill mid-snapshot never
+  /// corrupts the previous one.
+  unsigned snapshot_interval_s = 0;
   /// Chrome trace-event JSON written after the drain (per-request lanes).
   /// Empty disables tracing.
   std::string trace_out;

@@ -12,7 +12,8 @@
 //              input and options (ServerDeterminism).
 //   explain    analyze params + {proc?} → {explanation, exit_code}
 //   status     {} → {version, schema_version, uptime_ms, cache_entries,
-//                    options_fingerprint, in_flight, jobs}
+//                    options_fingerprint, in_flight, jobs, sandbox,
+//                    quarantine_entries}
 //   metrics    {} → {content_type, prometheus}  (Prometheus 0.0.4 text)
 //   invalidate {} → {invalidated}               (drops the result cache)
 //   shutdown   {} → {ok}; marks the service draining and fires the
@@ -35,7 +36,12 @@
 
 #include "synat/driver/cache.h"
 #include "synat/driver/thread_pool.h"
+#include "synat/serve/quarantine.h"
 #include "synat/serve/rpc.h"
+
+namespace synat::driver {
+struct ProgramInput;  // driver.h; only named in a private declaration here
+}
 
 namespace synat::serve {
 
@@ -43,6 +49,18 @@ struct ServiceOptions {
   unsigned jobs = 0;            ///< pool workers; 0 = hardware concurrency
   size_t max_queue = 64;        ///< queued+running analysis request cap
   size_t max_request_bytes = 8u << 20;
+
+  /// Sandboxed execution (--sandbox): each analyze/explain runs in a forked
+  /// one-shot worker (driver/worker.h run_sandboxed) under the per-request
+  /// budgets below, so a crash/hang/OOM degrades that request — never the
+  /// daemon. The worker inherits the hot cache via fork and ships back what
+  /// it computed (CacheDelta), so sandboxing keeps the cache warm.
+  bool sandbox = false;
+  uint64_t sandbox_deadline_ms = 10'000;  ///< per-request deadline (0 = off)
+  size_t sandbox_max_rss_mb = 0;          ///< per-worker RLIMIT_AS (0 = off)
+  unsigned sandbox_retries = 1;           ///< re-forks after a worker death
+  unsigned quarantine_threshold = 3;      ///< consecutive deaths to trip
+  uint64_t quarantine_ttl_ms = 60'000;    ///< how long a trip blocks forks
 };
 
 class Service {
@@ -80,9 +98,18 @@ class Service {
   unsigned jobs() const { return jobs_; }
   size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
 
+  /// True while the admission queue is at its cap — the /readyz signal.
+  bool overloaded() const { return in_flight() >= opts_.max_queue; }
+  bool sandboxed() const { return opts_.sandbox; }
+  Quarantine& quarantine() { return quarantine_; }
+
  private:
-  std::string dispatch(const RpcRequest& req);
-  std::string do_analyze(const RpcRequest& req, bool explain);
+  std::string dispatch(const RpcRequest& req, uint32_t lane);
+  std::string do_analyze(const RpcRequest& req, bool explain, uint32_t lane);
+  std::string do_analyze_sandboxed(const RpcRequest& req, bool explain,
+                                   driver::ProgramInput input, bool provenance,
+                                   const std::string& proc_filter,
+                                   uint32_t lane);
   std::string do_status(const RpcRequest& req);
   std::string do_metrics(const RpcRequest& req);
   std::string do_invalidate(const RpcRequest& req);
@@ -91,6 +118,7 @@ class Service {
   ServiceOptions opts_;
   unsigned jobs_ = 1;
   driver::ResultCache cache_;
+  Quarantine quarantine_;
   std::unique_ptr<driver::ThreadPool> pool_;
   std::atomic<size_t> in_flight_{0};
   std::atomic<bool> draining_{false};

@@ -1,0 +1,79 @@
+#include "synat/serve/http.h"
+
+namespace synat::serve {
+
+namespace {
+
+std::string make_response(std::string_view status, std::string_view type,
+                          std::string_view body, bool head) {
+  std::string out;
+  out.reserve(128 + (head ? 0 : body.size()));
+  out += "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  // HEAD advertises the entity headers (Content-Length of what GET would
+  // send) but omits the body.
+  if (!head) out += body;
+  return out;
+}
+
+}  // namespace
+
+bool is_http_request(std::string_view line) {
+  return line.substr(0, 4) == "GET " || line.substr(0, 5) == "HEAD ";
+}
+
+std::string handle_http_request(
+    std::string_view request_line,
+    const std::function<std::string()>& metrics_body,
+    const HttpProbeState& state) {
+  // Request line shape: METHOD SP request-target SP HTTP-version. Anything
+  // that does not split into exactly those three parts is a 400.
+  size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos)
+    return make_response("400 Bad Request", "text/plain", "bad request\n",
+                         false);
+  size_t sp2 = request_line.find(' ', sp1 + 1);
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target =
+      sp2 == std::string_view::npos
+          ? request_line.substr(sp1 + 1)
+          : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version =
+      sp2 == std::string_view::npos ? std::string_view{}
+                                    : request_line.substr(sp2 + 1);
+  const bool head = method == "HEAD";
+  if (!head && method != "GET")
+    return make_response("405 Method Not Allowed", "text/plain",
+                         "only GET and HEAD\n", false);
+  if (version.substr(0, 5) != "HTTP/" || target.empty() || target[0] != '/')
+    return make_response("400 Bad Request", "text/plain", "bad request\n",
+                         head);
+  // Query strings are ignored, not rejected: probes often append one.
+  target = target.substr(0, target.find('?'));
+  if (target == "/metrics")
+    return make_response("200 OK", "text/plain; version=0.0.4",
+                         metrics_body ? metrics_body() : std::string(), head);
+  if (target == "/healthz") {
+    return state.draining
+               ? make_response("503 Service Unavailable", "text/plain",
+                               "draining\n", head)
+               : make_response("200 OK", "text/plain", "ok\n", head);
+  }
+  if (target == "/readyz") {
+    if (state.draining)
+      return make_response("503 Service Unavailable", "text/plain",
+                           "draining\n", head);
+    if (state.overloaded)
+      return make_response("503 Service Unavailable", "text/plain",
+                           "overloaded\n", head);
+    return make_response("200 OK", "text/plain", "ready\n", head);
+  }
+  return make_response("404 Not Found", "text/plain", "not found\n", head);
+}
+
+}  // namespace synat::serve

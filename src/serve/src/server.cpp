@@ -10,12 +10,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "synat/obs/export.h"
+#include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/http.h"
 #include "synat/serve/rpc.h"
 
 namespace synat::serve {
@@ -34,6 +38,13 @@ void on_signal(int) {
     // pending, which is all we need.
     [[maybe_unused]] ssize_t n = write(fd, &b, 1);
   }
+}
+
+uint64_t steady_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 bool send_all(int fd, const char* data, size_t len) {
@@ -137,6 +148,7 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
   const size_t max_line = opts_.service.max_request_bytes + 4096;
   std::string buf;
   char chunk[64 * 1024];
+  bool first_line = true;
   for (;;) {
     ssize_t n = recv(conn->fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
@@ -148,6 +160,22 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
       std::string line = buf.substr(start, nl - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (first_line && is_http_request(line)) {
+        // HTTP shim (http.h): a scraper or probe, not a JSON-RPC client.
+        // Answer the request line, ignore the header block that follows,
+        // and close — the shim is strictly one exchange per connection.
+        std::string body = handle_http_request(
+            line,
+            [] { return obs::to_prometheus(obs::registry().snapshot()); },
+            {service_.draining(), service_.overloaded()});
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          send_all(conn->fd, body.data(), body.size());
+        }
+        shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
+      first_line = false;
       service_.handle(std::move(line), [conn](std::string body) {
         body += '\n';
         std::lock_guard<std::mutex> lock(conn->write_mu);
@@ -197,13 +225,42 @@ int Server::serve() {
   std::fprintf(stderr, "synat serve: listening on %s (%u jobs)\n",
                opts_.listen.c_str(), service_.jobs());
 
+  // Crash-only snapshot cycle: the accept loop doubles as the snapshot
+  // timer, so there is no extra thread to coordinate during the drain.
+  const uint64_t snap_interval_ms =
+      uint64_t{opts_.snapshot_interval_s} * 1000;
+  const bool periodic_snapshots =
+      !opts_.cache_file.empty() && snap_interval_ms > 0;
+  uint64_t next_snap_ms =
+      periodic_snapshots ? steady_ms() + snap_interval_ms : 0;
+
   for (;;) {
+    int timeout = -1;
+    if (periodic_snapshots) {
+      uint64_t now = steady_ms();
+      timeout = next_snap_ms > now
+                    ? static_cast<int>(std::min<uint64_t>(
+                          next_snap_ms - now, 3'600'000))
+                    : 0;
+    }
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
-    int rc = poll(fds, 2, -1);
+    int rc = poll(fds, 2, timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    if (periodic_snapshots && steady_ms() >= next_snap_ms) {
+      static obs::Counter& snapshots =
+          obs::registry().counter("synat_serve_snapshots_total", false);
+      if (service_.cache().save(opts_.cache_file))
+        snapshots.inc();
+      else
+        std::fprintf(stderr,
+                     "synat serve: warning: could not snapshot cache to %s\n",
+                     opts_.cache_file.c_str());
+      next_snap_ms = steady_ms() + snap_interval_ms;
+    }
+    if (rc == 0) continue;
     if (fds[1].revents != 0) break;  // signal or shutdown RPC
     if ((fds[0].revents & POLLIN) == 0) continue;
     int cfd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);

@@ -1,17 +1,29 @@
 #include "synat/serve/service.h"
 
+#include <chrono>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "synat/driver/driver.h"
+#include "synat/driver/worker.h"
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/support/hash.h"
 
 namespace synat::serve {
 
 namespace {
+
+/// Wall-adjacent monotonic milliseconds for the quarantine TTL. Not the
+/// obs clock: a virtual-clock test run must still see real TTL decay.
+uint64_t steady_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::string hex64(uint64_t v) {
   static const char* digits = "0123456789abcdef";
@@ -90,7 +102,11 @@ RpcError parse_analyze_params(const JsonValue& params,
 
 }  // namespace
 
-Service::Service(ServiceOptions opts) : opts_(opts) {
+Service::Service(ServiceOptions opts)
+    : opts_(opts),
+      quarantine_(Quarantine::Options{opts.quarantine_threshold,
+                                      opts.quarantine_ttl_ms,
+                                      /*max_entries=*/4096}) {
   jobs_ = opts_.jobs == 0
               ? std::max(1u, std::thread::hardware_concurrency())
               : opts_.jobs;
@@ -200,12 +216,12 @@ void Service::handle(std::string line, Reply reply) {
       return;
     }
     in_flight_gauge.set(admitted + 1);
-    pool_->submit([this, req = std::move(req), respond = std::move(respond),
-                   finish_request]() mutable {
+    pool_->submit([this, seq, req = std::move(req),
+                   respond = std::move(respond), finish_request]() mutable {
       std::string body;
       {
         obs::SpanScope exec_span(obs::StageId::RpcExecute);
-        body = dispatch(req);
+        body = dispatch(req, static_cast<uint32_t>(1 + seq));
       }
       respond(std::move(body));
       size_t now = in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
@@ -221,7 +237,7 @@ void Service::handle(std::string line, Reply reply) {
   std::string body;
   {
     obs::SpanScope exec_span(obs::StageId::RpcExecute);
-    body = dispatch(req);
+    body = dispatch(req, static_cast<uint32_t>(1 + seq));
   }
   if (body.empty()) {
     invalid.inc();
@@ -239,9 +255,9 @@ void Service::handle(std::string line, Reply reply) {
     shutdown_hook_();
 }
 
-std::string Service::dispatch(const RpcRequest& req) {
-  if (req.method == "analyze") return do_analyze(req, /*explain=*/false);
-  if (req.method == "explain") return do_analyze(req, /*explain=*/true);
+std::string Service::dispatch(const RpcRequest& req, uint32_t lane) {
+  if (req.method == "analyze") return do_analyze(req, /*explain=*/false, lane);
+  if (req.method == "explain") return do_analyze(req, /*explain=*/true, lane);
   if (req.method == "status") return do_status(req);
   if (req.method == "metrics") return do_metrics(req);
   if (req.method == "invalidate") return do_invalidate(req);
@@ -249,7 +265,8 @@ std::string Service::dispatch(const RpcRequest& req) {
   return {};  // handle() turns this into kErrMethodNotFound
 }
 
-std::string Service::do_analyze(const RpcRequest& req, bool explain) {
+std::string Service::do_analyze(const RpcRequest& req, bool explain,
+                                uint32_t lane) {
   static obs::Counter& serve_hits =
       obs::registry().counter("synat_serve_cache_hits_total", false);
   static obs::Counter& serve_misses =
@@ -265,6 +282,10 @@ std::string Service::do_analyze(const RpcRequest& req, bool explain) {
       err.code != 0)
     return encode_error(&req.id, err.code, err.message);
   if (explain) input.opts.provenance = true;
+
+  if (opts_.sandbox)
+    return do_analyze_sandboxed(req, explain, std::move(input), provenance,
+                                proc_filter, lane);
 
   driver::DriverOptions dopts;
   dopts.jobs = 1;  // index-addressed assembly makes jobs irrelevant to bytes
@@ -306,6 +327,96 @@ std::string Service::do_analyze(const RpcRequest& req, bool explain) {
   return encode_result(req.id, std::move(result));
 }
 
+std::string Service::do_analyze_sandboxed(const RpcRequest& req, bool explain,
+                                          driver::ProgramInput input,
+                                          bool provenance,
+                                          const std::string& proc_filter,
+                                          uint32_t lane) {
+  static obs::Counter& serve_hits =
+      obs::registry().counter("synat_serve_cache_hits_total", false);
+  static obs::Counter& serve_misses =
+      obs::registry().counter("synat_serve_cache_misses_total", false);
+  static obs::Counter& reanalyzed =
+      obs::registry().counter("synat_serve_procedures_reanalyzed_total", false);
+  static obs::Counter& worker_crashes =
+      obs::registry().counter("synat_serve_worker_crashes_total", false);
+  static obs::Counter& worker_timeouts =
+      obs::registry().counter("synat_serve_worker_timeouts_total", false);
+  static obs::Counter& worker_ooms =
+      obs::registry().counter("synat_serve_worker_oom_kills_total", false);
+  static obs::Counter& worker_retries =
+      obs::registry().counter("synat_serve_worker_retries_total", false);
+  static obs::Counter& quarantined =
+      obs::registry().counter("synat_serve_quarantined_total", false);
+
+  // The quarantine key is the same pair a result depends on: the program
+  // text and the analysis options. Two requests for the same source with
+  // different options fork (and die) independently.
+  const uint64_t fp = Hasher()
+                          .mix(input.source)
+                          .mix(driver::options_fingerprint(input.opts))
+                          .value();
+  if (quarantine_.check(fp, steady_ms())) {
+    quarantined.inc();
+    return encode_error(&req.id, kErrQuarantined,
+                        "program quarantined: repeated worker deaths; "
+                        "retry after the quarantine TTL");
+  }
+
+  driver::DriverOptions dopts;
+  dopts.jobs = 1;
+  dopts.use_cache = true;
+  dopts.deadline_ms = opts_.sandbox_deadline_ms;
+  dopts.max_rss_mb = opts_.sandbox_max_rss_mb;
+  dopts.retries = opts_.sandbox_retries;
+  driver::SandboxOutcome out;
+  {
+    obs::SpanScope sandbox_span(obs::StageId::RpcSandbox);
+    out = driver::run_sandboxed(input, dopts, &cache_, lane);
+  }
+  worker_crashes.inc(out.deaths_crash);
+  worker_timeouts.inc(out.deaths_timeout);
+  worker_ooms.inc(out.deaths_oom);
+  worker_retries.inc(out.retries);
+  if (out.ok)
+    quarantine_.record_success(fp);
+  else
+    quarantine_.record_death(fp, steady_ms());
+
+  // Reassemble the one-program document exactly the way BatchDriver does,
+  // so a degraded sandbox reply renders the same "kind":"crash" entry (and
+  // exit code 1) as `synat batch --isolate` on a crashing worker, and a
+  // healthy one stays byte-identical to `synat batch --format json`.
+  driver::ReportSink sink(1);
+  if (out.ok) {
+    sink.set_program(0, std::move(out.report));
+  } else {
+    sink.fail_program(0, input.name, driver::ProgramStatus::Degraded,
+                      {{"error", 0, 0, out.reason}});
+  }
+  driver::BatchReport report = sink.finish(driver::Metrics{}, 1);
+
+  serve_hits.inc(out.cache_hits);
+  serve_misses.inc(out.cache_misses);
+  reanalyzed.inc(out.cache_misses);
+
+  JsonValue result = JsonValue::make_object();
+  if (explain) {
+    result.add("explanation",
+               JsonValue::make_string(driver::to_explain(report, proc_filter)));
+  } else {
+    driver::RenderOptions ropts;
+    ropts.provenance = provenance;
+    result.add("report", JsonValue::make_string(driver::to_json(report, ropts)));
+    result.add("cache_hits", JsonValue::make_number(out.cache_hits));
+    result.add("procedures_reanalyzed",
+               JsonValue::make_number(out.cache_misses));
+  }
+  result.add("exit_code",
+             JsonValue::make_number(static_cast<int64_t>(report.exit_code())));
+  return encode_result(req.id, std::move(result));
+}
+
 std::string Service::do_status(const RpcRequest& req) {
   JsonValue result = JsonValue::make_object();
   result.add("version",
@@ -321,6 +432,9 @@ std::string Service::do_status(const RpcRequest& req) {
   result.add("in_flight",
              JsonValue::make_number(static_cast<uint64_t>(in_flight())));
   result.add("jobs", JsonValue::make_number(static_cast<uint64_t>(jobs_)));
+  result.add("sandbox", JsonValue::make_bool(opts_.sandbox));
+  result.add("quarantine_entries",
+             JsonValue::make_number(static_cast<uint64_t>(quarantine_.size())));
   return encode_result(req.id, std::move(result));
 }
 

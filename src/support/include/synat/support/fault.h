@@ -14,7 +14,10 @@
 // An optional @K suffix (crash:<name>@2) arms the fault only while the
 // dispatch attempt is <= K, so retry-then-succeed paths are testable
 // without timing dependence. <name> matches the program's display name
-// exactly, or its corpus:/path basename.
+// exactly, or its corpus:/path basename. Several specs can be joined with
+// commas (SYNAT_FAULT=crash:a,hang:b,oom:c) — the first matching spec
+// fires — so a single daemon run can exercise every fault class, one per
+// victim program (the serve chaos harness relies on this).
 #pragma once
 
 #include <cstdint>

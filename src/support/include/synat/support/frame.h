@@ -23,6 +23,7 @@ enum class FrameType : uint32_t {
   Heartbeat = 3,   ///< worker → supervisor: liveness while a task runs
   Telemetry = 4,   ///< worker → supervisor: spans + metric deltas (codec.h)
   Provenance = 5,  ///< worker → supervisor: derivation records (codec.h)
+  CacheDelta = 6,  ///< worker → supervisor: new cache entries (codec.h)
 };
 
 /// Hard cap on a single frame's payload; anything larger is corruption.

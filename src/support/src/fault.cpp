@@ -46,23 +46,32 @@ bool name_matches(std::string_view target, std::string_view name) {
 }  // namespace
 
 void maybe_inject_fault(std::string_view name, unsigned attempt) {
-  const char* spec = std::getenv("SYNAT_FAULT");
-  if (spec == nullptr || *spec == '\0') return;
-  std::string_view s(spec);
-  size_t colon = s.find(':');
-  if (colon == std::string_view::npos) return;
-  std::string_view mode = s.substr(0, colon);
-  std::string_view target = s.substr(colon + 1);
-  unsigned max_attempt = ~0u;
-  if (size_t at = target.rfind('@'); at != std::string_view::npos) {
-    max_attempt =
-        static_cast<unsigned>(std::strtoul(target.data() + at + 1, nullptr, 10));
-    target = target.substr(0, at);
+  const char* env = std::getenv("SYNAT_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  // Comma-separated multi-spec ("crash:a,hang:b,oom:c"), so one daemon run
+  // can exercise every fault class; each spec keeps the single-spec shape
+  // mode:target[@K].
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view s = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    size_t colon = s.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view mode = s.substr(0, colon);
+    std::string_view target = s.substr(colon + 1);
+    unsigned max_attempt = ~0u;
+    if (size_t at = target.rfind('@'); at != std::string_view::npos) {
+      max_attempt = static_cast<unsigned>(
+          std::strtoul(target.data() + at + 1, nullptr, 10));
+      target = target.substr(0, at);
+    }
+    if (attempt > max_attempt || !name_matches(target, name)) continue;
+    if (mode == "crash") inject_crash();
+    if (mode == "hang") raise(SIGSTOP);
+    if (mode == "oom") inject_oom();
   }
-  if (attempt > max_attempt || !name_matches(target, name)) return;
-  if (mode == "crash") inject_crash();
-  if (mode == "hang") raise(SIGSTOP);
-  if (mode == "oom") inject_oom();
 }
 
 }  // namespace synat::support

@@ -1,0 +1,148 @@
+// The HTTP/1.1 GET shim (DESIGN.md §3h): request-line sniffing, the pure
+// dispatcher's routes and failure responses, and one exchange through the
+// real socket server (first-line sniff → shim → Connection: close).
+#include "synat/serve/http.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "synat/serve/server.h"
+
+namespace synat::serve {
+namespace {
+
+TEST(ServeHttp, SniffsOnlyGetAndHead) {
+  EXPECT_TRUE(is_http_request("GET /metrics HTTP/1.1"));
+  EXPECT_TRUE(is_http_request("HEAD /healthz HTTP/1.1"));
+  // Other verbs, lowercase, and JSON frames fall through to JSON-RPC.
+  EXPECT_FALSE(is_http_request("POST /metrics HTTP/1.1"));
+  EXPECT_FALSE(is_http_request("get /metrics HTTP/1.1"));
+  EXPECT_FALSE(is_http_request(R"({"jsonrpc":"2.0","method":"status"})"));
+  EXPECT_FALSE(is_http_request(""));
+  EXPECT_FALSE(is_http_request("GET"));  // no trailing space
+}
+
+std::string dispatch(std::string_view line, HttpProbeState state = {},
+                     int* metrics_calls = nullptr) {
+  return handle_http_request(
+      line,
+      [metrics_calls] {
+        if (metrics_calls != nullptr) ++*metrics_calls;
+        return std::string("synat_serve_requests_total 7\n");
+      },
+      state);
+}
+
+TEST(ServeHttp, MetricsRoute) {
+  int calls = 0;
+  std::string resp = dispatch("GET /metrics HTTP/1.1", {}, &calls);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4\r\n"),
+            std::string::npos);
+  EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("synat_serve_requests_total 7\n"), std::string::npos);
+}
+
+TEST(ServeHttp, ProbesNeverPayForAMetricsSnapshot) {
+  int calls = 0;
+  dispatch("GET /healthz HTTP/1.1", {}, &calls);
+  dispatch("GET /readyz HTTP/1.1", {}, &calls);
+  dispatch("GET /nope HTTP/1.1", {}, &calls);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ServeHttp, ProbesReflectServiceState) {
+  EXPECT_EQ(dispatch("GET /healthz HTTP/1.1").rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_EQ(dispatch("GET /readyz HTTP/1.1").rfind("HTTP/1.1 200", 0), 0u);
+
+  HttpProbeState draining{/*draining=*/true, /*overloaded=*/false};
+  EXPECT_EQ(dispatch("GET /healthz HTTP/1.1", draining)
+                .rfind("HTTP/1.1 503", 0), 0u);
+  EXPECT_EQ(dispatch("GET /readyz HTTP/1.1", draining)
+                .rfind("HTTP/1.1 503", 0), 0u);
+
+  // Overload makes the daemon not-ready but still healthy — the probe
+  // split load-balancers rely on.
+  HttpProbeState full{/*draining=*/false, /*overloaded=*/true};
+  EXPECT_EQ(dispatch("GET /healthz HTTP/1.1", full).rfind("HTTP/1.1 200", 0),
+            0u);
+  std::string ready = dispatch("GET /readyz HTTP/1.1", full);
+  EXPECT_EQ(ready.rfind("HTTP/1.1 503", 0), 0u);
+  EXPECT_NE(ready.find("overloaded"), std::string::npos);
+}
+
+TEST(ServeHttp, HeadKeepsHeadersDropsBody) {
+  std::string get = dispatch("GET /healthz HTTP/1.1");
+  std::string head = dispatch("HEAD /healthz HTTP/1.1");
+  // Same entity headers (Content-Length of what GET would send), no body.
+  EXPECT_NE(head.find("Content-Length: 3\r\n"), std::string::npos) << head;
+  EXPECT_TRUE(head.ends_with("\r\n\r\n")) << head;
+  EXPECT_TRUE(get.ends_with("\r\n\r\nok\n")) << get;
+}
+
+TEST(ServeHttp, QueryStringsAreStripped) {
+  EXPECT_EQ(dispatch("GET /readyz?verbose=1 HTTP/1.1")
+                .rfind("HTTP/1.1 200", 0), 0u);
+}
+
+TEST(ServeHttp, FailureResponses) {
+  EXPECT_EQ(dispatch("GET /unknown HTTP/1.1").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(dispatch("PUT /metrics HTTP/1.1").rfind("HTTP/1.1 405", 0), 0u);
+  // Malformed lines (the fuzzer's bread and butter) all map to 400.
+  EXPECT_EQ(dispatch("GET").rfind("HTTP/1.1 400", 0), 0u);
+  EXPECT_EQ(dispatch("GET /x").rfind("HTTP/1.1 400", 0), 0u);     // no version
+  EXPECT_EQ(dispatch("GET x HTTP/1.1").rfind("HTTP/1.1 400", 0), 0u);
+  EXPECT_EQ(dispatch("GET  HTTP/1.1").rfind("HTTP/1.1 400", 0), 0u);
+  EXPECT_EQ(dispatch("").rfind("HTTP/1.1 400", 0), 0u);
+}
+
+// One exchange over a real socket: the reader sniffs the first line, the
+// shim answers, and the server closes the connection (EOF after the body).
+TEST(ServeHttp, AnswersOnTheRpcSocket) {
+  std::string path = "/tmp/synat_serve_http_" + std::to_string(getpid()) +
+                     ".sock";
+  ServerOptions opts;
+  opts.listen = path;
+  opts.service.jobs = 1;
+  Server server(std::move(opts));
+  std::thread thread([&server] { server.serve(); });
+
+  auto fetch = [&path](const std::string& request) {
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    for (int i = 0; i < 200; ++i) {
+      if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+        break;
+      usleep(10'000);
+    }
+    EXPECT_TRUE(send(fd, request.data(), request.size(), MSG_NOSIGNAL) >= 0);
+    std::string resp;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = recv(fd, chunk, sizeof chunk, 0)) > 0)
+      resp.append(chunk, static_cast<size_t>(n));
+    close(fd);
+    return resp;
+  };
+
+  std::string metrics = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("synat_serve_requests_total"), std::string::npos);
+  std::string health = fetch("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  server.request_stop();
+  thread.join();
+  unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace synat::serve

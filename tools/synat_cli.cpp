@@ -44,10 +44,21 @@
 //                --cache-file FILE (warm-start snapshot, saved on shutdown)
 //                --trace-out FILE (Chrome trace with per-request lanes,
 //                written on shutdown)
+//                --sandbox (run each analyze/explain in a forked one-shot
+//                worker; crash/hang/OOM degrades the request, never the
+//                daemon) --deadline-ms N --max-rss-mb N (per-request
+//                budgets; sandbox only) --retries N (re-forks after a
+//                worker death, default 1)
+//                --quarantine-threshold K --quarantine-ttl SECS (K
+//                consecutive failed sandboxed executions of one program
+//                short-circuit to -32004 until the TTL expires)
+//                --snapshot-interval-s N (with --cache-file: periodic
+//                crash-only cache snapshots while serving)
 //                The wire protocol is newline-delimited JSON-RPC 2.0:
 //                methods analyze, explain, status, metrics, invalidate,
 //                shutdown (see src/serve/include/synat/serve/service.h and
-//                tools/synat_client.py).
+//                tools/synat_client.py); connections opening with an HTTP
+//                GET/HEAD hit the shim instead (/metrics /healthz /readyz).
 // explain options: --jobs N --isolate plus the analyze ablation flags
 //                (--no-variants --no-windows --no-conds --counted <k>);
 //                output is byte-identical across --jobs/--isolate modes
@@ -652,6 +663,65 @@ int cmd_serve(int argc, char** argv) {
       sopts.cache_file = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
       sopts.trace_out = argv[++i];
+    } else if (a == "--sandbox") {
+      sopts.service.sandbox = true;
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--deadline-ms expects milliseconds, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.sandbox_deadline_ms = n;
+    } else if (a == "--max-rss-mb" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--max-rss-mb expects megabytes, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.sandbox_max_rss_mb = static_cast<size_t>(n);
+    } else if (a == "--retries" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 16) {
+        std::fprintf(stderr, "--retries expects a small count, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.sandbox_retries = static_cast<unsigned>(n);
+    } else if (a == "--quarantine-threshold" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0) {
+        std::fprintf(stderr,
+                     "--quarantine-threshold expects a positive count, "
+                     "got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.quarantine_threshold = static_cast<unsigned>(n);
+    } else if (a == "--quarantine-ttl" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--quarantine-ttl expects seconds, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.quarantine_ttl_ms = uint64_t{n} * 1000;
+    } else if (a == "--snapshot-interval-s" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr,
+                     "--snapshot-interval-s expects seconds, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.snapshot_interval_s = static_cast<unsigned>(n);
     } else {
       std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
       return kExitUsage;

@@ -21,6 +21,7 @@ the analysis exit code; the other commands print their result object.
 
 import argparse
 import json
+import random
 import socket
 import sys
 import time
@@ -29,7 +30,7 @@ import time
 class RpcError(Exception):
     """A JSON-RPC error response. `code` follows the spec (-32700 parse,
     -32600 invalid request, ...) plus synat's server-defined codes
-    (-32003 overloaded, -32002 shutting down)."""
+    (-32003 overloaded, -32002 shutting down, -32004 quarantined)."""
 
     def __init__(self, code, message):
         super().__init__(f"RPC error {code}: {message}")
@@ -37,35 +38,62 @@ class RpcError(Exception):
         self.message = message
 
 
+# Methods that are safe to resend after a dropped connection: they mutate
+# nothing (status/metrics) or are pure functions of their params whose
+# duplicate execution is absorbed by the daemon's result cache
+# (analyze/explain). `invalidate` and `shutdown` are never resent — a lost
+# reply does not prove the daemon missed the request, and executing either
+# twice is not the same as executing it once.
+_IDEMPOTENT = frozenset({"analyze", "explain", "status", "metrics"})
+
+
 class Client:
     """One connection to a synat serve daemon. Not thread-safe; open one
-    Client per thread (the daemon handles any number of connections)."""
+    Client per thread (the daemon handles any number of connections).
+
+    If the connection drops mid-call (daemon crashed, was restarted, or the
+    socket was reset), idempotent requests are transparently resent over a
+    fresh connection, up to `max_retries` reconnect attempts per call, with
+    jittered exponential backoff between attempts so a herd of clients does
+    not stampede a restarting daemon."""
 
     # A daemon that was just launched may not be accepting yet (its unix
     # socket path appears at bind(), a moment before listen()), so a
     # refused/absent endpoint is retried briefly before giving up.
     _CONNECT_RETRY_SECS = 2.0
+    # Reconnect backoff: full jitter over an exponentially growing window,
+    # base * 2^attempt capped at _BACKOFF_CAP seconds.
+    _BACKOFF_BASE = 0.05
+    _BACKOFF_CAP = 2.0
 
-    def __init__(self, address, timeout=None):
+    def __init__(self, address, timeout=None, max_retries=3):
+        self._address = address
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._next_id = 0
+        self._connect()
+
+    def _connect(self):
         deadline = time.monotonic() + self._CONNECT_RETRY_SECS
+        address = self._address
         while True:
             try:
                 if "/" in address:
                     self._sock = socket.socket(socket.AF_UNIX,
                                                socket.SOCK_STREAM)
-                    self._sock.settimeout(timeout)
+                    self._sock.settimeout(self._timeout)
                     self._sock.connect(address)
                 else:
                     host, _, port = address.rpartition(":")
                     self._sock = socket.create_connection(
-                        (host or "127.0.0.1", int(port)), timeout=timeout)
+                        (host or "127.0.0.1", int(port)),
+                        timeout=self._timeout)
                 break
             except (ConnectionRefusedError, FileNotFoundError):
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.05)
         self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
-        self._next_id = 0
 
     def close(self):
         self._file.close()
@@ -77,10 +105,17 @@ class Client:
     def __exit__(self, *exc):
         self.close()
 
-    def call(self, method, params=None):
-        """One request/response round trip. Returns the result object;
-        raises RpcError on an error response, EOFError if the daemon
-        closed the connection."""
+    def _reconnect(self, attempt):
+        """Close the dead socket and reopen with full-jitter backoff."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        window = min(self._BACKOFF_CAP, self._BACKOFF_BASE * (1 << attempt))
+        time.sleep(random.uniform(0, window))
+        self._connect()
+
+    def _call_once(self, method, params):
         self._next_id += 1
         req = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
         if params is not None:
@@ -94,6 +129,23 @@ class Client:
         if "error" in resp:
             raise RpcError(resp["error"]["code"], resp["error"]["message"])
         return resp["result"]
+
+    def call(self, method, params=None):
+        """One request/response round trip. Returns the result object;
+        raises RpcError on an error response. If the connection drops and
+        the method is idempotent, reconnects and resends (up to
+        max_retries times); otherwise raises EOFError/OSError."""
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, params)
+            except TimeoutError:
+                raise  # a slow daemon is not a dead one; never resend
+            except (EOFError, ConnectionError, OSError):
+                if method not in _IDEMPOTENT or attempt >= self._max_retries:
+                    raise
+                self._reconnect(attempt)
+                attempt += 1
 
     def notify(self, method, params=None):
         """Fire-and-forget notification (no id, no response)."""
@@ -144,6 +196,9 @@ def main(argv=None):
     ap.add_argument("--connect", required=True,
                     help="unix socket path (contains '/') or host:port")
     ap.add_argument("--timeout", type=float, default=60.0)
+    ap.add_argument("--max-retries", type=int, default=3,
+                    help="reconnect+resend attempts for idempotent calls "
+                         "after a dropped connection (default 3)")
     sub = ap.add_subparsers(dest="command", required=True)
 
     ana = sub.add_parser("analyze")
@@ -163,7 +218,8 @@ def main(argv=None):
 
     args = ap.parse_args(argv)
     try:
-        client = Client(args.connect, timeout=args.timeout)
+        client = Client(args.connect, timeout=args.timeout,
+                        max_retries=args.max_retries)
     except OSError as e:
         print(f"synat_client: cannot connect to {args.connect}: {e}",
               file=sys.stderr)
