@@ -4,17 +4,23 @@
 // cache) recorded machine-readably in BENCH_driver.json.
 #include <benchmark/benchmark.h>
 
+#include <sys/utsname.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <future>
+#include <string>
 #include <thread>
 
 #include "synat/atomicity/infer.h"
 #include "synat/corpus/corpus.h"
 #include "synat/driver/driver.h"
 #include "synat/interp/interp.h"
+#include "synat/obs/events.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/obs.h"
 #include "synat/obs/trace.h"
@@ -172,6 +178,38 @@ double serve_rpc_ms(serve::Service& svc, const std::string& line, int reps) {
   return best;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+/// "model name" from /proc/cpuinfo — wall-clock numbers only mean anything
+/// next to the silicon that produced them.
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::string kernel_version() {
+  struct utsname u;
+  if (uname(&u) != 0) return "unknown";
+  return std::string(u.sysname) + " " + u.release + " " + u.machine;
+}
+
 /// Measures the driver speedups the roadmap tracks (serial vs. --jobs 8,
 /// cold vs. warm cache) and records them in BENCH_driver.json so future
 /// changes have a perf trajectory to compare against.
@@ -191,6 +229,13 @@ void emit_driver_json(const char* path) {
   const unsigned hw = std::thread::hardware_concurrency();
   const unsigned effective_jobs = std::min(kJobs, hw > 0 ? hw : 1u);
   const bool speedup_valid = hw >= 2;
+  if (!speedup_valid) {
+    std::fprintf(stderr,
+                 "bench: WARNING: hardware_concurrency=%u — every parallel "
+                 "number below is scheduling noise on this machine; "
+                 "recording speedup_valid:false\n",
+                 hw);
+  }
 
   driver::DriverOptions parallel = serial;
   parallel.jobs = kJobs;
@@ -205,6 +250,32 @@ void emit_driver_json(const char* path) {
   obs::set_flags(0);
   obs::Tracer::instance().drain();  // discard spans from the timed sweep
   obs::registry().reset();
+
+  // Cost of the flight data (DESIGN.md §3i), split in two: the always-on
+  // ring (render one wide event per program into the in-memory recorder,
+  // no disk) and the full --events-out log (same render plus a JSONL
+  // write+flush per program). The ring number is the price of "postmortems
+  // are always possible"; the file number is what --events-out adds.
+  double recorder_only_ms;
+  {
+    obs::EventLogOptions ring;  // empty path: ring only
+    obs::EventLog ring_log(ring);
+    driver::DriverOptions with_ring = serial;
+    with_ring.events = &ring_log;
+    recorder_only_ms = sweep_ms(with_ring, inputs, nullptr, kReps);
+  }
+  double events_enabled_ms;
+  const char* events_tmp = "bench_events_sweep.jsonl";
+  {
+    obs::EventLogOptions file;
+    file.path = events_tmp;
+    obs::EventLog file_log(file);
+    driver::DriverOptions with_events = serial;
+    with_events.events = &file_log;
+    events_enabled_ms = sweep_ms(with_events, inputs, nullptr, kReps);
+  }
+  std::remove(events_tmp);
+  obs::registry().reset();  // discard the event-latency histograms
 
   // Cost of provenance collection (DESIGN.md §3f): the same serial sweep
   // with derivation records collected and attached on every input.
@@ -290,7 +361,14 @@ void emit_driver_json(const char* path) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"driver_corpus_sweep\",\n"
-               "  \"hardware_concurrency\": %u,\n"
+               "  \"host\": {\n"
+               "    \"cpu_model\": \"%s\",\n"
+               "    \"kernel\": \"%s\"\n"
+               "  },\n"
+               "  \"hardware_concurrency\": %u,\n",
+               json_escape(cpu_model()).c_str(),
+               json_escape(kernel_version()).c_str(), hw);
+  std::fprintf(f,
                "  \"programs\": %zu,\n"
                "  \"procedures\": %zu,\n"
                "  \"variants\": %zu,\n"
@@ -300,7 +378,7 @@ void emit_driver_json(const char* path) {
                "  \"speedup_valid\": %s,\n"
                "  \"serial_ms\": %.3f,\n"
                "  \"parallel_ms\": %.3f,\n",
-               hw, report.metrics.programs, report.metrics.procedures,
+               report.metrics.programs, report.metrics.procedures,
                report.metrics.variants, kReps, kJobs, effective_jobs,
                speedup_valid ? "true" : "false", serial_ms, parallel_ms);
   if (speedup_valid) {
@@ -312,6 +390,10 @@ void emit_driver_json(const char* path) {
                "  \"procs_per_sec_parallel\": %.1f,\n"
                "  \"obs_enabled_ms\": %.3f,\n"
                "  \"obs_enabled_overhead\": %.3f,\n"
+               "  \"recorder_only_ms\": %.3f,\n"
+               "  \"recorder_only_overhead\": %.3f,\n"
+               "  \"events_enabled_ms\": %.3f,\n"
+               "  \"events_overhead\": %.3f,\n"
                "  \"provenance_enabled_ms\": %.3f,\n"
                "  \"provenance_overhead\": %.3f,\n"
                "  \"isolate_ms\": %.3f,\n"
@@ -329,6 +411,10 @@ void emit_driver_json(const char* path) {
                parallel_ms > 0 ? procs * 1000.0 / parallel_ms : 0.0,
                obs_enabled_ms,
                serial_ms > 0 ? obs_enabled_ms / serial_ms - 1.0 : 0.0,
+               recorder_only_ms,
+               serial_ms > 0 ? recorder_only_ms / serial_ms - 1.0 : 0.0,
+               events_enabled_ms,
+               serial_ms > 0 ? events_enabled_ms / serial_ms - 1.0 : 0.0,
                prov_enabled_ms,
                serial_ms > 0 ? prov_enabled_ms / serial_ms - 1.0 : 0.0,
                isolate_ms,
@@ -338,9 +424,11 @@ void emit_driver_json(const char* path) {
                serve_cold_rpc_ms, serve_warm_rpc_ms, serve_sandbox_rpc_ms);
   std::fclose(f);
   std::printf("wrote %s (serial %.1fms, --jobs %u %.1fms, --isolate %.1fms, "
-              "obs on %.1fms, warm cache %.1fms, hit rate %.0f%%, "
+              "obs on %.1fms, ring %.1fms, events %.1fms, warm cache %.1fms, "
+              "hit rate %.0f%%, "
               "serve rpc %.2fms cold / %.2fms warm / %.2fms sandboxed)\n",
               path, serial_ms, kJobs, parallel_ms, isolate_ms, obs_enabled_ms,
+              recorder_only_ms, events_enabled_ms,
               warm_ms, hit_rate * 100, serve_cold_rpc_ms, serve_warm_rpc_ms,
               serve_sandbox_rpc_ms);
 }

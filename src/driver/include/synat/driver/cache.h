@@ -34,6 +34,10 @@
 
 namespace synat::driver {
 
+/// Version of the cache snapshot format (magic "SYNATCC<v>"); a snapshot
+/// with any other version rejects whole. Surfaced by `serve`'s /buildz.
+inline constexpr uint64_t kCacheSchemaVersion = 5;
+
 class ResultCache {
  public:
   std::shared_ptr<const ProcReport> lookup(uint64_t key);

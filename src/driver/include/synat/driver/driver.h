@@ -26,6 +26,10 @@
 #include "synat/driver/thread_pool.h"
 #include "synat/driver/watchdog.h"
 
+namespace synat::obs {
+class EventLog;
+}
+
 namespace synat::driver {
 
 /// One program to analyze.
@@ -81,6 +85,10 @@ struct DriverOptions {
   /// journal from a different input/option set is rejected whole (counted
   /// in Metrics::journal_rejected); the run proceeds cold.
   bool resume = false;
+  /// Wide-event sink (DESIGN.md §3i): when set, run() appends one event
+  /// per program, in input order, after the report is assembled. Not owned.
+  /// Enabling events also enables per-program stage timing.
+  obs::EventLog* events = nullptr;
 };
 
 /// Fingerprint of the analysis options that affect results; part of every
@@ -109,6 +117,9 @@ class BatchDriver {
 
   void run_program_task(const ProgramInput& input, size_t index,
                         ReportSink& sink, ThreadPool& pool);
+  /// Stage timing is collected when asked for (--timings) or whenever a
+  /// wide-event sink needs per-program latencies.
+  bool timed() const { return opts_.collect_timings || opts_.events != nullptr; }
 
   DriverOptions opts_;
   ResultCache* cache_;

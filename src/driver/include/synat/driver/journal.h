@@ -31,6 +31,10 @@
 
 namespace synat::driver {
 
+/// Version of the journal format (magic "SYNATJL<v>"); a journal with any
+/// other version rejects whole. Surfaced by `serve`'s /buildz.
+inline constexpr uint64_t kJournalSchemaVersion = 2;
+
 /// One replayable journal entry: the per-program key it was stored under
 /// (Hasher over name, source, and options — see BatchDriver) and the report.
 struct JournalRecord {

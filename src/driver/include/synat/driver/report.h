@@ -8,6 +8,7 @@
 // --jobs settings.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "synat/obs/events.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/provenance.h"
 
@@ -179,6 +181,14 @@ struct RenderOptions {
   bool provenance = false;
 };
 
+/// Seeds a wide event (obs/events.h) with program `pr`'s verdict fields:
+/// name, fingerprint, status, atomic, per-program exit code, and the
+/// procedure/variant tallies. This is the shared core of batch and serve
+/// event emission — both paths build their line from the same assembled
+/// ProgramReport, which is what keeps one program's event byte-identical
+/// across execution modes under the virtual clock.
+obs::Event program_event(const ProgramReport& pr);
+
 /// Deterministic renderers (pure functions of the report).
 std::string to_json(const BatchReport& report, const RenderOptions& opts = {});
 std::string to_sarif(const BatchReport& report);
@@ -217,6 +227,13 @@ class ReportSink {
   /// worker result. Does not fire the completion callback.
   void set_program(size_t i, ProgramReport report);
   void add_stage_time(Stage s, uint64_t ns);
+  /// Accumulates `ns` against program `i`'s own stage tally (the wide
+  /// event's parse/analyze/report fields) as well as the batch histogram.
+  void add_stage_time(size_t i, Stage s, uint64_t ns);
+  /// Per-program accumulated stage wall times (ns), indexed by Stage.
+  /// Consumed by the driver's event emission; valid after finish() too.
+  std::array<uint64_t, static_cast<size_t>(Stage::COUNT)> program_stage_ns(
+      size_t i) const;
 
   /// Assembles the final report. Call after the pool is idle.
   BatchReport finish(const Metrics& counters, size_t jobs);
@@ -224,10 +241,12 @@ class ReportSink {
  private:
   void mark_complete_locked(size_t i);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<ProgramReport> programs_;
   std::vector<size_t> procs_pending_;  ///< unfilled slots per open program
   std::vector<bool> completed_;        ///< completion callback already fired
+  std::vector<std::array<uint64_t, static_cast<size_t>(Stage::COUNT)>>
+      stage_ns_;                       ///< per-program stage tallies
   CompletionFn on_complete_;
   Metrics metrics_;
 };

@@ -31,7 +31,7 @@ namespace {
 // warm start. Old snapshots reject cleanly on magic, exactly as pre-v4
 // ones did.
 constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'C', 'C', '5'};
-constexpr uint64_t kFormatVersion = 5;
+constexpr uint64_t kFormatVersion = kCacheSchemaVersion;
 
 void put_u64(std::ostream& out, uint64_t v) {
   char buf[8];

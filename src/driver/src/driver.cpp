@@ -8,6 +8,7 @@
 #include "synat/atomicity/infer.h"
 #include "synat/driver/journal.h"
 #include "synat/driver/worker.h"
+#include "synat/obs/events.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
 #include "synat/support/hash.h"
@@ -36,19 +37,22 @@ obs::StageId obs_stage(Stage s) {
 }
 
 /// RAII stage timer; no clock calls unless timing collection is on. The
-/// embedded SpanScope gates itself on the obs flags independently.
+/// embedded SpanScope gates itself on the obs flags independently. Times
+/// are charged both to the batch histograms and to program `index`'s own
+/// tally (the wide event's parse/analyze/report fields).
 class StageTimer {
  public:
-  StageTimer(ReportSink& sink, Stage stage, bool enabled)
-      : span_(obs_stage(stage)), sink_(sink), stage_(stage),
+  StageTimer(ReportSink& sink, size_t index, Stage stage, bool enabled)
+      : span_(obs_stage(stage)), sink_(sink), index_(index), stage_(stage),
         enabled_(enabled), start_(enabled ? now_ns() : 0) {}
   ~StageTimer() {
-    if (enabled_) sink_.add_stage_time(stage_, now_ns() - start_);
+    if (enabled_) sink_.add_stage_time(index_, stage_, now_ns() - start_);
   }
 
  private:
   obs::SpanScope span_;
   ReportSink& sink_;
+  size_t index_;
   Stage stage_;
   bool enabled_;
   uint64_t start_;
@@ -211,7 +215,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
                                    ReportSink& sink, ThreadPool& pool) {
   DiagEngine diags;
   synl::FrontEnd fe = [&] {
-    StageTimer t(sink, Stage::Parse, opts_.collect_timings);
+    StageTimer t(sink, index, Stage::Parse, timed());
     return synl::parse_and_recover(input.source, diags);
   }();
   synl::Program& prog = fe.prog;
@@ -312,7 +316,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
     atomicity::AtomicityResult result;
     try {
       result = [&] {
-        StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
+        StageTimer ta(sink, index, Stage::Analyze, timed());
         return atomicity::infer_atomicity(prog, diags, iopts);
       }();
     } catch (const BudgetExceeded& e) {
@@ -336,7 +340,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       }
       return;
     }
-    StageTimer tr(sink, Stage::Report, opts_.collect_timings);
+    StageTimer tr(sink, index, Stage::Report, timed());
     for (size_t p = 0; p < num_procs; ++p) {
       synl::ProcId pid(static_cast<uint32_t>(p));
       if (prog.proc(pid).broken) {
@@ -369,7 +373,7 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
       try {
         DiagEngine d;
         synl::FrontEnd fe = [&] {
-          StageTimer t(sink, Stage::Parse, opts_.collect_timings);
+          StageTimer t(sink, index, Stage::Parse, timed());
           return synl::parse_and_recover(input.source, d);
         }();
         SYNAT_ASSERT(fe.contained, "reparse of a recovered program failed");
@@ -397,12 +401,12 @@ void BatchDriver::run_program_task(const ProgramInput& input, size_t index,
         Watchdog::Scope scope(watchdog_.get(), budget, opts_.deadline_ms);
         opts.variant_opts.budget = &budget;
         atomicity::AtomicityResult result = [&] {
-          StageTimer ta(sink, Stage::Analyze, opts_.collect_timings);
+          StageTimer ta(sink, index, Stage::Analyze, timed());
           return atomicity::infer_atomicity(prog, d, opts);
         }();
         std::shared_ptr<const ProcReport> report;
         {
-          StageTimer tr(sink, Stage::Report, opts_.collect_timings);
+          StageTimer tr(sink, index, Stage::Report, timed());
           const atomicity::ProcResult* pr = result.result_for(pid);
           SYNAT_ASSERT(pr != nullptr, "missing procedure result");
           report = make_proc_report(prog, *pr, key, opts.provenance);
@@ -546,7 +550,31 @@ BatchReport BatchDriver::run(const std::vector<ProgramInput>& inputs) {
   uint64_t counted = span_drops.value();
   if (dropped > counted) span_drops.inc(dropped - counted);
   counters.telemetry = obs::registry().snapshot().delta_from(telemetry_base);
-  return sink.finish(counters, jobs);
+  BatchReport out = sink.finish(counters, jobs);
+
+  // Wide events (DESIGN.md §3i): one line per program, emitted from the
+  // assembled report in input order — never completion order — so the log
+  // is byte-identical across --jobs values and --isolate under the virtual
+  // clock. Per-program latency also feeds the p50/p95/p99 source here.
+  if (opts_.events != nullptr) {
+    obs::Log2Histogram& latency =
+        obs::registry().log2_histogram("synat_driver_program_latency_seconds");
+    for (size_t i = 0; i < out.programs.size(); ++i) {
+      const ProgramReport& pr = out.programs[i];
+      obs::Event ev = program_event(pr);
+      if (ev.name.empty()) ev.name = inputs[i].name;
+      const auto stages = sink.program_stage_ns(i);
+      ev.parse_ns = stages[static_cast<size_t>(Stage::Parse)];
+      ev.analyze_ns = stages[static_cast<size_t>(Stage::Analyze)];
+      ev.report_ns = stages[static_cast<size_t>(Stage::Report)];
+      ev.dur_ns = ev.parse_ns + ev.analyze_ns + ev.report_ns;
+      if (pr.status == ProgramStatus::Degraded)
+        ev.deaths_crash = 1;  // supervisor collapses the cause; see §3d
+      latency.observe(ev.dur_ns);
+      opts_.events->append(ev);
+    }
+  }
+  return out;
 }
 
 }  // namespace synat::driver

@@ -16,7 +16,7 @@ namespace {
 // a --resume of a provenance-collecting run replays the derivation records
 // too and stays byte-identical. v1 journals reject cleanly on magic.
 constexpr char kMagic[8] = {'S', 'Y', 'N', 'A', 'T', 'J', 'L', '2'};
-constexpr uint64_t kFormatVersion = 2;
+constexpr uint64_t kFormatVersion = kJournalSchemaVersion;
 
 bool get_u64(std::istream& in, uint64_t& v) {
   char buf[8];

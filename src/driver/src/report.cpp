@@ -78,6 +78,38 @@ int BatchReport::exit_code() const {
   return code;
 }
 
+obs::Event program_event(const ProgramReport& pr) {
+  obs::Event ev;
+  ev.name = pr.name;
+  ev.fingerprint = pr.fingerprint;
+  ev.status = std::string(to_string(pr.status));
+  ev.atomic = pr.all_atomic();
+  switch (pr.status) {
+    case ProgramStatus::Ok:
+      break;
+    case ProgramStatus::Degraded:
+      ev.exit_code = 1;
+      ev.error_kind = "worker_death";
+      break;
+    case ProgramStatus::ParseError:
+    case ProgramStatus::LoadError:
+      ev.exit_code = 3;
+      break;
+    case ProgramStatus::InternalError:
+      ev.exit_code = 4;
+      break;
+  }
+  ev.procs = pr.procs.size();
+  for (const auto& p : pr.procs) {
+    if (p == nullptr) continue;
+    if (!p->atomic) ++ev.procs_not_atomic;
+    if (p->degraded && ev.exit_code == 0) ev.exit_code = 1;
+    ev.variants += p->variants.size();
+  }
+  if (ev.procs_not_atomic > 0 && ev.exit_code == 0) ev.exit_code = 1;
+  return ev;
+}
+
 // ---------------------------------------------------------------------------
 // ReportSink
 
@@ -85,6 +117,7 @@ ReportSink::ReportSink(size_t num_programs) {
   programs_.resize(num_programs);
   procs_pending_.resize(num_programs, 0);
   completed_.resize(num_programs, false);
+  stage_ns_.resize(num_programs);
 }
 
 void ReportSink::set_on_complete(CompletionFn fn) {
@@ -150,6 +183,18 @@ void ReportSink::set_program(size_t i, ProgramReport report) {
 void ReportSink::add_stage_time(Stage s, uint64_t ns) {
   std::lock_guard<std::mutex> lock(mu_);
   metrics_.stage[static_cast<size_t>(s)].record(ns);
+}
+
+void ReportSink::add_stage_time(size_t i, Stage s, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.stage[static_cast<size_t>(s)].record(ns);
+  stage_ns_.at(i)[static_cast<size_t>(s)] += ns;
+}
+
+std::array<uint64_t, static_cast<size_t>(Stage::COUNT)>
+ReportSink::program_stage_ns(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_ns_.at(i);
 }
 
 BatchReport ReportSink::finish(const Metrics& counters, size_t jobs) {

@@ -87,6 +87,70 @@ class Histogram {
   std::atomic<uint64_t> sum_ns_{0};
 };
 
+/// High-resolution latency histogram: log2 buckets subdivided 32 ways
+/// (values below 32ns are exact; above, the top 5 bits after the leading
+/// one select the sub-bucket), giving ~3% relative quantile error across
+/// the full uint64 nanosecond range in 1920 fixed buckets. This is the
+/// percentile source for serve/driver latency (p50/p95/p99 in `/metrics`
+/// and the status RPC); quantiles of wall-clock latency are inherently
+/// nondeterministic and never enter the report.
+class Log2Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 5;
+  static constexpr uint32_t kSub = 1u << kSubBits;  // 32 sub-buckets
+  static constexpr uint32_t kBuckets = kSub + (64 - kSubBits) * kSub;  // 1920
+
+  static uint32_t bucket_index(uint64_t ns) {
+    if (ns < kSub) return static_cast<uint32_t>(ns);
+    uint32_t h = 63 - static_cast<uint32_t>(__builtin_clzll(ns));
+    uint32_t sub = static_cast<uint32_t>(ns >> (h - kSubBits)) & (kSub - 1);
+    return ((h - kSubBits + 1) << kSubBits) | sub;
+  }
+
+  /// Inclusive upper bound (ns) of bucket `idx` — the value quantiles
+  /// report, so a quantile is exact to within one sub-bucket's width.
+  static uint64_t bucket_bound(uint32_t idx) {
+    if (idx < kSub) return idx;
+    uint32_t h = (idx >> kSubBits) + kSubBits - 1;
+    uint64_t sub = idx & (kSub - 1);
+    return (uint64_t{1} << h) + ((sub + 1) << (h - kSubBits)) - 1;
+  }
+
+  void observe(uint64_t ns) {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t bucket(uint32_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Value (ns) at quantile q in [0,1]: the bound of the first bucket whose
+  /// cumulative count reaches q * count. 0 when empty.
+  uint64_t quantile_ns(double q) const;
+
+  void add_bucket(uint32_t idx, uint64_t n) {
+    if (idx >= kBuckets || n == 0) return;
+    buckets_[idx].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_sum(uint64_t sum_ns) {
+    sum_ns_.fetch_add(sum_ns, std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
 // Point-in-time samples; the unit of export, wire transfer, and merging.
 struct CounterSample {
   std::string name;
@@ -107,6 +171,14 @@ struct HistogramSample {
     return n;
   }
 };
+/// Sparse sample of a Log2Histogram: only occupied buckets, index-sorted.
+struct Log2Sample {
+  std::string name;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;  ///< (index, count)
+  uint64_t sum_ns = 0;
+  uint64_t count = 0;
+  uint64_t quantile_ns(double q) const;
+};
 
 /// A full registry snapshot (all vectors sorted by name) or, equally, a
 /// delta between two snapshots — the difference is only how it was made.
@@ -114,6 +186,7 @@ struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<Log2Sample> summaries;
 
   /// this − base, per metric name (names missing from base count from 0).
   /// Gauges are carried over as-is: a gauge is a level, not an increment.
@@ -129,9 +202,12 @@ class Registry {
   Counter& counter(std::string_view name, bool deterministic = true);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Log2Histogram& log2_histogram(std::string_view name);
 
-  /// The per-stage duration histogram ("synat_pipeline_parse_duration_ns",
-  /// "synat_driver_dispatch_duration_ns", ...). Array-indexed: hot path.
+  /// The per-stage duration histogram
+  /// ("synat_pipeline_parse_duration_seconds",
+  /// "synat_driver_dispatch_duration_seconds", ...; observed in ns,
+  /// exported in seconds). Array-indexed: hot path.
   Histogram& stage_histogram(StageId s) { return *stage_hist_[static_cast<size_t>(s)]; }
 
   MetricsSnapshot snapshot() const;
@@ -154,6 +230,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<CounterEntry>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Log2Histogram>, std::less<>>
+      summaries_;
   Histogram* stage_hist_[kNumStages] = {};
 };
 

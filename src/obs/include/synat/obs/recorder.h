@@ -1,0 +1,77 @@
+// Always-on flight recorder (DESIGN.md §3i): a bounded, lock-light ring of
+// the last N preformatted frames — wide-event lines, serve-stage span
+// edges, and free-form notes — kept in memory at all times so the daemon's
+// final moments can be dumped from the fatal-signal path.
+//
+// Write path: one atomic fetch_add to claim a slot, a memcpy, and a
+// release-store of the frame length. No locks, no allocation, no clock.
+// Readers (the dump paths) tolerate torn frames: a frame whose length is 0
+// is mid-write and skipped; a frame overwritten during the dump yields one
+// garbled line in the postmortem, never UB — the renderer treats unparsable
+// lines as raw text.
+//
+// Dump path: dump_incident() rewinds the pre-opened postmortem fd and
+// writes a header line plus the ring oldest-first, using only write/lseek/
+// ftruncate/fsync — async-signal-safe, so support/crash.h can call it from
+// a SIGSEGV handler. The latest incident wins the file (quarantine trips
+// and worker-death dumps are overwritten by a later fatal dump, which is
+// the one you want).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace synat::obs {
+
+class Recorder {
+ public:
+  static constexpr size_t kFrameBytes = 512;  ///< max frame payload
+  static constexpr size_t kFrames = 256;      ///< ring depth (last N)
+
+  static Recorder& instance();
+
+  /// Copies one preformatted line (a rendered event, or any single-line
+  /// JSON record) into the ring; truncated to kFrameBytes - 1.
+  void note(std::string_view line);
+
+  /// Records a serve-stage span edge as a {"rec":"span",...} frame.
+  void note_span(uint32_t stage, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Records a free-form incident marker as {"rec":"note","what":...}.
+  void note_event(const char* what, const char* detail);
+
+  /// Pre-opens the postmortem sink. The fd stays open for the process
+  /// lifetime (the fatal-signal path cannot open files); -1 disables dumps.
+  void set_postmortem_fd(int fd);
+  int postmortem_fd() const;
+
+  /// Rewrites the postmortem file with a header ({"rec":"postmortem",
+  /// "reason":...,"signal":...}) and the ring oldest-first. Async-signal-
+  /// safe; `reason` must be a literal or otherwise signal-safe string.
+  /// Returns false when no fd is armed.
+  bool dump_incident(const char* reason, int signal = 0);
+
+  /// Frames ever recorded (monotonic; min(captured, kFrames) are live).
+  uint64_t captured() const;
+
+  /// Clears the ring (tests). Does not touch the postmortem fd.
+  void reset();
+
+ private:
+  Recorder() = default;
+
+  struct Frame {
+    std::atomic<uint32_t> len{0};
+    char data[kFrameBytes];
+  };
+
+  Frame frames_[kFrames];
+  std::atomic<uint64_t> head_{0};
+  std::atomic<int> fd_{-1};
+};
+
+inline Recorder& recorder() { return Recorder::instance(); }
+
+}  // namespace synat::obs

@@ -1,0 +1,81 @@
+// Rolling SLO windows (DESIGN.md §3i): availability and latency objectives
+// over a sliced time window, with error-budget burn — the `/slo` endpoint's
+// substance and the signal that flips `/readyz` when the availability
+// budget is exhausted.
+//
+// The window is a circular array of fixed-width slices (window / kSlices);
+// record() drops counts into the slice owning `now_ms`, lazily reclaiming
+// slices that have aged out. Time is passed in by the caller (milliseconds
+// on any monotonic clock) so tests drive the window with a fake clock —
+// the same convention as serve's Quarantine. SLO numbers are wall-clock
+// facts and deliberately ignore the virtual clock: callers feed real
+// steady-clock durations even in canonical-event runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+namespace synat::obs {
+
+class SloTracker {
+ public:
+  static constexpr size_t kSlices = 60;
+
+  struct Options {
+    uint64_t window_ms = 60'000;
+    /// Fraction of requests that must succeed (produce a verdict).
+    double availability_objective = 0.99;
+    /// A request slower than this counts against the latency objective.
+    uint64_t latency_threshold_ns = 1'000'000'000;
+    double latency_objective = 0.99;
+  };
+
+  struct Status {
+    uint64_t window_ms = 0;
+    uint64_t total = 0;
+    uint64_t errors = 0;
+    uint64_t slow = 0;
+    double availability = 1.0;
+    double availability_objective = 0.99;
+    /// error_fraction / (1 - objective): 1.0 means the whole error budget
+    /// for the window is spent; > 1.0 means burning faster than allowed.
+    double availability_burn = 0.0;
+    bool availability_exhausted = false;
+    double latency_ok = 1.0;
+    double latency_objective = 0.99;
+    uint64_t latency_threshold_ns = 0;
+    double latency_burn = 0.0;
+    bool latency_exhausted = false;
+  };
+
+  explicit SloTracker(Options opts);
+
+  /// Records one finished request: `ok` = the service produced a verdict
+  /// (load shedding, quarantine, worker death, and internal errors are
+  /// not-ok; a clean parse-error or not-atomic verdict is ok).
+  void record(bool ok, uint64_t dur_ns, uint64_t now_ms);
+
+  Status status(uint64_t now_ms) const;
+
+  /// True while the availability error budget for the window is spent —
+  /// the `/readyz` 503 condition.
+  bool exhausted(uint64_t now_ms) const;
+
+ private:
+  struct Slice {
+    uint64_t start_ms = 0;
+    uint64_t total = 0;
+    uint64_t errors = 0;
+    uint64_t slow = 0;
+  };
+
+  Slice& slice_for_locked(uint64_t now_ms);
+
+  Options opts_;
+  uint64_t slice_ms_ = 1000;
+  mutable std::mutex mu_;
+  std::array<Slice, kSlices> slices_{};
+};
+
+}  // namespace synat::obs

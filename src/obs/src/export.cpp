@@ -7,12 +7,7 @@
 
 namespace synat::obs {
 
-namespace {
-
-// Minimal JSON string escape. obs cannot use the driver's JsonWriter
-// (driver links against obs, not the other way around) and lane names are
-// the only free-form strings in the document.
-void append_escaped(std::string& out, std::string_view s) {
+void append_json_escaped(std::string& out, std::string_view s) {
   out += '"';
   for (char ch : s) {
     switch (ch) {
@@ -34,6 +29,8 @@ void append_escaped(std::string& out, std::string_view s) {
   out += '"';
 }
 
+namespace {
+
 // Nanoseconds rendered as microseconds with fixed 3-decimal precision:
 // exact, locale-independent, and byte-stable (no floating point).
 void append_us(std::string& out, uint64_t ns) {
@@ -48,6 +45,22 @@ void append_u64(std::string& out, uint64_t v) {
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
   out += buf;
 }
+
+// Nanoseconds rendered as seconds with fixed 9-decimal precision: exact,
+// locale-independent, and byte-stable — the unit Prometheus conventions
+// expect for duration series.
+void append_seconds(std::string& out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%09" PRIu64, ns / 1'000'000'000,
+                ns % 1'000'000'000);
+  out += buf;
+}
+
+// The fixed Histogram bounds (1µs..10s in ns) as exact decimal seconds.
+const char* const kBoundSeconds[Histogram::kBuckets - 1] = {
+    "0.000001", "0.00001", "0.0001", "0.001",
+    "0.01",     "0.1",     "1",      "10",
+};
 
 }  // namespace
 
@@ -70,7 +83,7 @@ std::string to_chrome_trace(
     out += "{\"ph\":\"M\",\"pid\":";
     append_u64(out, lane);
     out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
-    append_escaped(out, name);
+    append_json_escaped(out, name);
     out += "}},{\"ph\":\"M\",\"pid\":";
     append_u64(out, lane);
     out += ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":";
@@ -134,14 +147,14 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
   }
   for (const auto& h : snap.histograms) {
     out += "# HELP " + h.name +
-           " synat duration histogram (nanoseconds; sums nondeterministic)\n";
+           " synat duration histogram (seconds; sums nondeterministic)\n";
     out += "# TYPE " + h.name + " histogram\n";
     uint64_t cum = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
       cum += h.buckets[i];
       out += h.name + "_bucket{le=\"";
       if (i < Histogram::kBuckets - 1)
-        append_u64(out, Histogram::kBounds[i]);
+        out += kBoundSeconds[i];
       else
         out += "+Inf";
       out += "\"} ";
@@ -149,9 +162,28 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
       out += '\n';
     }
     out += h.name + "_sum ";
-    append_u64(out, h.sum_ns);
+    append_seconds(out, h.sum_ns);
     out += '\n' + h.name + "_count ";
     append_u64(out, cum);
+    out += '\n';
+  }
+  for (const auto& s : snap.summaries) {
+    // Quantiles of wall-clock latency: by nature schedule-dependent, so
+    // the whole family is flagged for the CI comparator.
+    out += "# HELP " + s.name +
+           " synat latency quantiles (seconds) (nondeterministic)\n";
+    out += "# TYPE " + s.name + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "%g", q);
+      out += s.name + "{quantile=\"" + label + "\"} ";
+      append_seconds(out, s.quantile_ns(q));
+      out += '\n';
+    }
+    out += s.name + "_sum ";
+    append_seconds(out, s.sum_ns);
+    out += '\n' + s.name + "_count ";
+    append_u64(out, s.count);
     out += '\n';
   }
   return out;

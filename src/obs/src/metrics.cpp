@@ -75,9 +75,42 @@ Registry::Registry() {
     name += stage_category(s);
     name += '_';
     name += stage_name(s);
-    name += "_duration_ns";
+    name += "_duration_seconds";
     stage_hist_[i] = &histogram(name);
   }
+  // Percentile sources (p50/p95/p99 in /metrics and the status RPC):
+  // per-RPC latency in serve, per-program latency in the batch driver.
+  log2_histogram("synat_serve_rpc_request_latency_seconds");
+  log2_histogram("synat_driver_program_latency_seconds");
+}
+
+uint64_t Log2Histogram::quantile_ns(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    cum += bucket(i);
+    if (cum >= target) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+uint64_t Log2Sample::quantile_ns(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (const auto& [idx, n] : buckets) {
+    cum += n;
+    if (cum >= target) return Log2Histogram::bucket_bound(idx);
+  }
+  return buckets.empty() ? 0 : Log2Histogram::bucket_bound(buckets.back().first);
 }
 
 Counter& Registry::counter(std::string_view name, bool deterministic) {
@@ -108,6 +141,16 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Log2Histogram& Registry::log2_histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = summaries_.find(name);
+  if (it == summaries_.end())
+    it = summaries_
+             .emplace(std::string(name), std::make_unique<Log2Histogram>())
+             .first;
+  return *it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +168,16 @@ MetricsSnapshot Registry::snapshot() const {
     s.sum_ns = h->sum_ns();
     snap.histograms.push_back(std::move(s));
   }
+  snap.summaries.reserve(summaries_.size());
+  for (const auto& [name, h] : summaries_) {
+    Log2Sample s;
+    s.name = name;
+    for (uint32_t i = 0; i < Log2Histogram::kBuckets; ++i)
+      if (uint64_t n = h->bucket(i); n != 0) s.buckets.emplace_back(i, n);
+    s.sum_ns = h->sum_ns();
+    s.count = h->count();
+    snap.summaries.push_back(std::move(s));
+  }
   // std::map iteration is already name-sorted; the ordering contract of
   // MetricsSnapshot is kept explicit here for delta_from and exporters.
   return snap;
@@ -135,6 +188,11 @@ void Registry::merge(const MetricsSnapshot& delta) {
     if (c.value != 0) counter(c.name, c.deterministic).inc(c.value);
   for (const auto& h : delta.histograms)
     histogram(h.name).add(h.buckets, h.sum_ns);
+  for (const auto& s : delta.summaries) {
+    Log2Histogram& h = log2_histogram(s.name);
+    for (const auto& [idx, n] : s.buckets) h.add_bucket(idx, n);
+    h.add_sum(s.sum_ns);
+  }
 }
 
 void Registry::reset() {
@@ -148,6 +206,10 @@ void Registry::reset() {
     g->set(0);
   }
   for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->reset();
+  }
+  for (auto& [name, h] : summaries_) {
     (void)name;
     h->reset();
   }
@@ -188,6 +250,38 @@ MetricsSnapshot MetricsSnapshot::delta_from(const MetricsSnapshot& base) const {
     uint64_t bs = b ? b->sum_ns : 0;
     s.sum_ns = h.sum_ns >= bs ? h.sum_ns - bs : 0;
     out.histograms.push_back(std::move(s));
+  }
+  auto base_summary = [&](const std::string& name) -> const Log2Sample* {
+    auto it = std::lower_bound(base.summaries.begin(), base.summaries.end(),
+                               name,
+                               [](const Log2Sample& s, const std::string& n) {
+                                 return s.name < n;
+                               });
+    return (it != base.summaries.end() && it->name == name) ? &*it : nullptr;
+  };
+  out.summaries.reserve(summaries.size());
+  for (const auto& s : summaries) {
+    Log2Sample d;
+    d.name = s.name;
+    const Log2Sample* b = base_summary(s.name);
+    for (const auto& [idx, n] : s.buckets) {
+      uint64_t bn = 0;
+      if (b != nullptr) {
+        auto it = std::lower_bound(
+            b->buckets.begin(), b->buckets.end(), idx,
+            [](const std::pair<uint32_t, uint64_t>& p, uint32_t i) {
+              return p.first < i;
+            });
+        if (it != b->buckets.end() && it->first == idx) bn = it->second;
+      }
+      if (n > bn) {
+        d.buckets.emplace_back(idx, n - bn);
+        d.count += n - bn;
+      }
+    }
+    uint64_t bs = b ? b->sum_ns : 0;
+    d.sum_ns = s.sum_ns >= bs ? s.sum_ns - bs : 0;
+    out.summaries.push_back(std::move(d));
   }
   return out;
 }

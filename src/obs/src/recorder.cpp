@@ -1,0 +1,135 @@
+#include "synat/obs/recorder.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "synat/obs/obs.h"
+
+namespace synat::obs {
+
+namespace {
+
+// Async-signal-safe unsigned decimal formatter (snprintf is not on the
+// POSIX safe list). Returns the number of characters written.
+size_t format_u64(char* buf, uint64_t v) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = write(fd, data, len);
+    if (n < 0) return false;  // EINTR aside, there is no retry in a handler
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Recorder& Recorder::instance() {
+  static Recorder* r = new Recorder();  // leaked: usable during teardown
+  return *r;
+}
+
+void Recorder::note(std::string_view line) {
+  size_t len = line.size();
+  if (len > kFrameBytes - 1) len = kFrameBytes - 1;
+  Frame& f = frames_[head_.fetch_add(1, std::memory_order_relaxed) % kFrames];
+  // len 0 marks the frame mid-write; readers skip it. The release store of
+  // the real length publishes the copied bytes.
+  f.len.store(0, std::memory_order_release);
+  std::memcpy(f.data, line.data(), len);
+  f.len.store(static_cast<uint32_t>(len), std::memory_order_release);
+}
+
+void Recorder::note_span(uint32_t stage, uint64_t start_ns, uint64_t dur_ns) {
+  char buf[160];
+  std::string_view name = stage_name(static_cast<StageId>(stage));
+  int n = std::snprintf(buf, sizeof(buf),
+                        "{\"rec\":\"span\",\"stage\":\"%.*s\",\"start_ns\":%llu"
+                        ",\"dur_ns\":%llu}",
+                        static_cast<int>(name.size()), name.data(),
+                        static_cast<unsigned long long>(start_ns),
+                        static_cast<unsigned long long>(dur_ns));
+  if (n > 0) note(std::string_view(buf, static_cast<size_t>(n)));
+}
+
+void Recorder::note_event(const char* what, const char* detail) {
+  char buf[kFrameBytes];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "{\"rec\":\"note\",\"what\":\"%s\",\"detail\":\"%s\"}",
+                        what, detail);
+  if (n > 0) note(std::string_view(buf, static_cast<size_t>(n)));
+}
+
+void Recorder::set_postmortem_fd(int fd) {
+  fd_.store(fd, std::memory_order_release);
+}
+
+int Recorder::postmortem_fd() const {
+  return fd_.load(std::memory_order_acquire);
+}
+
+bool Recorder::dump_incident(const char* reason, int signal) {
+  int fd = postmortem_fd();
+  if (fd < 0) return false;
+  // Latest incident wins: rewind and truncate, then header + ring.
+  if (lseek(fd, 0, SEEK_SET) < 0) return false;
+  [[maybe_unused]] int rc = ftruncate(fd, 0);
+
+  char header[192];
+  size_t n = 0;
+  const char* prefix = "{\"rec\":\"postmortem\",\"schema\":\"synat-postmortem\""
+                       ",\"v\":1,\"reason\":\"";
+  std::memcpy(header + n, prefix, std::strlen(prefix));
+  n += std::strlen(prefix);
+  size_t rlen = std::strlen(reason);
+  if (rlen > 64) rlen = 64;
+  std::memcpy(header + n, reason, rlen);
+  n += rlen;
+  const char* mid = "\",\"signal\":";
+  std::memcpy(header + n, mid, std::strlen(mid));
+  n += std::strlen(mid);
+  n += format_u64(header + n, static_cast<uint64_t>(signal < 0 ? 0 : signal));
+  const char* suffix = ",\"frames\":";
+  std::memcpy(header + n, suffix, std::strlen(suffix));
+  n += std::strlen(suffix);
+  uint64_t total = head_.load(std::memory_order_relaxed);
+  uint64_t live = total < kFrames ? total : kFrames;
+  n += format_u64(header + n, live);
+  header[n++] = '}';
+  header[n++] = '\n';
+  if (!write_all(fd, header, n)) return false;
+
+  uint64_t first = total < kFrames ? 0 : total - kFrames;
+  for (uint64_t i = first; i < total; ++i) {
+    const Frame& f = frames_[i % kFrames];
+    uint32_t len = f.len.load(std::memory_order_acquire);
+    if (len == 0 || len >= kFrameBytes) continue;  // mid-write or torn
+    write_all(fd, f.data, len);
+    write_all(fd, "\n", 1);
+  }
+  fsync(fd);
+  return true;
+}
+
+uint64_t Recorder::captured() const {
+  return head_.load(std::memory_order_relaxed);
+}
+
+void Recorder::reset() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Frame& f : frames_) f.len.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace synat::obs

@@ -1,0 +1,70 @@
+#include "synat/obs/slo.h"
+
+namespace synat::obs {
+
+SloTracker::SloTracker(Options opts) : opts_(opts) {
+  slice_ms_ = opts_.window_ms / kSlices;
+  if (slice_ms_ == 0) slice_ms_ = 1;
+}
+
+SloTracker::Slice& SloTracker::slice_for_locked(uint64_t now_ms) {
+  uint64_t aligned = now_ms - now_ms % slice_ms_;
+  Slice& s = slices_[(now_ms / slice_ms_) % kSlices];
+  if (s.start_ms != aligned) {
+    // The slice last held counts from a full window ago; reclaim it.
+    s = Slice{};
+    s.start_ms = aligned;
+  }
+  return s;
+}
+
+void SloTracker::record(bool ok, uint64_t dur_ns, uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slice& s = slice_for_locked(now_ms);
+  ++s.total;
+  if (!ok) ++s.errors;
+  if (dur_ns > opts_.latency_threshold_ns) ++s.slow;
+}
+
+SloTracker::Status SloTracker::status(uint64_t now_ms) const {
+  Status st;
+  st.window_ms = opts_.window_ms;
+  st.availability_objective = opts_.availability_objective;
+  st.latency_objective = opts_.latency_objective;
+  st.latency_threshold_ns = opts_.latency_threshold_ns;
+  uint64_t oldest = now_ms >= opts_.window_ms ? now_ms - opts_.window_ms : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slice& s : slices_) {
+      // A slice counts while any part of it overlaps the window.
+      if (s.total == 0 || s.start_ms + slice_ms_ <= oldest ||
+          s.start_ms > now_ms)
+        continue;
+      st.total += s.total;
+      st.errors += s.errors;
+      st.slow += s.slow;
+    }
+  }
+  if (st.total == 0) return st;  // empty window: budgets are untouched
+  double total = static_cast<double>(st.total);
+  st.availability = 1.0 - static_cast<double>(st.errors) / total;
+  double avail_budget = 1.0 - opts_.availability_objective;
+  st.availability_burn =
+      avail_budget > 0.0
+          ? (static_cast<double>(st.errors) / total) / avail_budget
+          : (st.errors > 0 ? 1.0 : 0.0);
+  st.availability_exhausted = st.availability_burn >= 1.0;
+  st.latency_ok = 1.0 - static_cast<double>(st.slow) / total;
+  double lat_budget = 1.0 - opts_.latency_objective;
+  st.latency_burn =
+      lat_budget > 0.0 ? (static_cast<double>(st.slow) / total) / lat_budget
+                       : (st.slow > 0 ? 1.0 : 0.0);
+  st.latency_exhausted = st.latency_burn >= 1.0;
+  return st;
+}
+
+bool SloTracker::exhausted(uint64_t now_ms) const {
+  return status(now_ms).availability_exhausted;
+}
+
+}  // namespace synat::obs

@@ -8,9 +8,14 @@
 //
 // Routes:
 //   /metrics  200 text/plain; version=0.0.4 (Prometheus text exposition)
+//   /slo      200 application/json: rolling availability/latency SLO
+//             windows with error-budget burn (DESIGN.md §3i)
+//   /buildz   200 application/json: version, git describe, schema
+//             versions, compiled feature flags
 //   /healthz  200 while the daemon is up and not draining, else 503
 //   /readyz   200 while accepting analysis work (not draining, admission
-//             queue below its cap), else 503
+//             queue below its cap, availability error budget not
+//             exhausted), else 503
 //   anything else: 404; non-GET/HEAD methods: 405; malformed line: 400
 //
 // Pure functions over the request line so the fuzz harness (targets.h
@@ -31,17 +36,30 @@ bool is_http_request(std::string_view line);
 
 /// State the responses depend on, sampled at dispatch time.
 struct HttpProbeState {
-  bool draining = false;    ///< shutdown/drain began
-  bool overloaded = false;  ///< admission queue at its cap
+  bool draining = false;       ///< shutdown/drain began
+  bool overloaded = false;     ///< admission queue at its cap
+  bool slo_exhausted = false;  ///< availability error budget burned through
+};
+
+/// Body producers for the content routes. Each is invoked only when its
+/// route is hit, so probe endpoints never pay for a registry snapshot or
+/// an SLO window scan. A null handler renders that route as an empty body.
+struct HttpHandlers {
+  std::function<std::string()> metrics;  ///< /metrics (Prometheus text)
+  std::function<std::string()> slo;      ///< /slo (JSON)
+  std::function<std::string()> buildz;   ///< /buildz (JSON)
 };
 
 /// Builds the complete HTTP/1.1 response (status line, headers, body) for
-/// one request line (without its terminator). `metrics_body` is invoked
-/// only when the route is /metrics, so probe endpoints never pay for a
-/// registry snapshot. Total: every input maps to some valid response.
-std::string handle_http_request(
-    std::string_view request_line,
-    const std::function<std::string()>& metrics_body,
-    const HttpProbeState& state);
+/// one request line (without its terminator). Total: every input maps to
+/// some valid response.
+std::string handle_http_request(std::string_view request_line,
+                                const HttpHandlers& handlers,
+                                const HttpProbeState& state);
+
+/// The /buildz document: version, git describe (SYNAT_GIT_DESCRIBE, baked
+/// in by the build), on-disk schema versions (report/cache/journal), and
+/// compiled feature flags. Pure, so the fuzz harness and tests can pin it.
+std::string build_info_json();
 
 }  // namespace synat::serve

@@ -2,8 +2,8 @@
 // concurrent clients over a unix-domain socket or TCP, speaking
 // newline-delimited JSON-RPC 2.0 (rpc.h) and dispatching to a shared
 // Service (service.h). Connections whose first line is an HTTP GET/HEAD
-// are answered by the HTTP shim (http.h: /metrics, /healthz, /readyz)
-// and closed.
+// are answered by the HTTP shim (http.h: /metrics, /slo, /buildz,
+// /healthz, /readyz) and closed.
 //
 // Lifecycle: serve() binds, accepts, and blocks until a shutdown RPC or
 // SIGTERM/SIGINT, then drains gracefully — stop accepting, let in-flight
@@ -49,6 +49,12 @@ struct ServerOptions {
   /// Chrome trace-event JSON written after the drain (per-request lanes).
   /// Empty disables tracing.
   std::string trace_out;
+  /// Flight-recorder postmortem sink (--postmortem): opened before
+  /// accepting and kept open for the process lifetime so the fatal-signal
+  /// path (support/crash.h) can dump the last-N event ring without
+  /// allocating or opening files. Also rewritten on worker deaths and
+  /// quarantine trips. Empty disables incident dumps.
+  std::string postmortem_path;
 };
 
 class Server {

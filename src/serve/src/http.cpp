@@ -1,5 +1,9 @@
 #include "synat/serve/http.h"
 
+#include "synat/driver/cache.h"
+#include "synat/driver/journal.h"
+#include "synat/driver/report.h"
+
 namespace synat::serve {
 
 namespace {
@@ -21,16 +25,19 @@ std::string make_response(std::string_view status, std::string_view type,
   return out;
 }
 
+std::string call(const std::function<std::string()>& fn) {
+  return fn ? fn() : std::string();
+}
+
 }  // namespace
 
 bool is_http_request(std::string_view line) {
   return line.substr(0, 4) == "GET " || line.substr(0, 5) == "HEAD ";
 }
 
-std::string handle_http_request(
-    std::string_view request_line,
-    const std::function<std::string()>& metrics_body,
-    const HttpProbeState& state) {
+std::string handle_http_request(std::string_view request_line,
+                                const HttpHandlers& handlers,
+                                const HttpProbeState& state) {
   // Request line shape: METHOD SP request-target SP HTTP-version. Anything
   // that does not split into exactly those three parts is a 400.
   size_t sp1 = request_line.find(' ');
@@ -57,7 +64,13 @@ std::string handle_http_request(
   target = target.substr(0, target.find('?'));
   if (target == "/metrics")
     return make_response("200 OK", "text/plain; version=0.0.4",
-                         metrics_body ? metrics_body() : std::string(), head);
+                         call(handlers.metrics), head);
+  if (target == "/slo")
+    return make_response("200 OK", "application/json", call(handlers.slo),
+                         head);
+  if (target == "/buildz")
+    return make_response("200 OK", "application/json", call(handlers.buildz),
+                         head);
   if (target == "/healthz") {
     return state.draining
                ? make_response("503 Service Unavailable", "text/plain",
@@ -71,9 +84,41 @@ std::string handle_http_request(
     if (state.overloaded)
       return make_response("503 Service Unavailable", "text/plain",
                            "overloaded\n", head);
+    if (state.slo_exhausted)
+      return make_response("503 Service Unavailable", "text/plain",
+                           "slo error budget exhausted\n", head);
     return make_response("200 OK", "text/plain", "ready\n", head);
   }
   return make_response("404 Not Found", "text/plain", "not found\n", head);
+}
+
+#ifndef SYNAT_GIT_DESCRIBE
+#define SYNAT_GIT_DESCRIBE "unknown"
+#endif
+
+std::string build_info_json() {
+  std::string out = "{\"version\":\"";
+  out += driver::kSynatVersion;
+  out += "\",\"git\":\"" SYNAT_GIT_DESCRIBE "\",\"schemas\":{\"report\":";
+  out += std::to_string(driver::kReportSchemaVersion);
+  out += ",\"cache\":";
+  out += std::to_string(driver::kCacheSchemaVersion);
+  out += ",\"journal\":";
+  out += std::to_string(driver::kJournalSchemaVersion);
+  out += "},\"features\":{\"fault_injection\":";
+#ifdef SYNAT_FAULT_INJECTION
+  out += "true";
+#else
+  out += "false";
+#endif
+  out += ",\"fuzz\":";
+#ifdef SYNAT_FUZZ_ENABLED
+  out += "true";
+#else
+  out += "false";
+#endif
+  out += "}}";
+  return out;
 }
 
 }  // namespace synat::serve

@@ -18,9 +18,11 @@
 
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
+#include "synat/obs/recorder.h"
 #include "synat/obs/trace.h"
 #include "synat/serve/http.h"
 #include "synat/serve/rpc.h"
+#include "synat/support/crash.h"
 
 namespace synat::serve {
 
@@ -164,10 +166,16 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
         // HTTP shim (http.h): a scraper or probe, not a JSON-RPC client.
         // Answer the request line, ignore the header block that follows,
         // and close — the shim is strictly one exchange per connection.
+        HttpHandlers handlers;
+        handlers.metrics = [] {
+          return obs::to_prometheus(obs::registry().snapshot());
+        };
+        handlers.slo = [this] { return service_.slo_json(); };
+        handlers.buildz = [] { return build_info_json(); };
         std::string body = handle_http_request(
-            line,
-            [] { return obs::to_prometheus(obs::registry().snapshot()); },
-            {service_.draining(), service_.overloaded()});
+            line, handlers,
+            {service_.draining(), service_.overloaded(),
+             service_.slo_exhausted()});
         {
           std::lock_guard<std::mutex> lock(conn->write_mu);
           send_all(conn->fd, body.data(), body.size());
@@ -220,6 +228,25 @@ int Server::serve() {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGTERM, &sa, &old_term);
   sigaction(SIGINT, &sa, &old_int);
+
+  // Arm the flight recorder's incident sink before accepting: the fd must
+  // already be open when a fatal signal arrives (the handler cannot open
+  // files), and worker-death dumps can happen on the very first request.
+  bool crash_armed = false;
+  if (!opts_.postmortem_path.empty()) {
+    int pfd = open(opts_.postmortem_path.c_str(),
+                   O_CREAT | O_WRONLY | O_CLOEXEC, 0644);
+    if (pfd < 0) {
+      std::fprintf(stderr, "synat serve: warning: cannot open %s: %s\n",
+                   opts_.postmortem_path.c_str(), std::strerror(errno));
+    } else {
+      obs::recorder().set_postmortem_fd(pfd);
+      support::crash::arm([](int sig) {
+        obs::Recorder::instance().dump_incident("fatal_signal", sig);
+      });
+      crash_armed = true;
+    }
+  }
 
   if (!opts_.cache_file.empty()) service_.cache().load(opts_.cache_file);
   std::fprintf(stderr, "synat serve: listening on %s (%u jobs)\n",
@@ -299,6 +326,12 @@ int Server::serve() {
   sigaction(SIGTERM, &old_term, nullptr);
   sigaction(SIGINT, &old_int, nullptr);
   g_wake_fd = -1;
+  if (crash_armed) {
+    support::crash::disarm();
+    int pfd = obs::recorder().postmortem_fd();
+    obs::recorder().set_postmortem_fd(-1);
+    if (pfd >= 0) close(pfd);
+  }
 
   if (!opts_.cache_file.empty() &&
       !service_.cache().save(opts_.cache_file))

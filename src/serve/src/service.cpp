@@ -1,14 +1,17 @@
 #include "synat/serve/service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "synat/driver/driver.h"
 #include "synat/driver/worker.h"
+#include "synat/obs/events.h"
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
+#include "synat/obs/recorder.h"
 #include "synat/obs/trace.h"
 #include "synat/support/hash.h"
 
@@ -16,13 +19,33 @@ namespace synat::serve {
 
 namespace {
 
-/// Wall-adjacent monotonic milliseconds for the quarantine TTL. Not the
-/// obs clock: a virtual-clock test run must still see real TTL decay.
+/// Wall-adjacent monotonic milliseconds for the quarantine TTL and SLO
+/// windows. Not the obs clock: a virtual-clock test run must still see
+/// real TTL decay and real SLO time.
 uint64_t steady_ms() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Real steady-clock nanoseconds for SLO latency samples — never the
+/// virtual clock (quantiles of a virtual clock would be fiction).
+uint64_t real_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The display name a refused request would have analyzed under, for its
+/// wide event (accepted requests take the name from the assembled report).
+std::string request_name(const JsonValue& params) {
+  if (params.is_object()) {
+    const JsonValue* name = params.get("name");
+    if (name != nullptr && name->is_string()) return name->str;
+  }
+  return "rpc";
 }
 
 std::string hex64(uint64_t v) {
@@ -106,7 +129,10 @@ Service::Service(ServiceOptions opts)
     : opts_(opts),
       quarantine_(Quarantine::Options{opts.quarantine_threshold,
                                       opts.quarantine_ttl_ms,
-                                      /*max_entries=*/4096}) {
+                                      /*max_entries=*/4096}),
+      slo_(obs::SloTracker::Options{
+          opts.slo_window_ms, opts.slo_availability,
+          opts.slo_latency_ms * 1'000'000, opts.slo_latency_objective}) {
   jobs_ = opts_.jobs == 0
               ? std::max(1u, std::thread::hardware_concurrency())
               : opts_.jobs;
@@ -142,6 +168,7 @@ void Service::handle(std::string line, Reply reply) {
 
   const uint64_t seq = next_request_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t req_start = obs::timing_enabled() ? obs::now_ns() : 0;
+  const uint64_t start_real = real_now_ns();
 
   RpcRequest req;
   RpcError err;
@@ -195,9 +222,22 @@ void Service::handle(std::string line, Reply reply) {
   };
 
   if (req.method == "analyze" || req.method == "explain") {
+    // A refused request still gets a wide event and an SLO sample: load
+    // shedding is exactly the kind of incident the event log must narrate.
+    auto refuse = [this, start_real](const JsonValue& params, int code,
+                                     const char* kind) {
+      RequestObs robs;
+      robs.ev.name = request_name(params);
+      robs.ev.status = "error";
+      robs.ev.error_code = code;
+      robs.ev.error_kind = kind;
+      robs.slo_ok = false;
+      finish_obs(std::move(robs), start_real);
+    };
     if (draining()) {
       respond(encode_error(&req.id, kErrShuttingDown,
                            "server is shutting down"));
+      refuse(req.params, kErrShuttingDown, "shutting_down");
       finish_request();
       return;
     }
@@ -212,21 +252,28 @@ void Service::handle(std::string line, Reply reply) {
                            "server overloaded: " +
                                std::to_string(opts_.max_queue) +
                                " requests already queued or running"));
+      refuse(req.params, kErrOverloaded, "overloaded");
       finish_request();
       return;
     }
     in_flight_gauge.set(admitted + 1);
-    pool_->submit([this, seq, req = std::move(req),
+    pool_->submit([this, seq, start_real, req = std::move(req),
                    respond = std::move(respond), finish_request]() mutable {
+      RequestObs robs;
+      robs.ev.name = request_name(req.params);
       std::string body;
       {
         obs::SpanScope exec_span(obs::StageId::RpcExecute);
-        body = dispatch(req, static_cast<uint32_t>(1 + seq));
+        body = dispatch(req, static_cast<uint32_t>(1 + seq), &robs);
       }
-      respond(std::move(body));
+      // Release the admission slot before the reply leaves: a client that
+      // observes its response must also observe the slot free (status right
+      // after a reply reports in_flight 0, no reservation still in limbo).
       size_t now = in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
       obs::registry().gauge("synat_serve_in_flight").set(now);
+      respond(std::move(body));
       finish_request();
+      finish_obs(std::move(robs), start_real);
     });
     return;
   }
@@ -237,7 +284,7 @@ void Service::handle(std::string line, Reply reply) {
   std::string body;
   {
     obs::SpanScope exec_span(obs::StageId::RpcExecute);
-    body = dispatch(req, static_cast<uint32_t>(1 + seq));
+    body = dispatch(req, static_cast<uint32_t>(1 + seq), nullptr);
   }
   if (body.empty()) {
     invalid.inc();
@@ -255,9 +302,12 @@ void Service::handle(std::string line, Reply reply) {
     shutdown_hook_();
 }
 
-std::string Service::dispatch(const RpcRequest& req, uint32_t lane) {
-  if (req.method == "analyze") return do_analyze(req, /*explain=*/false, lane);
-  if (req.method == "explain") return do_analyze(req, /*explain=*/true, lane);
+std::string Service::dispatch(const RpcRequest& req, uint32_t lane,
+                              RequestObs* robs) {
+  if (req.method == "analyze")
+    return do_analyze(req, /*explain=*/false, lane, robs);
+  if (req.method == "explain")
+    return do_analyze(req, /*explain=*/true, lane, robs);
   if (req.method == "status") return do_status(req);
   if (req.method == "metrics") return do_metrics(req);
   if (req.method == "invalidate") return do_invalidate(req);
@@ -266,7 +316,7 @@ std::string Service::dispatch(const RpcRequest& req, uint32_t lane) {
 }
 
 std::string Service::do_analyze(const RpcRequest& req, bool explain,
-                                uint32_t lane) {
+                                uint32_t lane, RequestObs* robs) {
   static obs::Counter& serve_hits =
       obs::registry().counter("synat_serve_cache_hits_total", false);
   static obs::Counter& serve_misses =
@@ -279,13 +329,21 @@ std::string Service::do_analyze(const RpcRequest& req, bool explain,
   std::string proc_filter;
   if (RpcError err =
           parse_analyze_params(req.params, input, provenance, proc_filter);
-      err.code != 0)
+      err.code != 0) {
+    // Invalid params are the client's fault: the event records the refusal
+    // but the request still counts as served for the availability SLO.
+    if (robs != nullptr) {
+      robs->ev.status = "error";
+      robs->ev.error_code = err.code;
+      robs->ev.error_kind = "invalid_params";
+    }
     return encode_error(&req.id, err.code, err.message);
+  }
   if (explain) input.opts.provenance = true;
 
   if (opts_.sandbox)
     return do_analyze_sandboxed(req, explain, std::move(input), provenance,
-                                proc_filter, lane);
+                                proc_filter, lane, robs);
 
   driver::DriverOptions dopts;
   dopts.jobs = 1;  // index-addressed assembly makes jobs irrelevant to bytes
@@ -295,11 +353,24 @@ std::string Service::do_analyze(const RpcRequest& req, bool explain,
   try {
     report = drv.run({std::move(input)});
   } catch (const std::exception& e) {
+    if (robs != nullptr) {
+      robs->ev.status = "internal_error";
+      robs->ev.error_code = kErrInternal;
+      robs->ev.error_kind = "exception";
+      robs->slo_ok = false;
+    }
     return encode_error(&req.id, kErrInternal, e.what());
   }
   serve_hits.inc(report.metrics.cache_hits);
   serve_misses.inc(report.metrics.cache_misses);
   reanalyzed.inc(report.metrics.cache_misses);
+  if (robs != nullptr && !report.programs.empty()) {
+    robs->ev = driver::program_event(report.programs[0]);
+    robs->ev.cache_hits = report.metrics.cache_hits;
+    robs->ev.cache_misses = report.metrics.cache_misses;
+    robs->slo_ok =
+        report.metrics.crashed == 0 && report.metrics.internal_errors == 0;
+  }
 
   JsonValue result = JsonValue::make_object();
   if (explain) {
@@ -331,7 +402,7 @@ std::string Service::do_analyze_sandboxed(const RpcRequest& req, bool explain,
                                           driver::ProgramInput input,
                                           bool provenance,
                                           const std::string& proc_filter,
-                                          uint32_t lane) {
+                                          uint32_t lane, RequestObs* robs) {
   static obs::Counter& serve_hits =
       obs::registry().counter("synat_serve_cache_hits_total", false);
   static obs::Counter& serve_misses =
@@ -358,6 +429,14 @@ std::string Service::do_analyze_sandboxed(const RpcRequest& req, bool explain,
                           .value();
   if (quarantine_.check(fp, steady_ms())) {
     quarantined.inc();
+    if (robs != nullptr) {
+      robs->ev.status = "error";
+      robs->ev.quarantined = true;
+      robs->ev.error_code = kErrQuarantined;
+      robs->ev.error_kind = "quarantined";
+      robs->slo_ok = false;
+    }
+    obs::recorder().note_event("quarantine_refusal", input.name.c_str());
     return encode_error(&req.id, kErrQuarantined,
                         "program quarantined: repeated worker deaths; "
                         "retry after the quarantine TTL");
@@ -378,10 +457,18 @@ std::string Service::do_analyze_sandboxed(const RpcRequest& req, bool explain,
   worker_timeouts.inc(out.deaths_timeout);
   worker_ooms.inc(out.deaths_oom);
   worker_retries.inc(out.retries);
-  if (out.ok)
+  if (out.ok) {
     quarantine_.record_success(fp);
-  else
-    quarantine_.record_death(fp, steady_ms());
+  } else {
+    // Incident path: note the death (and a trip, if this one tripped the
+    // breaker) in the flight-recorder ring, then dump a postmortem — the
+    // ring at this moment holds the request context leading up to it.
+    obs::Recorder& rec = obs::recorder();
+    rec.note_event("worker_death", out.reason.c_str());
+    const bool tripped = quarantine_.record_death(fp, steady_ms());
+    if (tripped) rec.note_event("quarantine_trip", input.name.c_str());
+    rec.dump_incident(tripped ? "quarantine_trip" : "worker_death");
+  }
 
   // Reassemble the one-program document exactly the way BatchDriver does,
   // so a degraded sandbox reply renders the same "kind":"crash" entry (and
@@ -399,6 +486,16 @@ std::string Service::do_analyze_sandboxed(const RpcRequest& req, bool explain,
   serve_hits.inc(out.cache_hits);
   serve_misses.inc(out.cache_misses);
   reanalyzed.inc(out.cache_misses);
+  if (robs != nullptr && !report.programs.empty()) {
+    robs->ev = driver::program_event(report.programs[0]);
+    robs->ev.cache_hits = out.cache_hits;
+    robs->ev.cache_misses = out.cache_misses;
+    robs->ev.retries = out.retries;
+    robs->ev.deaths_crash = out.deaths_crash;
+    robs->ev.deaths_timeout = out.deaths_timeout;
+    robs->ev.deaths_oom = out.deaths_oom;
+    if (!out.ok) robs->slo_ok = false;
+  }
 
   JsonValue result = JsonValue::make_object();
   if (explain) {
@@ -435,6 +532,30 @@ std::string Service::do_status(const RpcRequest& req) {
   result.add("sandbox", JsonValue::make_bool(opts_.sandbox));
   result.add("quarantine_entries",
              JsonValue::make_number(static_cast<uint64_t>(quarantine_.size())));
+  // RPC latency percentiles (real wall clock; inherently nondeterministic)
+  // and the rolling SLO window — `status` is the operator's one-stop probe.
+  const obs::Log2Histogram& lat =
+      obs::registry().log2_histogram("synat_serve_rpc_request_latency_seconds");
+  JsonValue latency = JsonValue::make_object();
+  latency.add("count", JsonValue::make_number(lat.count()));
+  latency.add("p50", JsonValue::make_number(lat.quantile_ns(0.5)));
+  latency.add("p95", JsonValue::make_number(lat.quantile_ns(0.95)));
+  latency.add("p99", JsonValue::make_number(lat.quantile_ns(0.99)));
+  result.add("latency_ns", std::move(latency));
+  const obs::SloTracker::Status s = slo_.status(steady_ms());
+  JsonValue slo = JsonValue::make_object();
+  slo.add("window_ms", JsonValue::make_number(s.window_ms));
+  slo.add("total", JsonValue::make_number(s.total));
+  slo.add("errors", JsonValue::make_number(s.errors));
+  slo.add("slow", JsonValue::make_number(s.slow));
+  slo.add("availability", JsonValue::make_number(s.availability));
+  slo.add("availability_burn", JsonValue::make_number(s.availability_burn));
+  slo.add("availability_exhausted",
+          JsonValue::make_bool(s.availability_exhausted));
+  slo.add("latency_ok", JsonValue::make_number(s.latency_ok));
+  slo.add("latency_burn", JsonValue::make_number(s.latency_burn));
+  slo.add("latency_exhausted", JsonValue::make_bool(s.latency_exhausted));
+  result.add("slo", std::move(slo));
   return encode_result(req.id, std::move(result));
 }
 
@@ -462,5 +583,44 @@ std::string Service::do_shutdown(const RpcRequest& req) {
   result.add("ok", JsonValue::make_bool(true));
   return encode_result(req.id, std::move(result));
 }
+
+void Service::finish_obs(RequestObs robs, uint64_t start_real_ns) {
+  const uint64_t dur = real_now_ns() - start_real_ns;
+  robs.ev.dur_ns = dur;
+  static obs::Log2Histogram& latency = obs::registry().log2_histogram(
+      "synat_serve_rpc_request_latency_seconds");
+  latency.observe(dur);
+  slo_.record(robs.slo_ok, dur, steady_ms());
+  if (opts_.events != nullptr) opts_.events->append(std::move(robs.ev));
+}
+
+std::string Service::slo_json() const {
+  const obs::SloTracker::Status s = slo_.status(steady_ms());
+  auto frac = [](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return std::string(buf);
+  };
+  std::string out = "{\"schema\":\"synat-slo\",\"v\":1,\"window_ms\":";
+  out += std::to_string(s.window_ms);
+  out += ",\"total\":" + std::to_string(s.total);
+  out += ",\"errors\":" + std::to_string(s.errors);
+  out += ",\"slow\":" + std::to_string(s.slow);
+  out += ",\"availability\":{\"objective\":" + frac(s.availability_objective);
+  out += ",\"value\":" + frac(s.availability);
+  out += ",\"burn\":" + frac(s.availability_burn);
+  out += ",\"exhausted\":";
+  out += s.availability_exhausted ? "true" : "false";
+  out += "},\"latency\":{\"objective\":" + frac(s.latency_objective);
+  out += ",\"threshold_ns\":" + std::to_string(s.latency_threshold_ns);
+  out += ",\"value\":" + frac(s.latency_ok);
+  out += ",\"burn\":" + frac(s.latency_burn);
+  out += ",\"exhausted\":";
+  out += s.latency_exhausted ? "true" : "false";
+  out += "}}";
+  return out;
+}
+
+bool Service::slo_exhausted() const { return slo_.exhausted(steady_ms()); }
 
 }  // namespace synat::serve

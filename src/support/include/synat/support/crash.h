@@ -1,0 +1,25 @@
+// Fatal-signal postmortem hook (DESIGN.md §3i): installs handlers for the
+// crash signals (SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL) that invoke an
+// async-signal-safe dump function exactly once, then restore the default
+// disposition and re-raise so the process still dies with the original
+// signal (wait status, core dumps, and supervisor accounting all see the
+// truth).
+//
+// The dump function runs in signal context: it may only use async-signal-
+// safe operations (write/lseek/ftruncate/fsync on a pre-opened fd — see
+// obs::Recorder::dump_incident). A recursive fault inside the dump is
+// caught by a re-entrancy guard and falls through to the default handler.
+#pragma once
+
+namespace synat::support::crash {
+
+/// Async-signal-safe dump callback; receives the fatal signal number.
+using DumpFn = void (*)(int signal);
+
+/// Installs the fatal-signal handlers. Idempotent; the last `fn` wins.
+void arm(DumpFn fn);
+
+/// Restores the default disposition for every armed signal.
+void disarm();
+
+}  // namespace synat::support::crash

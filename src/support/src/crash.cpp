@@ -1,0 +1,45 @@
+#include "synat/support/crash.h"
+
+#include <signal.h>
+
+#include <atomic>
+
+namespace synat::support::crash {
+
+namespace {
+
+constexpr int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+std::atomic<DumpFn> g_dump{nullptr};
+std::atomic<bool> g_dumping{false};
+
+void on_fatal(int sig) {
+  // One dump per process: a fault inside the dump (or a second crashing
+  // thread) must not recurse — fall straight through to the default
+  // disposition instead.
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    DumpFn fn = g_dump.load(std::memory_order_acquire);
+    if (fn != nullptr) fn(sig);
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+void arm(DumpFn fn) {
+  g_dump.store(fn, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = on_fatal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler restores SIG_DFL itself after the dump,
+  // and a second thread crashing mid-dump re-enters the guard instead.
+  for (int sig : kSignals) sigaction(sig, &sa, nullptr);
+}
+
+void disarm() {
+  g_dump.store(nullptr, std::memory_order_release);
+  for (int sig : kSignals) signal(sig, SIG_DFL);
+}
+
+}  // namespace synat::support::crash

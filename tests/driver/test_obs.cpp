@@ -184,10 +184,98 @@ TEST_F(ObsTest, DeterministicFlagIsFixedAtCreation) {
   EXPECT_FALSE(c->deterministic);
 }
 
+TEST_F(ObsTest, DeltaOfIdenticalSnapshotsIsAllZero) {
+  obs::registry().counter("synat_test_idem_total").inc(9);
+  obs::Histogram& h = obs::registry().histogram("synat_test_idem_duration_seconds");
+  h.observe(123);
+  MetricsSnapshot snap = obs::registry().snapshot();
+  MetricsSnapshot delta = snap.delta_from(snap);
+  // Every name survives (consumers can rely on the shape), every value is 0.
+  ASSERT_EQ(delta.counters.size(), snap.counters.size());
+  for (const obs::CounterSample& c : delta.counters) EXPECT_EQ(c.value, 0u);
+  ASSERT_EQ(delta.histograms.size(), snap.histograms.size());
+  for (const obs::HistogramSample& hs : delta.histograms) {
+    EXPECT_EQ(hs.count(), 0u) << hs.name;
+    EXPECT_EQ(hs.sum_ns, 0u) << hs.name;
+  }
+}
+
+TEST_F(ObsTest, ResetBetweenSnapshotsClampsInsteadOfUnderflowing) {
+  obs::Counter& c = obs::registry().counter("synat_test_clamp_total");
+  c.inc(5);
+  MetricsSnapshot base = obs::registry().snapshot();
+  obs::registry().reset();  // a forked worker shedding inherited counts
+  c.inc(2);
+  MetricsSnapshot delta = obs::registry().snapshot().delta_from(base);
+  const obs::CounterSample* s = find_counter(delta, "synat_test_clamp_total");
+  ASSERT_NE(s, nullptr);
+  // 2 − 5 would underflow to ~2^64; the delta clamps to zero so one reset
+  // never fabricates astronomically large counter increments downstream.
+  EXPECT_EQ(s->value, 0u);
+}
+
+TEST_F(ObsTest, MergeOfDisjointHistogramSetsCreatesWithoutDisturbing) {
+  obs::Histogram& mine =
+      obs::registry().histogram("synat_test_disjoint_a_duration_seconds");
+  mine.observe(50);
+  MetricsSnapshot delta;
+  obs::HistogramSample h;
+  h.name = "synat_test_disjoint_b_duration_seconds";
+  h.buckets[3] = 4;
+  h.sum_ns = 999;
+  delta.histograms.push_back(h);
+  obs::registry().merge(delta);
+  // The unknown name is created with exactly the delta's contents; the
+  // pre-existing disjoint histogram is untouched.
+  obs::Histogram& theirs =
+      obs::registry().histogram("synat_test_disjoint_b_duration_seconds");
+  EXPECT_EQ(theirs.count(), 4u);
+  EXPECT_EQ(theirs.sum_ns(), 999u);
+  EXPECT_EQ(mine.count(), 1u);
+  EXPECT_EQ(mine.sum_ns(), 50u);
+}
+
+TEST_F(ObsTest, MergeOfEmptyDeltaIsANoOp) {
+  obs::registry().counter("synat_test_noop_total").inc(3);
+  MetricsSnapshot before = obs::registry().snapshot();
+  obs::registry().merge(MetricsSnapshot{});
+  MetricsSnapshot after = obs::registry().snapshot();
+  EXPECT_EQ(before.counters.size(), after.counters.size());
+  EXPECT_EQ(find_counter(after, "synat_test_noop_total")->value, 3u);
+  // Zero-valued counters in a delta must not register phantom names either.
+  MetricsSnapshot zeros;
+  zeros.counters.push_back({"synat_test_phantom_total", 0, true});
+  obs::registry().merge(zeros);
+  EXPECT_EQ(find_counter(obs::registry().snapshot(),
+                         "synat_test_phantom_total"),
+            nullptr);
+}
+
+TEST_F(ObsTest, LabeledCounterFamiliesShareOnePrometheusHeader) {
+  MetricsSnapshot s;
+  // Name-sorted, as Registry::snapshot() guarantees: labeled variants of
+  // one family are adjacent.
+  s.counters.push_back({"synat_test_rule{rule=\"reduce\"}", 2, true});
+  s.counters.push_back({"synat_test_rule{rule=\"window\"}", 5, true});
+  std::string prom = obs::to_prometheus(s);
+  // The `_total` suffix lands on the base name, before the labels, and the
+  // HELP/TYPE header appears once for the family.
+  EXPECT_NE(prom.find("synat_test_rule_total{rule=\"reduce\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("synat_test_rule_total{rule=\"window\"} 5"),
+            std::string::npos);
+  size_t first = prom.find("# TYPE synat_test_rule_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE synat_test_rule_total counter", first + 1),
+            std::string::npos)
+      << "one TYPE header per family, not per labeled variant";
+}
+
 TEST_F(ObsTest, StageHistogramNamesEncodeCategory) {
   MetricsSnapshot s = obs::registry().snapshot();
-  EXPECT_NE(find_hist(s, "synat_pipeline_parse_duration_ns"), nullptr);
-  EXPECT_NE(find_hist(s, "synat_driver_dispatch_duration_ns"), nullptr);
+  EXPECT_NE(find_hist(s, "synat_pipeline_parse_duration_seconds"), nullptr);
+  EXPECT_NE(find_hist(s, "synat_driver_dispatch_duration_seconds"), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -230,7 +318,7 @@ TEST_F(ObsTest, PrometheusExposesCountersGaugesHistograms) {
   s.counters.push_back({"synat_watchdog_trips_total", 1, false});
   s.gauges.push_back({"synat_jobs", 4});
   obs::HistogramSample h;
-  h.name = "synat_pipeline_parse_duration_ns";
+  h.name = "synat_pipeline_parse_duration_seconds";
   h.buckets[0] = 3;  // <= 1µs
   h.buckets[8] = 1;  // +Inf
   h.sum_ns = 42;
@@ -246,16 +334,18 @@ TEST_F(ObsTest, PrometheusExposesCountersGaugesHistograms) {
   size_t help = prom.find("# HELP synat_watchdog_trips_total");
   ASSERT_NE(help, std::string::npos);
   EXPECT_NE(prom.find("(nondeterministic)", help), std::string::npos);
-  // Cumulative buckets: le="1000" sees 3, +Inf sees all 4.
-  EXPECT_NE(
-      prom.find("synat_pipeline_parse_duration_ns_bucket{le=\"1000\"} 3"),
-      std::string::npos);
-  EXPECT_NE(
-      prom.find("synat_pipeline_parse_duration_ns_bucket{le=\"+Inf\"} 4"),
-      std::string::npos);
-  EXPECT_NE(prom.find("synat_pipeline_parse_duration_ns_sum 42"),
+  // Cumulative buckets with bounds in seconds: le="0.000001" (the 1µs
+  // bucket) sees 3, +Inf sees all 4; the sum is 42ns as exact seconds.
+  EXPECT_NE(prom.find("synat_pipeline_parse_duration_seconds_bucket"
+                      "{le=\"0.000001\"} 3"),
             std::string::npos);
-  EXPECT_NE(prom.find("synat_pipeline_parse_duration_ns_count 4"),
+  EXPECT_NE(prom.find("synat_pipeline_parse_duration_seconds_bucket"
+                      "{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("synat_pipeline_parse_duration_seconds_sum "
+                      "0.000000042"),
+            std::string::npos);
+  EXPECT_NE(prom.find("synat_pipeline_parse_duration_seconds_count 4"),
             std::string::npos);
 }
 
@@ -426,7 +516,7 @@ TEST_F(ObsTest, PipelineStageCountsAgreeBetweenInProcessAndIsolate) {
     EXPECT_EQ(h.count(), other->count()) << h.name;
   }
   const obs::HistogramSample* parse =
-      find_hist(serial, "synat_pipeline_parse_duration_ns");
+      find_hist(serial, "synat_pipeline_parse_duration_seconds");
   ASSERT_NE(parse, nullptr);
   EXPECT_GT(parse->count(), 0u);
 }

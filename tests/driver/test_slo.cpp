@@ -1,0 +1,104 @@
+// Rolling SLO window tests (DESIGN.md §3i): availability and latency burn
+// math, budget exhaustion (the /readyz 503 signal), and window aging. The
+// tracker takes the clock as a parameter, so everything here runs on a
+// fake clock — the same convention as serve's Quarantine tests.
+#include "synat/obs/slo.h"
+
+#include <gtest/gtest.h>
+
+namespace synat {
+namespace {
+
+obs::SloTracker::Options opts_1m() {
+  obs::SloTracker::Options o;
+  o.window_ms = 60'000;
+  o.availability_objective = 0.99;
+  o.latency_threshold_ns = 1'000'000'000;
+  o.latency_objective = 0.99;
+  return o;
+}
+
+TEST(Slo, EmptyWindowIsHealthy) {
+  obs::SloTracker slo(opts_1m());
+  obs::SloTracker::Status s = slo.status(1000);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.availability, 1.0);
+  EXPECT_EQ(s.availability_burn, 0.0);
+  EXPECT_FALSE(s.availability_exhausted);
+  EXPECT_FALSE(slo.exhausted(1000));
+}
+
+TEST(Slo, BurnIsErrorFractionOverBudget) {
+  obs::SloTracker slo(opts_1m());
+  uint64_t now = 5000;
+  // 1 error in 200 requests = 0.5% errors against a 1% budget: half burned.
+  for (int i = 0; i < 199; ++i) slo.record(true, 1'000'000, now);
+  slo.record(false, 1'000'000, now);
+  obs::SloTracker::Status s = slo.status(now);
+  EXPECT_EQ(s.total, 200u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_NEAR(s.availability, 0.995, 1e-9);
+  EXPECT_NEAR(s.availability_burn, 0.5, 1e-9);
+  EXPECT_FALSE(s.availability_exhausted);
+  EXPECT_FALSE(slo.exhausted(now));
+}
+
+TEST(Slo, ExhaustionFlipsWhenTheBudgetIsSpent) {
+  obs::SloTracker slo(opts_1m());
+  uint64_t now = 5000;
+  // 3 errors in 100 requests = 3% against a 1% budget: burn 3.0, exhausted.
+  for (int i = 0; i < 97; ++i) slo.record(true, 1'000'000, now);
+  for (int i = 0; i < 3; ++i) slo.record(false, 1'000'000, now);
+  obs::SloTracker::Status s = slo.status(now);
+  EXPECT_NEAR(s.availability_burn, 3.0, 1e-9);
+  EXPECT_TRUE(s.availability_exhausted);
+  EXPECT_TRUE(slo.exhausted(now));
+}
+
+TEST(Slo, SlowRequestsBurnTheLatencyBudgetIndependently) {
+  obs::SloTracker slo(opts_1m());
+  uint64_t now = 5000;
+  // All requests succeed, but 5 of 100 are over the 1s threshold: the
+  // latency objective is blown while availability stays perfect.
+  for (int i = 0; i < 95; ++i) slo.record(true, 1'000'000, now);
+  for (int i = 0; i < 5; ++i) slo.record(true, 2'000'000'000, now);
+  obs::SloTracker::Status s = slo.status(now);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.slow, 5u);
+  EXPECT_NEAR(s.latency_ok, 0.95, 1e-9);
+  EXPECT_NEAR(s.latency_burn, 5.0, 1e-9);
+  EXPECT_TRUE(s.latency_exhausted);
+  EXPECT_FALSE(s.availability_exhausted);
+  // Only availability gates readiness: slow-but-correct stays in rotation.
+  EXPECT_FALSE(slo.exhausted(now));
+}
+
+TEST(Slo, ErrorsAgeOutOfTheWindow) {
+  obs::SloTracker slo(opts_1m());
+  for (int i = 0; i < 10; ++i) slo.record(false, 1'000'000, 1000);
+  ASSERT_TRUE(slo.exhausted(1000));
+  // Just past the window the old slice is reclaimed; the budget refills.
+  uint64_t later = 1000 + 60'000 + 1000;
+  EXPECT_FALSE(slo.exhausted(later));
+  obs::SloTracker::Status s = slo.status(later);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.availability, 1.0);
+  // New traffic lands in recycled slices without resurrecting old errors.
+  slo.record(true, 1'000'000, later);
+  EXPECT_EQ(slo.status(later).total, 1u);
+  EXPECT_EQ(slo.status(later).errors, 0u);
+}
+
+TEST(Slo, PartialAgingDropsOnlyExpiredSlices) {
+  obs::SloTracker slo(opts_1m());
+  slo.record(false, 1'000'000, 1000);    // slice near the window start
+  slo.record(false, 1'000'000, 50'000);  // slice near the window end
+  EXPECT_EQ(slo.status(50'000).errors, 2u);
+  // 35s later the first slice (at 1s) has aged out of [2s, 62s]; the
+  // second (at 50s) has not.
+  obs::SloTracker::Status s = slo.status(62'000);
+  EXPECT_EQ(s.errors, 1u);
+}
+
+}  // namespace
+}  // namespace synat

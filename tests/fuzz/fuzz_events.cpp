@@ -1,0 +1,8 @@
+// libFuzzer entry point for the wide-event renderer (obs/events.h)
+// (SYNAT_FUZZ=ON, Clang):
+//   ./synat_fuzz_events tests/fuzz/corpus
+#include "targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return synat::fuzz::run_events(data, size);
+}

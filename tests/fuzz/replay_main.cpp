@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     synat::fuzz::run_telemetry(data, bytes.size());
     synat::fuzz::run_provenance(data, bytes.size());
     synat::fuzz::run_rpc(data, bytes.size());
+    synat::fuzz::run_events(data, bytes.size());
   }
-  std::printf("replayed %zu seed(s) through 5 targets\n", seeds.size());
+  std::printf("replayed %zu seed(s) through 6 targets\n", seeds.size());
   return 0;
 }

@@ -5,9 +5,11 @@
 
 #include "synat/atomicity/infer.h"
 #include "synat/driver/codec.h"
+#include "synat/obs/events.h"
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/json.h"
 #include "synat/serve/http.h"
 #include "synat/serve/rpc.h"
 #include "synat/support/budget.h"
@@ -110,10 +112,15 @@ int run_rpc(const uint8_t* data, size_t size) {
   // dispatcher is total: every sniffed line must map to one well-formed
   // HTTP/1.1 response, whatever the probe state.
   if (serve::is_http_request(line)) {
+    serve::HttpHandlers handlers;
+    handlers.metrics = [] { return std::string("synat_up 1\n"); };
+    handlers.slo = [] { return std::string("{}"); };
+    handlers.buildz = [] { return serve::build_info_json(); };
     for (bool draining : {false, true}) {
       std::string resp = serve::handle_http_request(
-          line, [] { return std::string("synat_up 1\n"); },
-          serve::HttpProbeState{draining, /*overloaded=*/!draining});
+          line, handlers,
+          serve::HttpProbeState{draining, /*overloaded=*/!draining,
+                                /*slo_exhausted=*/draining});
       SYNAT_ASSERT(resp.rfind("HTTP/1.1 ", 0) == 0,
                    "HTTP shim response missing status line");
       SYNAT_ASSERT(resp.find("Connection: close\r\n") != std::string::npos,
@@ -142,6 +149,38 @@ int run_rpc(const uint8_t* data, size_t size) {
   SYNAT_ASSERT(back.ok, "encoded response failed to reparse");
   SYNAT_ASSERT(serve::encode_json(back.value) == frame,
                "response encoding is not a reparse fixpoint");
+  return 0;
+}
+
+int run_events(const uint8_t* data, size_t size) {
+  // Split the input into the event's string fields: hostile bytes (quotes,
+  // control characters, newlines, invalid UTF-8) land in every escaped
+  // position of the rendered line.
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  obs::Event e;
+  size_t quarter = size / 4;
+  e.name = std::string(bytes.substr(0, quarter));
+  e.fingerprint = std::string(bytes.substr(quarter, quarter));
+  e.status = std::string(bytes.substr(2 * quarter, quarter));
+  e.error_kind = std::string(bytes.substr(3 * quarter));
+  // Numeric fields from the head bytes so counters vary too.
+  for (size_t i = 0; i < size && i < 8; ++i)
+    e.seq = (e.seq << 8) | data[i];
+  e.ts_ns = e.seq ^ 0x5a5a5a5a;
+  e.error_code = size > 0 ? -static_cast<int>(data[0]) : 0;
+  e.atomic = (size & 1) != 0;
+  e.quarantined = (size & 2) != 0;
+  std::string line = render_event(e);
+  // The line contract the whole pipeline leans on: exactly one line, and
+  // every rendered event is a valid JSON document (the validator, the
+  // postmortem renderer, and dashboards all parse it back).
+  SYNAT_ASSERT(line.find('\n') == std::string::npos,
+               "rendered event contains a raw newline");
+  serve::JsonParse back = serve::parse_json(line);
+  SYNAT_ASSERT(back.ok, "rendered event is not valid JSON");
+  const serve::JsonValue* name = back.value.get("name");
+  SYNAT_ASSERT(name != nullptr && name->is_string(),
+               "rendered event lost its name field");
   return 0;
 }
 

@@ -29,13 +29,14 @@ TEST(ServeHttp, SniffsOnlyGetAndHead) {
 
 std::string dispatch(std::string_view line, HttpProbeState state = {},
                      int* metrics_calls = nullptr) {
-  return handle_http_request(
-      line,
-      [metrics_calls] {
-        if (metrics_calls != nullptr) ++*metrics_calls;
-        return std::string("synat_serve_requests_total 7\n");
-      },
-      state);
+  HttpHandlers handlers;
+  handlers.metrics = [metrics_calls] {
+    if (metrics_calls != nullptr) ++*metrics_calls;
+    return std::string("synat_serve_requests_total 7\n");
+  };
+  handlers.slo = [] { return std::string("{\"schema\":\"synat-slo\"}"); };
+  handlers.buildz = [] { return build_info_json(); };
+  return handle_http_request(line, handlers, state);
 }
 
 TEST(ServeHttp, MetricsRoute) {
@@ -75,6 +76,49 @@ TEST(ServeHttp, ProbesReflectServiceState) {
   std::string ready = dispatch("GET /readyz HTTP/1.1", full);
   EXPECT_EQ(ready.rfind("HTTP/1.1 503", 0), 0u);
   EXPECT_NE(ready.find("overloaded"), std::string::npos);
+}
+
+TEST(ServeHttp, SloExhaustionFlipsReadyzOnly) {
+  // The SLO breaker takes the daemon out of rotation without marking it
+  // unhealthy: restarting it would not un-spend the error budget.
+  HttpProbeState burned{/*draining=*/false, /*overloaded=*/false,
+                        /*slo_exhausted=*/true};
+  EXPECT_EQ(dispatch("GET /healthz HTTP/1.1", burned).rfind("HTTP/1.1 200", 0),
+            0u);
+  std::string ready = dispatch("GET /readyz HTTP/1.1", burned);
+  EXPECT_EQ(ready.rfind("HTTP/1.1 503", 0), 0u);
+  EXPECT_NE(ready.find("slo error budget exhausted"), std::string::npos);
+  // Draining still wins the explanation: an operator shutting the daemon
+  // down should not be told about the budget.
+  HttpProbeState both{/*draining=*/true, /*overloaded=*/false,
+                      /*slo_exhausted=*/true};
+  EXPECT_NE(dispatch("GET /readyz HTTP/1.1", both).find("draining"),
+            std::string::npos);
+}
+
+TEST(ServeHttp, SloRouteServesJson) {
+  std::string resp = dispatch("GET /slo HTTP/1.1");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(resp.find("{\"schema\":\"synat-slo\"}"), std::string::npos);
+}
+
+TEST(ServeHttp, BuildzReportsVersionSchemasAndFeatures) {
+  std::string resp = dispatch("GET /buildz HTTP/1.1");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  // The body is build_info_json(): pin the shape operators script against.
+  EXPECT_NE(resp.find("\"version\":\"")
+            , std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"schemas\":{\"report\":"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"cache\":"), std::string::npos);
+  EXPECT_NE(resp.find("\"journal\":"), std::string::npos);
+  EXPECT_NE(resp.find("\"features\":{\"fault_injection\":"),
+            std::string::npos);
+  EXPECT_NE(resp.find("\"fuzz\":"), std::string::npos);
+  EXPECT_NE(resp.find("\"git\":\""), std::string::npos);
 }
 
 TEST(ServeHttp, HeadKeepsHeadersDropsBody) {

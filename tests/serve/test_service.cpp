@@ -242,9 +242,9 @@ TEST(ServeService, OverloadRecoversAfterDrain) {
   EXPECT_GT(rejected.load(), 0);
 
   // Every reservation was released — overload is a transient condition,
-  // not a ratchet. The slot is decremented just after the reply callback
-  // fires, so give the pool a moment to retire the last one; a leaked
-  // reservation would never drop.
+  // not a ratchet. The slot is released before the reply is handed back,
+  // but the flood's replies may still be settling on the pool thread, so
+  // give it a moment; a leaked reservation would never drop.
   for (int spin = 0; spin < 1000 && service.in_flight() != 0; ++spin)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(service.in_flight(), 0u);

@@ -20,11 +20,19 @@ still answers, and still produces byte-identical reports:
       cache file, and requires a warm answer (procedures_reanalyzed == 0).
   5.  Client reconnect: synat_client.Client transparently resends an
       idempotent call across a daemon restart.
-  6.  HTTP shim: GET /healthz, /readyz and /metrics answer on the same
-      socket as the JSON-RPC traffic.
-  7.  Byte identity: after all of the above, serve reports are still
+  6.  HTTP shim: GET /healthz, /readyz, /metrics, /slo and /buildz answer
+      on the same socket as the JSON-RPC traffic. After a storm the SLO
+      error budget is legitimately exhausted, so /readyz may answer 503
+      with the SLO explanation — but /healthz must stay 200 (the process
+      is alive; it is just failing its objectives).
+  7.  SLO tracking: the storm's rejections and faults show up in /slo as
+      errors and burn, and /readyz agrees with availability.exhausted.
+  8.  Byte identity: after all of the above, serve reports are still
       byte-identical to `synat batch --format json`, and shutdown drains
       cleanly (daemon exit code 0).
+  9.  Flight data: the daemon's --events-out log is schema-valid for every
+      line (tools/validate_events.py), and the incident postmortems the
+      worker deaths produced validate as synat-postmortem dumps.
 
 Requires a binary built with -DSYNAT_FAULT_INJECTION=ON (the victim
 programs are never harmed by a release binary, which the harness detects
@@ -47,6 +55,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from synat_client import Client, RpcError  # noqa: E402
+import validate_events  # noqa: E402
 
 # One healthy program everyone agrees on (also the warm-restart probe).
 HEALTHY = "proc P() { skip; }\n"
@@ -76,7 +85,8 @@ def log(args, msg):
 
 
 def launch_daemon(args, sock, cache_file=None, snapshot_interval_s=None,
-                  quarantine_threshold=3, quarantine_ttl_s=2):
+                  quarantine_threshold=3, quarantine_ttl_s=2,
+                  events_out=None, postmortem=None):
     cmd = [args.synat, "serve", "--listen", sock, "--jobs", "4",
            "--sandbox", "--deadline-ms", str(DEADLINE_MS),
            "--max-rss-mb", str(MAX_RSS_MB), "--retries", "1",
@@ -86,6 +96,10 @@ def launch_daemon(args, sock, cache_file=None, snapshot_interval_s=None,
         cmd += ["--cache-file", cache_file]
     if snapshot_interval_s:
         cmd += ["--snapshot-interval-s", str(snapshot_interval_s)]
+    if events_out:
+        cmd += ["--events-out", events_out]
+    if postmortem:
+        cmd += ["--postmortem", postmortem]
     env = dict(os.environ, SYNAT_FAULT=FAULT_SPEC)
     proc = subprocess.Popen(cmd, env=env)
     deadline = time.monotonic() + 10
@@ -356,19 +370,89 @@ def http_get(sock_path, request):
 
 
 def check_http(args, sock):
-    for path, expect in (("/healthz", "200"), ("/readyz", "200")):
-        resp = http_get(sock, f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n")
-        if not resp.startswith(f"HTTP/1.1 {expect}"):
-            raise Failure(f"GET {path}: unexpected response {resp[:80]!r}")
+    resp = http_get(sock, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    if not resp.startswith("HTTP/1.1 200"):
+        raise Failure(f"GET /healthz: unexpected response {resp[:80]!r}")
+    # The storms just burned the SLO error budget, so a 503 here is the
+    # feature working — but it must say so, and /healthz must stay 200.
+    resp = http_get(sock, "GET /readyz HTTP/1.1\r\nHost: x\r\n\r\n")
+    if not resp.startswith("HTTP/1.1 200") and not (
+            resp.startswith("HTTP/1.1 503") and "slo" in resp):
+        raise Failure(f"GET /readyz: unexpected response {resp[:80]!r}")
     resp = http_get(sock, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
     if "synat_serve_requests_total" not in resp:
         raise Failure("GET /metrics missing serve counters")
     if "synat_serve_worker_crashes_total" not in resp:
         raise Failure("GET /metrics missing sandbox counters")
+    if "synat_serve_rpc_request_latency_seconds" not in resp:
+        raise Failure("GET /metrics missing RPC latency quantiles")
+    resp = http_get(sock, "GET /buildz HTTP/1.1\r\nHost: x\r\n\r\n")
+    if not resp.startswith("HTTP/1.1 200"):
+        raise Failure(f"GET /buildz: unexpected response {resp[:80]!r}")
+    build = json.loads(resp.split("\r\n\r\n", 1)[1])
+    for key in ("version", "git", "schemas", "features"):
+        if key not in build:
+            raise Failure(f"/buildz missing {key!r}: {build}")
     resp = http_get(sock, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
     if not resp.startswith("HTTP/1.1 404"):
         raise Failure(f"GET /nope should 404, got {resp[:80]!r}")
-    log(args, "HTTP shim: /healthz /readyz /metrics answered")
+    log(args, "HTTP shim: /healthz /readyz /metrics /buildz answered")
+
+
+def check_slo(args, sock):
+    """The storm's rejections and faults must be visible in /slo, and
+    /readyz must agree with availability.exhausted."""
+    resp = http_get(sock, "GET /slo HTTP/1.1\r\nHost: x\r\n\r\n")
+    if not resp.startswith("HTTP/1.1 200"):
+        raise Failure(f"GET /slo: unexpected response {resp[:80]!r}")
+    slo = json.loads(resp.split("\r\n\r\n", 1)[1])
+    if slo.get("schema") != "synat-slo":
+        raise Failure(f"/slo schema field wrong: {slo}")
+    for section in ("availability", "latency"):
+        for key in ("objective", "value", "burn", "exhausted"):
+            if key not in slo.get(section, {}):
+                raise Failure(f"/slo missing {section}.{key}: {slo}")
+    if slo["total"] == 0:
+        raise Failure("/slo saw no requests after two storms")
+    if slo["errors"] == 0:
+        raise Failure("/slo counted no errors after the fault storms")
+    if slo["availability"]["burn"] <= 0:
+        raise Failure("fault-storm errors produced no error-budget burn")
+    ready = http_get(sock, "GET /readyz HTTP/1.1\r\nHost: x\r\n\r\n")
+    exhausted = slo["availability"]["exhausted"]
+    # Re-read: the window may roll between the two GETs, so only flag a
+    # contradiction both samples agree on.
+    slo2 = json.loads(http_get(
+        sock, "GET /slo HTTP/1.1\r\nHost: x\r\n\r\n").split("\r\n\r\n", 1)[1])
+    if exhausted and slo2["availability"]["exhausted"]:
+        if not ready.startswith("HTTP/1.1 503"):
+            raise Failure("SLO exhausted but /readyz still 200")
+    elif not exhausted and not slo2["availability"]["exhausted"]:
+        if not ready.startswith("HTTP/1.1 200"):
+            raise Failure(f"SLO healthy but /readyz not 200: {ready[:80]!r}")
+    log(args, f"slo: total={slo['total']} errors={slo['errors']} "
+              f"burn={slo['availability']['burn']:.2f} "
+              f"exhausted={exhausted}")
+
+
+def check_flight_data(args, events_out, postmortem):
+    """After the drain, the wide-event log and the incident postmortems
+    must be schema-valid end to end."""
+    schema = validate_events.load_schema()
+    events, problems = validate_events.validate_file(events_out, schema,
+                                                     postmortem=False)
+    if problems:
+        raise Failure("event log invalid:\n  " + "\n  ".join(problems[:5]))
+    if events == 0:
+        raise Failure("event log is empty after two storms")
+    # Worker murder guarantees at least one incident dump was written.
+    if not os.path.exists(postmortem):
+        raise Failure("no postmortem dump despite worker deaths")
+    frames, problems = validate_events.validate_file(postmortem, schema,
+                                                     postmortem=True)
+    if problems:
+        raise Failure("postmortem invalid:\n  " + "\n  ".join(problems[:5]))
+    log(args, f"flight data: {events} events, {frames} postmortem frames")
 
 
 def check_byte_identity(args, sock):
@@ -437,9 +521,12 @@ def main(argv=None):
     # Phase 1+2: storm with fault victims, then with worker murder, against
     # one long-lived daemon; quarantine, HTTP and byte identity are checked
     # against the same (post-chaos) daemon to prove it is still coherent.
+    events_out = os.path.join(tmp, "events.jsonl")
+    postmortem = os.path.join(tmp, "incident.pm")
     daemon = launch_daemon(args, sock, cache_file=cache_file,
                            snapshot_interval_s=1,
-                           quarantine_threshold=3, quarantine_ttl_s=2)
+                           quarantine_threshold=3, quarantine_ttl_s=2,
+                           events_out=events_out, postmortem=postmortem)
     try:
         phase("fault storm",
               lambda: run_storm(args, sock, daemon, args.duration, False))
@@ -447,6 +534,7 @@ def main(argv=None):
               lambda: run_storm(args, sock, daemon, args.duration, True))
         phase("quarantine", lambda: check_quarantine(args, sock, 3, 2))
         phase("http shim", lambda: check_http(args, sock))
+        phase("slo tracking", lambda: check_slo(args, sock))
         phase("byte identity", lambda: check_byte_identity(args, sock))
     finally:
         rc = shutdown_clean(sock, daemon)
@@ -455,6 +543,8 @@ def main(argv=None):
             print(f"chaos: clean drain: FAIL: daemon exit {rc}", flush=True)
         else:
             print("chaos: clean drain: PASS", flush=True)
+    phase("flight data",
+          lambda: check_flight_data(args, events_out, postmortem))
 
     # Phases that manage their own daemon lifecycle.
     phase("crash recovery",

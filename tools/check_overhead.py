@@ -10,6 +10,11 @@ SYNAT_BENCH_OUT set) against the checked-in baseline BENCH_driver.json:
     must cost nothing when off" gate;
   * obs_enabled_overhead from the fresh run — tracing+metrics ON vs off in
     the same process on the same machine — must also stay within budget;
+  * events_overhead from the fresh run — the serial sweep with a wide-event
+    log written to disk vs without — must stay within --budget, and the
+    fresh run must record recorder_only_overhead (ring mirroring only, no
+    disk; reported for trajectory — it should be indistinguishable from
+    noise, which is the "always-on flight recorder costs nothing" claim);
   * the same serial_ms must additionally stay within --prov-budget
     (default 1%) of the baseline: provenance collection is branch-gated
     (InferOptions::provenance), so having it compiled in but disabled must
@@ -58,6 +63,28 @@ def main():
     else:
         print(f"check_overhead: tracing-enabled overhead {on:.1%} "
               f"within {args.budget:.0%}")
+
+    ev = fresh.get("events_overhead")
+    if ev is None:
+        print("check_overhead: fresh run lacks events_overhead",
+              file=sys.stderr)
+        rc = 1
+    elif ev > args.budget:
+        print(f"check_overhead: FAIL wide-event log overhead {ev:.1%} "
+              f"exceeds budget {args.budget:.0%}", file=sys.stderr)
+        rc = 1
+    else:
+        print(f"check_overhead: wide-event log overhead {ev:.1%} "
+              f"within {args.budget:.0%}")
+
+    ring = fresh.get("recorder_only_overhead")
+    if ring is None:
+        print("check_overhead: fresh run lacks recorder_only_overhead",
+              file=sys.stderr)
+        rc = 1
+    else:
+        print(f"check_overhead: recorder-only (ring) overhead {ring:.1%} "
+              "(trajectory only; expected to be noise)")
 
     prov = fresh.get("provenance_overhead")
     if prov is None:

@@ -11,8 +11,8 @@ What is deliberately skipped, mirroring tests/driver/test_obs.cpp:
     workers, so these legitimately differ between modes;
   * gauges (synat_jobs is the mode under test, not an invariant);
   * histogram _bucket and _sum series — wall-clock-dependent; only the
-    synat_pipeline_*_duration_ns_count totals are mode-invariant (driver
-    stages like Schedule run once per isolated sub-driver too).
+    synat_pipeline_*_duration_seconds_count totals are mode-invariant
+    (driver stages like Schedule run once per isolated sub-driver too).
 
 Usage: compare_metrics.py A.prom B.prom
 """

@@ -11,6 +11,7 @@
 //   synat disasm   <prog>                bytecode disassembly
 //   synat mc       <prog> [mc options]   explicit-state model checking
 //   synat serve    [serve options]       long-lived analysis daemon
+//   synat postmortem <file>              render a flight-recorder dump
 //
 // <prog> is a file path, `corpus:<name>` (see `synat corpus`), or `-` for
 // standard input (analyze/batch/explain).
@@ -37,6 +38,10 @@
 //                ablation flags, applied to every input)
 //                --cache-stats (print the result-cache summary — the same
 //                fields as the serve `status` RPC — to stderr)
+//                --events-out FILE (wide-event log: one canonical JSON line
+//                per program, byte-identical across --jobs/--isolate under
+//                SYNAT_OBS_VIRTUAL_CLOCK) --events-max-bytes N (size-based
+//                rotation to FILE.1; default 64 MiB, 0 disables)
 // serve options: --listen ADDR (required; a path binds a unix socket,
 //                host:port binds TCP) --jobs N (analysis pool workers,
 //                0 = one per hardware thread) --max-queue N (queued+running
@@ -54,11 +59,22 @@
 //                short-circuit to -32004 until the TTL expires)
 //                --snapshot-interval-s N (with --cache-file: periodic
 //                crash-only cache snapshots while serving)
+//                --events-out FILE (wide-event log: one canonical JSON line
+//                per analyze/explain RPC) --events-max-bytes N (rotation)
+//                --postmortem FILE (flight-recorder incident dump: rewritten
+//                with the last 256 events on worker deaths, quarantine
+//                trips, and fatal signals; render with `synat postmortem`)
+//                --slo-window-s N (rolling SLO window, default 60)
+//                --slo-availability F (fraction of requests that must
+//                produce verdicts, default 0.99) --slo-latency-ms N ("fast
+//                enough" threshold, default 1000); when the availability
+//                error budget is exhausted /readyz turns 503
 //                The wire protocol is newline-delimited JSON-RPC 2.0:
 //                methods analyze, explain, status, metrics, invalidate,
 //                shutdown (see src/serve/include/synat/serve/service.h and
 //                tools/synat_client.py); connections opening with an HTTP
-//                GET/HEAD hit the shim instead (/metrics /healthz /readyz).
+//                GET/HEAD hit the shim instead (/metrics /slo /buildz
+//                /healthz /readyz).
 // explain options: --jobs N --isolate plus the analyze ablation flags
 //                (--no-variants --no-windows --no-conds --counted <k>);
 //                output is byte-identical across --jobs/--isolate modes
@@ -77,6 +93,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -84,9 +101,11 @@
 #include "synat/corpus/corpus.h"
 #include "synat/driver/driver.h"
 #include "synat/mc/mc.h"
+#include "synat/obs/events.h"
 #include "synat/obs/export.h"
 #include "synat/obs/metrics.h"
 #include "synat/obs/trace.h"
+#include "synat/serve/json.h"
 #include "synat/serve/server.h"
 #include "synat/synat.h"
 #include "synat/synl/printer.h"
@@ -106,8 +125,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: synat "
-      "<corpus|analyze|batch|explain|variants|blocks|cfg|dot|disasm|mc|serve> "
-      "[args]\n(see the header of tools/synat_cli.cpp)\n");
+      "<corpus|analyze|batch|explain|variants|blocks|cfg|dot|disasm|mc|serve"
+      "|postmortem> [args]\n(see the header of tools/synat_cli.cpp)\n");
   return kExitUsage;
 }
 
@@ -197,6 +216,8 @@ int cmd_batch(int argc, char** argv) {
   std::string cache_file;
   std::string trace_out;
   std::string metrics_out;
+  std::string events_out;
+  uint64_t events_max_bytes = 64ull << 20;
   std::vector<std::string> specs;
   bool all = false;
   bool cache_stats = false;
@@ -280,6 +301,17 @@ int cmd_batch(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (a == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (a == "--events-out" && i + 1 < argc) {
+      events_out = argv[++i];
+    } else if (a == "--events-max-bytes" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--events-max-bytes expects bytes, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      events_max_bytes = n;
     } else if (a == "--report-counters") {
       ropts.counters = true;
     } else if (a == "--provenance") {
@@ -358,6 +390,16 @@ int cmd_batch(int argc, char** argv) {
   if (!trace_out.empty())
     obs::Tracer::instance().set_lane_name(0,
                                           dopts.isolate ? "supervisor" : "main");
+  // The event sink outlives the driver: the driver appends the per-program
+  // events from the assembled report after run() completes its workers.
+  std::unique_ptr<obs::EventLog> events;
+  if (!events_out.empty()) {
+    obs::EventLogOptions eopts;
+    eopts.path = events_out;
+    eopts.max_bytes = events_max_bytes;
+    events = std::make_unique<obs::EventLog>(std::move(eopts));
+    dopts.events = events.get();
+  }
   driver::BatchDriver drv(dopts);
   if (!cache_file.empty()) {
     drv.cache().load(cache_file);
@@ -637,6 +679,8 @@ int cmd_mc(const std::string& spec, int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   serve::ServerOptions sopts;
+  std::string events_out;
+  uint64_t events_max_bytes = 64ull << 20;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--listen" && i + 1 < argc) {
@@ -722,6 +766,51 @@ int cmd_serve(int argc, char** argv) {
         return kExitUsage;
       }
       sopts.snapshot_interval_s = static_cast<unsigned>(n);
+    } else if (a == "--events-out" && i + 1 < argc) {
+      events_out = argv[++i];
+    } else if (a == "--events-max-bytes" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--events-max-bytes expects bytes, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      events_max_bytes = n;
+    } else if (a == "--postmortem" && i + 1 < argc) {
+      sopts.postmortem_path = argv[++i];
+    } else if (a == "--slo-window-s" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0) {
+        std::fprintf(stderr,
+                     "--slo-window-s expects positive seconds, got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.slo_window_ms = uint64_t{n} * 1000;
+    } else if (a == "--slo-availability" && i + 1 < argc) {
+      char* end = nullptr;
+      double f = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || f <= 0.0 || f > 1.0) {
+        std::fprintf(stderr,
+                     "--slo-availability expects a fraction in (0,1], "
+                     "got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.slo_availability = f;
+    } else if (a == "--slo-latency-ms" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0) {
+        std::fprintf(stderr,
+                     "--slo-latency-ms expects positive milliseconds, "
+                     "got '%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      sopts.service.slo_latency_ms = n;
     } else {
       std::fprintf(stderr, "unknown serve option %s\n", a.c_str());
       return kExitUsage;
@@ -738,8 +827,84 @@ int cmd_serve(int argc, char** argv) {
   obs::set_flags(obs_flags);
   if (!sopts.trace_out.empty())
     obs::Tracer::instance().set_lane_name(0, "serve");
+  // Stack-owned so it outlives the server: the service appends an event
+  // after each reply, up to the end of the drain.
+  std::unique_ptr<obs::EventLog> events;
+  if (!events_out.empty()) {
+    obs::EventLogOptions eopts;
+    eopts.path = events_out;
+    eopts.max_bytes = events_max_bytes;
+    events = std::make_unique<obs::EventLog>(std::move(eopts));
+    sopts.service.events = events.get();
+  }
   serve::Server server(std::move(sopts));
   return server.serve();
+}
+
+/// `synat postmortem <file>` — human rendering of a flight-recorder
+/// incident dump (recorder.h). The file is a header line plus the ring
+/// oldest-first; frames that were overwritten mid-dump may be garbled, so
+/// anything unparsable is shown raw rather than rejected.
+int cmd_postmortem(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return kExitParseError;
+  }
+  auto str_of = [](const serve::JsonValue& v, const char* key) {
+    const serve::JsonValue* m = v.get(key);
+    return m != nullptr && m->is_string() ? m->str : std::string();
+  };
+  auto num_of = [](const serve::JsonValue& v, const char* key) -> long long {
+    const serve::JsonValue* m = v.get(key);
+    return m != nullptr && m->is_number()
+               ? static_cast<long long>(m->number)
+               : 0;
+  };
+  std::string line;
+  size_t events_n = 0, notes_n = 0, spans_n = 0, raw_n = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    serve::JsonParse p = serve::parse_json(line);
+    if (!p.ok || !p.value.is_object()) {
+      std::printf("  ?      %s\n", line.c_str());
+      ++raw_n;
+      continue;
+    }
+    const serve::JsonValue& v = p.value;
+    std::string rec = str_of(v, "rec");
+    if (rec == "postmortem") {
+      std::printf("postmortem: reason=%s signal=%lld frames=%lld\n",
+                  str_of(v, "reason").c_str(), num_of(v, "signal"),
+                  num_of(v, "frames"));
+    } else if (rec == "note") {
+      std::printf("  note   %s: %s\n", str_of(v, "what").c_str(),
+                  str_of(v, "detail").c_str());
+      ++notes_n;
+    } else if (rec == "span") {
+      std::printf("  span   %-10s start_ns=%lld dur_ns=%lld\n",
+                  str_of(v, "stage").c_str(), num_of(v, "start_ns"),
+                  num_of(v, "dur_ns"));
+      ++spans_n;
+    } else if (str_of(v, "schema") == "synat-event") {
+      std::printf("  event  seq=%-4lld %-28s status=%s%s exit=%lld "
+                  "dur_ns=%lld\n",
+                  num_of(v, "seq"), str_of(v, "name").c_str(),
+                  str_of(v, "status").c_str(),
+                  v.get("quarantined") != nullptr &&
+                          v.get("quarantined")->boolean
+                      ? " quarantined"
+                      : "",
+                  num_of(v, "exit_code"), num_of(v, "dur_ns"));
+      ++events_n;
+    } else {
+      std::printf("  ?      %s\n", line.c_str());
+      ++raw_n;
+    }
+  }
+  std::printf("-- %zu event(s), %zu note(s), %zu span(s), %zu raw frame(s)\n",
+              events_n, notes_n, spans_n, raw_n);
+  return kExitOk;
 }
 
 }  // namespace
@@ -753,6 +918,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (argc < 3) return usage();
     std::string spec = argv[2];
+    if (cmd == "postmortem") return cmd_postmortem(spec);
     if (cmd == "analyze") return cmd_analyze(spec, argc - 3, argv + 3);
     if (cmd == "explain") return cmd_explain(spec, argc - 3, argv + 3);
     if (cmd == "variants")

@@ -13,6 +13,7 @@ small CLI:
     synat_client.py --connect /tmp/synat.sock metrics
     synat_client.py --connect /tmp/synat.sock invalidate
     synat_client.py --connect /tmp/synat.sock shutdown
+    synat_client.py tail events.jsonl [-n 20] [--follow] [--grep error]
 
 `analyze` prints the batch-report JSON document (byte-identical to
 `synat batch --format json` on the same input) to stdout and exits with
@@ -21,6 +22,7 @@ the analysis exit code; the other commands print their result object.
 
 import argparse
 import json
+import os
 import random
 import socket
 import sys
@@ -184,6 +186,91 @@ class Client:
         return self.call("shutdown")
 
 
+def _format_event(ev):
+    """One human-scannable line per wide event (see DESIGN.md §3i)."""
+    parts = [f"#{ev.get('seq', '?')}",
+             str(ev.get("name", "?")),
+             f"status={ev.get('status', '?')}"]
+    if not ev.get("atomic", True):
+        parts.append("NOT-ATOMIC")
+    if ev.get("exit_code", 0) != 0:
+        parts.append(f"exit={ev['exit_code']}")
+    dur = ev.get("dur_ns", 0)
+    if dur:
+        parts.append(f"dur={dur / 1e6:.2f}ms")
+    hits, misses = ev.get("cache_hits", 0), ev.get("cache_misses", 0)
+    if hits or misses:
+        parts.append(f"cache={hits}h/{misses}m")
+    for k in ("retries", "deaths_crash", "deaths_timeout", "deaths_oom"):
+        if ev.get(k):
+            parts.append(f"{k}={ev[k]}")
+    if ev.get("quarantined"):
+        parts.append("QUARANTINED")
+    if ev.get("error_kind"):
+        parts.append(f"error={ev['error_kind']}({ev.get('error_code', 0)})")
+    return "  ".join(parts)
+
+
+def _tail_events(path, last_n, follow, grep):
+    """Render a wide-event log (synat --events-out) as one line per event,
+    optionally following it through rotations like `tail -F`."""
+
+    def emit(line):
+        line = line.strip()
+        if not line:
+            return
+        if grep and grep not in line:
+            return
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"?  {line}")
+            return
+        print(_format_event(ev), flush=True)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"synat_client: {e}", file=sys.stderr)
+        return 2
+    for line in lines[-last_n:] if last_n >= 0 else lines:
+        emit(line)
+    if not follow:
+        return 0
+
+    f = open(path, encoding="utf-8")
+    f.seek(0, os.SEEK_END)
+    inode = os.fstat(f.fileno()).st_ino
+    try:
+        while True:
+            line = f.readline()
+            if line:
+                if line.endswith("\n"):  # skip a partially written tail
+                    emit(line)
+                else:
+                    f.seek(-len(line.encode("utf-8")), os.SEEK_CUR)
+                    time.sleep(0.1)
+                continue
+            # EOF: watch for size-based rotation (the live file is renamed
+            # to .1 and a fresh one is created at the same path).
+            try:
+                st = os.stat(path)
+            except FileNotFoundError:
+                time.sleep(0.2)
+                continue
+            if st.st_ino != inode:
+                f.close()
+                f = open(path, encoding="utf-8")
+                inode = st.st_ino
+                continue
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        f.close()
+
+
 def _read_program(spec):
     if spec == "-":
         return sys.stdin.read(), "<stdin>"
@@ -193,8 +280,9 @@ def _read_program(spec):
 
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--connect", required=True,
-                    help="unix socket path (contains '/') or host:port")
+    ap.add_argument("--connect",
+                    help="unix socket path (contains '/') or host:port "
+                         "(required for every command except tail)")
     ap.add_argument("--timeout", type=float, default=60.0)
     ap.add_argument("--max-retries", type=int, default=3,
                     help="reconnect+resend attempts for idempotent calls "
@@ -216,7 +304,22 @@ def main(argv=None):
     for name in ("status", "metrics", "invalidate", "shutdown"):
         sub.add_parser(name)
 
+    tail = sub.add_parser(
+        "tail", help="render a --events-out wide-event log, one line each")
+    tail.add_argument("file", help="events JSONL file")
+    tail.add_argument("-n", "--lines", type=int, default=10,
+                      help="show the last N events first (-1 for all)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep watching, following rotations")
+    tail.add_argument("--grep",
+                      help="only raw JSON lines containing this substring "
+                           "(e.g. '\"quarantined\":true' or an error kind)")
+
     args = ap.parse_args(argv)
+    if args.command == "tail":
+        return _tail_events(args.file, args.lines, args.follow, args.grep)
+    if not args.connect:
+        ap.error(f"--connect is required for '{args.command}'")
     try:
         client = Client(args.connect, timeout=args.timeout,
                         max_retries=args.max_retries)
